@@ -1,0 +1,64 @@
+"""Section 2.2 — FCFS has no constant guarantee.
+
+"on a machine with m nodes, it is possible to build an instance with
+optimal makespan 1, and whose resulting FCFS schedule has makespan m."
+
+Reproduction: run real FCFS on the constructed family and show the ratio
+marching towards ``m`` as the narrow jobs lengthen, while LSRC
+(aggressive backfilling) stays within Graham's bound on the same
+instances.
+"""
+
+import pytest
+
+from repro.algorithms import ListScheduler, fcfs_schedule
+from repro.analysis import format_table
+from repro.core import lower_bound
+from repro.theory import fcfs_worstcase_instance, graham_ratio
+
+
+def test_fcfs_ratio_approaches_m(benchmark, report):
+    rows = []
+    for m in (4, 8, 16):
+        for K in (10, 100, 1000):
+            fam = fcfs_worstcase_instance(m, K=K)
+            s = fcfs_schedule(fam.instance)
+            assert s.makespan == fam.fcfs_makespan
+            assert lower_bound(fam.instance) == fam.optimal_makespan
+            ratio = s.makespan / fam.optimal_makespan
+            rows.append(
+                {"m": m, "K": K, "C*": fam.optimal_makespan,
+                 "FCFS": s.makespan, "ratio": ratio}
+            )
+    # --- shape assertions ---
+    for m in (4, 8, 16):
+        series = [r["ratio"] for r in rows if r["m"] == m]
+        assert series == sorted(series), "ratio grows with K"
+        assert series[-1] > m * 0.95, f"ratio approaches m={m}"
+    report(
+        "fcfs_worstcase",
+        format_table(rows, title="FCFS worst-case family (Section 2.2)"),
+    )
+
+    fam = fcfs_worstcase_instance(16, K=100)
+    benchmark(lambda: fcfs_schedule(fam.instance).makespan)
+
+
+def test_lsrc_immune_to_the_fcfs_trap(benchmark, report):
+    """The same instances leave LSRC within 2 - 1/m of optimal —
+    the contrast motivating the paper's focus on list scheduling."""
+    rows = []
+    for m in (4, 8, 16):
+        fam = fcfs_worstcase_instance(m, K=100)
+        ls = ListScheduler().schedule(fam.instance)
+        ls.verify()
+        ratio = ls.makespan / fam.optimal_makespan
+        rows.append(
+            {"m": m, "LSRC": ls.makespan, "C*": fam.optimal_makespan,
+             "ratio": ratio, "2-1/m": float(graham_ratio(m))}
+        )
+        assert ratio <= float(graham_ratio(m)) + 1e-9
+    report("fcfs_vs_lsrc", format_table(rows, title="LSRC on the FCFS trap"))
+
+    fam = fcfs_worstcase_instance(16, K=100)
+    benchmark(lambda: ListScheduler().schedule(fam.instance).makespan)

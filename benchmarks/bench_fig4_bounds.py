@@ -1,0 +1,105 @@
+"""Figure 4 — upper and lower bounds for LSRC on α-RESASCHEDULING.
+
+The paper plots three curves against α ∈ (0, 1]: the upper bound ``2/α``
+(Proposition 3) and the lower bounds ``B1`` and ``B2`` (Proposition 2
+generalised), with the y-axis clipped at 10.  The visual facts: the
+curves decrease in α, ``2/α >= B1 >= B2``, the curves step at
+``α = 2/k``, and upper and lower bounds nearly touch there.
+
+Reproduction: regenerate the exact series (CSV + ASCII chart) and assert
+each visual fact.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import ascii_plot, format_table, write_csv
+from repro.theory import (
+    default_alpha_grid,
+    figure4_series,
+    gap_at,
+    lower_bound_b1,
+    lower_bound_b2,
+    upper_bound,
+)
+
+
+def test_fig4_series_and_chart(benchmark, report):
+    grid = default_alpha_grid(200, lo=0.2)
+    rows = benchmark(lambda: figure4_series(grid))
+
+    # --- shape assertions (Figure 4) ---
+    for row in rows:
+        assert row.upper >= row.b1 >= row.b2 > 1
+    uppers = [r.upper for r in rows]
+    assert uppers == sorted(uppers, reverse=True), "2/α decreases in α"
+    # B2 within each ceil(2/α) plateau decreases in α as well
+    assert rows[0].upper == pytest.approx(10.0), "y-range matches the plot"
+    assert rows[-1].upper == pytest.approx(2.0)
+    assert rows[-1].b1 == pytest.approx(1.5)
+
+    chart = ascii_plot(
+        {
+            "upper 2/a": [(r.alpha, r.upper) for r in rows],
+            "B1": [(r.alpha, r.b1) for r in rows],
+            "B2": [(r.alpha, r.b2) for r in rows],
+        },
+        width=72,
+        height=22,
+        y_max=10.0,
+        y_min=0.0,
+        x_label="alpha",
+        y_label="performance guarantee",
+    )
+    csv_rows = [
+        {"alpha": r.alpha, "upper": r.upper, "b1": r.b1, "b2": r.b2}
+        for r in rows
+    ]
+    import pathlib
+
+    out = pathlib.Path(__file__).parent / "results" / "fig4_bounds.csv"
+    write_csv(csv_rows, str(out))
+    report("fig4_bounds", chart + f"\n\nfull series: {out}\n")
+
+
+def test_fig4_bounds_touch_at_2_over_k(benchmark, report):
+    """'the upper and lower bounds can be arbitrarily close to each other
+    for some values of the parameter α' — quantified."""
+    rows = []
+    for k in (2, 3, 4, 6, 8, 16, 32):
+        alpha = Fraction(2, k)
+        gap = gap_at(alpha)
+        rel = gap / upper_bound(alpha)
+        rows.append(
+            {
+                "alpha": f"2/{k}",
+                "upper": float(upper_bound(alpha)),
+                "B1": float(lower_bound_b1(alpha)),
+                "abs gap": float(gap),
+                "rel gap": float(rel),
+            }
+        )
+        assert gap < 1
+        assert rel <= Fraction(1, k)
+    rels = [r["rel gap"] for r in rows]
+    assert rels == sorted(rels, reverse=True), "relative gap shrinks with k"
+    report(
+        "fig4_gap",
+        format_table(rows, title="Gap between 2/α and B1 at α = 2/k"),
+    )
+
+    benchmark(lambda: [gap_at(Fraction(2, k)) for k in range(2, 40)])
+
+
+def test_fig4_exact_rational_series(benchmark):
+    """The whole figure in exact rational arithmetic (Fraction grid)."""
+    grid = [Fraction(i, 100) for i in range(20, 101)]
+
+    def series():
+        return figure4_series(grid)
+
+    rows = benchmark(series)
+    for row in rows:
+        assert isinstance(row.b1, Fraction)
+        assert row.upper >= row.b1 >= row.b2

@@ -1,0 +1,94 @@
+"""Section 2.1 — offline-to-online by batch doubling, plus the online
+policy spectrum under a realistic arrival stream.
+
+"any off-line algorithm may be used in an on-line fashion, with a
+doubling factor for the performance ratio" (Shmoys–Wein–Williamson).
+
+Shape claims:
+
+* batch-doubling LSRC stays within ``2 (2 - 1/m)`` of the clairvoyant
+  optimum's lower bound on arrival workloads;
+* the event-driven online policies (fcfs/easy/conservative/greedy) all
+  produce verified schedules, ordered on average exactly like their
+  offline counterparts (greedy best, fcfs worst);
+* online greedy equals offline LSRC when all jobs are present at 0.
+"""
+
+import pytest
+
+from repro.algorithms import batch_doubling_schedule, list_schedule
+from repro.analysis import format_table, geometric_mean
+from repro.core import ReservationInstance, lower_bound
+from repro.simulation import simulate
+from repro.workloads import (
+    feitelson_instance,
+    periodic_maintenance,
+    uniform_instance,
+    with_poisson_releases,
+)
+
+
+def _arrival_workloads():
+    out = []
+    for seed in range(5):
+        base = uniform_instance(30, 16, p_range=(1, 40), q_range=(1, 8), seed=seed)
+        timed = with_poisson_releases(base, rate=0.05, seed=seed + 50)
+        res = periodic_maintenance(16, 4, period=200, duration=25, count=4)
+        out.append(
+            ReservationInstance(m=16, jobs=timed.jobs, reservations=res)
+        )
+    return out
+
+
+def test_batch_doubling_guarantee(benchmark, report):
+    rows = []
+    for idx, inst in enumerate(_arrival_workloads()):
+        s = batch_doubling_schedule(inst)
+        s.verify()
+        lb = lower_bound(inst)
+        ratio = s.makespan / lb
+        rows.append(
+            {"workload": idx, "batch Cmax": s.makespan, "LB": float(lb),
+             "ratio": ratio}
+        )
+        # 2 * (2 - 1/m) versus C*; LB <= C* makes this a valid envelope
+        assert ratio <= 2 * (2 - 1 / inst.m) + 1e-9
+    report(
+        "online_batch",
+        format_table(rows, title="Batch-doubling LSRC vs lower bound"),
+    )
+
+    inst = _arrival_workloads()[0]
+    benchmark(lambda: batch_doubling_schedule(inst).makespan)
+
+
+def test_online_policy_spectrum(benchmark, report):
+    pool = _arrival_workloads()
+    rows = []
+    geo = {}
+    for policy in ("fcfs", "conservative", "easy", "greedy"):
+        ratios = []
+        for inst in pool:
+            result = simulate(inst, policy)
+            result.schedule.verify()
+            ratios.append(result.makespan / float(lower_bound(inst)))
+        geo[policy] = geometric_mean(ratios)
+        rows.append({"policy": policy, "geo_ratio": geo[policy]})
+    report(
+        "online_policies",
+        format_table(rows, title="Online policies under Poisson arrivals"),
+    )
+    # --- shape assertion: aggressive end beats the FCFS end on average ---
+    assert geo["greedy"] <= geo["fcfs"] + 1e-9
+
+    inst = pool[0]
+    benchmark(lambda: simulate(inst, "greedy").makespan)
+
+
+def test_online_greedy_equals_offline_lsrc_offline_case(benchmark):
+    inst = feitelson_instance(40, 16, seed=3)
+    online = simulate(inst, "greedy").schedule
+    offline = list_schedule(inst)
+    assert online.starts == offline.starts
+
+    benchmark(lambda: simulate(inst, "greedy").makespan)

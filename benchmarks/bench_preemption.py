@@ -1,0 +1,125 @@
+"""Extension — the price of non-preemption (Section 1.3's contrast).
+
+The paper's related work "considers models where preemption is allowed";
+its own model forbids it.  This benchmark quantifies the difference on
+sequential workloads: the exact preemptive optimum (Schmidt's condition,
+constructively attained) versus non-preemptive LSRC, as reservation
+pressure grows.
+
+Shape claims:
+
+* LSRC is always within ``2 - 1/m`` of the preemptive optimum on
+  reservation-free workloads (the preemptive optimum is itself a lower
+  bound on ``C*max``);
+* the gap widens with reservation pressure — the inability to straddle a
+  blocked window is exactly what the paper's Theorem 1 gadget exploits;
+* the preemptive construction itself is cheap and exact.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    ListScheduler,
+    preemptive_makespan,
+    preemptive_schedule,
+    price_of_nonpreemption,
+)
+from repro.analysis import format_table, geometric_mean
+from repro.core import Job, Reservation, ReservationInstance
+from repro.theory import graham_ratio
+from repro.workloads import uniform_instance
+
+
+def _sequential_instance(m, n, seed, reservation_every=None):
+    base = uniform_instance(n, m, p_range=(1, 20), q_range=(1, 1), seed=seed)
+    reservations = []
+    if reservation_every:
+        # periodic half-machine maintenance windows
+        q = max(1, m // 2)
+        for i in range(4):
+            reservations.append(
+                Reservation(
+                    id=f"r{i}",
+                    start=reservation_every * (i + 1),
+                    p=reservation_every // 2,
+                    q=q,
+                )
+            )
+    return ReservationInstance(
+        m=m, jobs=base.jobs, reservations=tuple(reservations)
+    )
+
+
+def test_price_of_nonpreemption_grows_with_reservations(benchmark, report):
+    rows = []
+    geo = {}
+    for label, every in (("none", None), ("sparse", 40), ("dense", 16)):
+        ratios = []
+        for seed in range(8):
+            inst = _sequential_instance(8, 24, seed, reservation_every=every)
+            ratios.append(float(price_of_nonpreemption(inst)))
+        geo[label] = geometric_mean(ratios)
+        rows.append(
+            {
+                "reservations": label,
+                "geo price": geo[label],
+                "max price": max(ratios),
+            }
+        )
+        # LSRC within Graham of the preemptive LOWER bound, reservation-free
+        if every is None:
+            assert max(ratios) <= float(graham_ratio(8)) + 1e-9
+    report(
+        "preemption_price",
+        format_table(rows, title="Price of non-preemption (m=8, n=24)"),
+    )
+    # --- shape assertion: reservations widen the gap on average ---
+    assert geo["dense"] >= geo["none"] - 0.02
+
+    inst = _sequential_instance(8, 24, 0, reservation_every=16)
+    benchmark(lambda: price_of_nonpreemption(inst))
+
+
+def test_preemptive_construction_exact_and_fast(benchmark, report):
+    inst = _sequential_instance(16, 60, 3, reservation_every=25)
+    bound = preemptive_makespan(inst)
+    schedule = preemptive_schedule(inst)
+    schedule.verify()
+    assert schedule.makespan == bound
+    report(
+        "preemption_construction",
+        f"Schmidt optimum attained exactly: T = {bound} "
+        f"({len(schedule.pieces)} pieces, "
+        f"{schedule.preemption_count()} preemptions, n = 60, m = 16)\n",
+    )
+
+    benchmark(lambda: preemptive_schedule(inst).makespan)
+
+
+def test_single_machine_theorem1_gap(benchmark, report):
+    """On the Figure 1 geometry (m=1 with holes) preemption closes most of
+    the gap the reduction exploits: a preemptive job flows around the
+    reservations, a non-preemptive one must fit between them."""
+    inst = ReservationInstance(
+        m=1,
+        jobs=(Job(id=0, p=9, q=1),),
+        reservations=(
+            Reservation(id="r1", start=3, p=1, q=1),
+            Reservation(id="r2", start=7, p=1, q=1),
+            Reservation(id="r3", start=11, p=1, q=1),
+        ),
+    )
+    preemptive = preemptive_makespan(inst)
+    lsrc = ListScheduler().schedule(inst).makespan  # must wait for a 9-gap
+    # gaps [0,3), [4,7), [8,11) hold exactly 9 units: finishes at 11
+    assert preemptive == 11
+    assert lsrc == 21  # starts after the last reservation
+    report(
+        "preemption_thm1_gap",
+        "Figure 1 geometry, one 9-long job, unit holes at 3/7/11:\n"
+        f"  preemptive optimum: {preemptive} (flows around the holes)\n"
+        f"  non-preemptive LSRC: {lsrc} (waits for a gap of length 9)\n"
+        f"  ratio: {lsrc}/{preemptive}\n",
+    )
+
+    benchmark(lambda: preemptive_makespan(inst))

@@ -1,0 +1,83 @@
+"""Extension — the conclusion's open question: do priority rules help?
+
+"An immediate but not trivial perspective is to study some variants of
+list scheduling that can improve the upper bound (for instance adding a
+priority based on sorting the jobs by decreasing durations)."
+
+This ablation runs LSRC under every priority rule over random and
+Feitelson workloads (with reservations) and reports mean ratios to the
+lower bound.  Shape claims: every rule obeys the same worst-case theory
+(all are list schedules), and LPT/LAF-style rules improve on FIFO on
+average — the effect the conclusion anticipates.
+"""
+
+import pytest
+
+from repro.algorithms import ListScheduler
+from repro.analysis import format_table, geometric_mean
+from repro.core import ReservationInstance, lower_bound, ratio_to_lower_bound
+from repro.workloads import (
+    feitelson_instance,
+    random_alpha_reservations,
+    uniform_instance,
+)
+
+RULES = ["fifo", "lpt", "spt", "laf", "saf", "widest", "narrowest"]
+
+
+def _workloads():
+    out = []
+    for seed in range(6):
+        jobs = uniform_instance(
+            40, 32, p_range=(1, 60), q_range=(1, 16), seed=seed
+        ).jobs
+        res = random_alpha_reservations(
+            32, 0.5, horizon=300, count=6, seed=seed
+        )
+        out.append(ReservationInstance(m=32, jobs=jobs, reservations=res))
+    for seed in range(6):
+        fei = feitelson_instance(40, 32, seed=seed)
+        out.append(ReservationInstance(m=32, jobs=fei.jobs))
+    return out
+
+
+def test_priority_rule_ablation(benchmark, report):
+    pool = _workloads()
+    rows = []
+    geo = {}
+    for rule in RULES:
+        scheduler = ListScheduler(rule)
+        ratios = []
+        for inst in pool:
+            s = scheduler.schedule(inst)
+            ratios.append(ratio_to_lower_bound(s))
+        geo[rule] = geometric_mean(ratios)
+        rows.append(
+            {
+                "rule": rule,
+                "geo_ratio": geo[rule],
+                "max_ratio": max(ratios),
+            }
+        )
+    rows.sort(key=lambda r: r["geo_ratio"])
+    report(
+        "priority_ablation",
+        format_table(rows, title="LSRC priority-rule ablation (m=32)"),
+    )
+    # --- shape assertions ---
+    assert geo["lpt"] <= geo["fifo"] + 1e-9, "LPT should not lose to FIFO"
+    for rule in RULES:
+        assert geo[rule] < 2.0, "typical ratios stay far below worst case"
+
+    inst = pool[0]
+    benchmark(lambda: ListScheduler("lpt").schedule(inst).makespan)
+
+
+def test_rules_agree_on_trivial_instances(benchmark):
+    """On a single-job instance every rule produces the same schedule."""
+    inst = uniform_instance(1, 8, seed=0)
+    makespans = {
+        rule: ListScheduler(rule).schedule(inst).makespan for rule in RULES
+    }
+    assert len(set(makespans.values())) == 1
+    benchmark(lambda: ListScheduler("fifo").schedule(inst).makespan)

@@ -1,0 +1,102 @@
+"""Extension — empirical ratio sweep over α for the policy spectrum.
+
+The paper proves worst cases; this benchmark measures the *typical* case
+its model implies: random α-restricted workloads (α-capped job widths,
+α-budgeted reservation calendars) scheduled by FCFS, conservative
+backfilling, EASY and LSRC, reported as makespan ratios to the certified
+lower bound.
+
+Shape claims checked:
+
+* every algorithm stays far below the worst-case ``2/α`` envelope on
+  average (worst cases are adversarial, not typical);
+* LSRC (aggressive backfilling) dominates FCFS on average;
+* ratios degrade as α shrinks (reservations bite harder).
+"""
+
+import pytest
+
+from repro.analysis import format_table, geometric_mean, measure_ratio
+from repro.core import ReservationInstance
+from repro.theory import upper_bound
+from repro.workloads import (
+    alpha_constrained_instance,
+    random_alpha_reservations,
+)
+
+ALGOS = ["fcfs", "backfill-cons", "backfill-easy", "lsrc", "lsrc-lpt"]
+ALPHAS = [0.25, 0.5, 0.75]
+M = 32
+N = 40
+REPEATS = 5
+
+
+def _instances(alpha):
+    out = []
+    for seed in range(REPEATS):
+        jobs = alpha_constrained_instance(
+            N, M, alpha, p_range=(1, 50), seed=seed
+        ).jobs
+        res = random_alpha_reservations(
+            M, alpha, horizon=300, count=8, seed=100 + seed
+        )
+        inst = ReservationInstance(m=M, jobs=jobs, reservations=res)
+        inst.validate_alpha(alpha)
+        out.append(inst)
+    return out
+
+
+def test_ratio_sweep_over_alpha(benchmark, report):
+    rows = []
+    geo = {}
+    for alpha in ALPHAS:
+        pool = _instances(alpha)
+        for algo in ALGOS:
+            rep = measure_ratio(algo, pool, reference="lb")
+            g = rep.geo_mean
+            geo[(alpha, algo)] = g
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "algorithm": algo,
+                    "geo_ratio": g,
+                    "max_ratio": rep.summary.maximum,
+                    "2/alpha": float(upper_bound(alpha)),
+                }
+            )
+            # --- shape assertions ---
+            assert rep.summary.maximum <= upper_bound(alpha), (
+                f"{algo} exceeded the worst-case envelope at alpha={alpha}"
+            )
+    for alpha in ALPHAS:
+        assert geo[(alpha, "lsrc")] <= geo[(alpha, "fcfs")] + 1e-9, (
+            f"LSRC should dominate FCFS on average at alpha={alpha}"
+        )
+    report(
+        "ratio_sweep",
+        format_table(rows, title="Empirical ratio vs lower bound"),
+    )
+
+    pool = _instances(0.5)
+    benchmark(lambda: measure_ratio("lsrc", pool, reference="lb").geo_mean)
+
+
+def test_reservation_pressure_degrades_ratio(benchmark, report):
+    """More reservation load (smaller α budget) => larger LSRC ratios."""
+    means = []
+    for alpha in (0.75, 0.5, 0.25):
+        pool = _instances(alpha)
+        rep = measure_ratio("lsrc", pool, reference="lb")
+        means.append((alpha, rep.geo_mean))
+    report(
+        "ratio_pressure",
+        format_table(
+            [{"alpha": a, "lsrc geo ratio": g} for a, g in means],
+            title="LSRC ratio vs alpha budget",
+        ),
+    )
+    # direction check only on the extremes (noise-tolerant)
+    assert means[-1][1] >= means[0][1] - 0.05
+
+    pool = _instances(0.25)
+    benchmark(lambda: measure_ratio("lsrc", pool, reference="lb").geo_mean)

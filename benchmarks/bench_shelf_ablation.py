@@ -1,0 +1,93 @@
+"""Extension — the conclusion's second direction: shelf heuristics.
+
+"Another further direction is to investigate different kind of heuristics
+like those based on packing (partition on shelves) algorithms."
+
+This ablation compares NFDH/FFDH shelf scheduling against LSRC on random
+workloads with and without reservations.  Shape claims: shelves pay a
+structural price (higher average ratio than LSRC) but remain within a
+small constant of the lower bound; FFDH never uses more shelves than
+NFDH.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    FirstFitShelfScheduler,
+    ListScheduler,
+    NextFitShelfScheduler,
+)
+from repro.algorithms.shelf import _build_shelves_ff, _build_shelves_nf
+from repro.analysis import format_table, geometric_mean
+from repro.core import ReservationInstance, ratio_to_lower_bound
+from repro.workloads import random_alpha_reservations, uniform_instance
+
+
+def _pool(with_reservations):
+    out = []
+    for seed in range(8):
+        jobs = uniform_instance(
+            40, 32, p_range=(1, 60), q_range=(1, 16), seed=seed
+        ).jobs
+        res = (
+            random_alpha_reservations(32, 0.5, horizon=300, count=6, seed=seed)
+            if with_reservations
+            else ()
+        )
+        out.append(ReservationInstance(m=32, jobs=jobs, reservations=res))
+    return out
+
+
+def test_shelf_vs_lsrc(benchmark, report):
+    rows = []
+    geo = {}
+    for label, with_res in (("no-res", False), ("with-res", True)):
+        pool = _pool(with_res)
+        for scheduler in (
+            ListScheduler("lpt"),
+            NextFitShelfScheduler(),
+            FirstFitShelfScheduler(),
+        ):
+            ratios = [
+                ratio_to_lower_bound(scheduler.schedule(inst))
+                for inst in pool
+            ]
+            geo[(label, scheduler.name)] = geometric_mean(ratios)
+            rows.append(
+                {
+                    "workload": label,
+                    "algorithm": scheduler.name,
+                    "geo_ratio": geo[(label, scheduler.name)],
+                    "max_ratio": max(ratios),
+                }
+            )
+    report(
+        "shelf_ablation",
+        format_table(rows, title="Shelf heuristics vs LSRC (m=32)"),
+    )
+    # --- shape assertions ---
+    # Note: FF <= NF holds for shelf *counts* (checked below) but not
+    # makespan-wise under reservations, where a wider merged shelf can
+    # miss a gap a narrower one would fit; so only the robust claims:
+    for label in ("no-res", "with-res"):
+        assert geo[(label, "lsrc[lpt]")] <= geo[(label, "shelf-ff")] + 1e-9
+        assert geo[(label, "lsrc[lpt]")] <= geo[(label, "shelf-nf")] + 1e-9
+        assert geo[(label, "shelf-nf")] < 3.5, "shelves stay bounded"
+        assert geo[(label, "shelf-ff")] < 3.5, "shelves stay bounded"
+
+    pool = _pool(True)
+    benchmark(lambda: FirstFitShelfScheduler().schedule(pool[0]).makespan)
+
+
+def test_ff_uses_no_more_shelves_than_nf(benchmark, report):
+    rows = []
+    for seed in range(10):
+        inst = uniform_instance(60, 32, q_range=(1, 16), seed=seed)
+        nf = len(_build_shelves_nf(list(inst.jobs), inst.m))
+        ff = len(_build_shelves_ff(list(inst.jobs), inst.m))
+        rows.append({"seed": seed, "NF shelves": nf, "FF shelves": ff})
+        assert ff <= nf
+    report("shelf_counts", format_table(rows, title="Shelf counts NF vs FF"))
+
+    inst = uniform_instance(200, 32, q_range=(1, 16), seed=0)
+    benchmark(lambda: len(_build_shelves_ff(list(inst.jobs), inst.m)))

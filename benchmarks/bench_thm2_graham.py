@@ -1,0 +1,120 @@
+"""Theorem 2 / Lemma 1 (appendix) — Graham's bound, executed.
+
+The appendix re-proves ``Cmax(LSRC) <= (2 - 1/m) C*max`` via Lemma 1
+(``r(t) + r(t') >= m + 1`` whenever ``t' >= t + pmax``).  Reproduction:
+
+* Lemma 1 checked exhaustively on LSRC schedules of random instances;
+* the integral inequality chain ``(m+1)(1-x)C* <= X <= W - x C*``
+  measured on concrete schedules;
+* the end-to-end bound against exact optima, plus its tightness on the
+  classical family (ratio exactly ``2 - 1/m``).
+"""
+
+import pytest
+
+from repro.algorithms import ListScheduler, exhaustive_optimal, list_schedule
+from repro.analysis import describe, format_table
+from repro.theory import (
+    graham_ratio,
+    graham_tight_instance,
+    lemma1_violations,
+    work_area_inequality,
+)
+from repro.workloads import uniform_instance
+
+
+def test_thm2_bound_against_exact_optimum(benchmark, report):
+    rows = []
+    ratios = []
+    for seed in range(12):
+        inst = uniform_instance(5, 4, p_range=(1, 6), seed=seed)
+        s = ListScheduler().schedule(inst)
+        cstar = exhaustive_optimal(inst).makespan
+        ratio = s.makespan / cstar
+        ratios.append(ratio)
+        guarantee = float(graham_ratio(inst.m))
+        rows.append(
+            {
+                "seed": seed,
+                "C*": cstar,
+                "LSRC": s.makespan,
+                "ratio": ratio,
+                "2-1/m": guarantee,
+            }
+        )
+        # --- shape assertion (Theorem 2) ---
+        assert ratio <= guarantee + 1e-9
+    text = format_table(rows, title="Theorem 2 on random instances (m=4)")
+    text += f"\nempirical ratio: {describe(ratios)}\n"
+    report("thm2_random", text)
+
+    inst = uniform_instance(30, 8, seed=0)
+    benchmark(lambda: ListScheduler().schedule(inst).makespan)
+
+
+def test_thm2_lemma1_certificates(benchmark, report):
+    """Lemma 1 never violated by LSRC; certificate checking is cheap."""
+    checked = 0
+    for seed in range(25):
+        inst = uniform_instance(8, 8, p_range=(1, 9), seed=seed)
+        s = ListScheduler().schedule(inst)
+        assert lemma1_violations(s) == [], f"seed {seed}"
+        checked += 1
+    report(
+        "thm2_lemma1",
+        f"Lemma 1 verified on {checked} LSRC schedules (m=8, n=8): "
+        "0 violations\n",
+    )
+
+    inst = uniform_instance(20, 8, seed=1)
+    s = ListScheduler().schedule(inst)
+    benchmark(lambda: lemma1_violations(s))
+
+
+def test_thm2_integral_inequality(benchmark, report):
+    """The proof's integral chain measured on real schedules."""
+    rows = []
+    for seed in range(10):
+        inst = uniform_instance(6, 4, p_range=(1, 6), seed=seed)
+        s = ListScheduler().schedule(inst)
+        cstar = exhaustive_optimal(inst).makespan
+        X, lower, upper = work_area_inequality(s, cstar)
+        rows.append(
+            {"seed": seed, "X": float(X), "(m+1)(1-x)C*": float(lower),
+             "W-xC*": float(upper)}
+        )
+        assert lower - 1e-9 <= X <= upper + 1e-9
+    report(
+        "thm2_integral",
+        format_table(rows, title="Theorem 2 proof inequalities (m=4)"),
+    )
+
+    inst = uniform_instance(6, 4, seed=3)
+    s = ListScheduler().schedule(inst)
+    cstar = exhaustive_optimal(inst).makespan
+    benchmark(lambda: work_area_inequality(s, cstar))
+
+
+def test_thm2_tightness_family(benchmark, report):
+    """Ratio exactly 2 - 1/m on the classical family, for growing m."""
+    rows = []
+    for m in (2, 4, 8, 16):
+        fam = graham_tight_instance(m)
+        bad = list_schedule(fam.instance, order=fam.bad_order)
+        assert bad.makespan == 2 * m - 1
+        assert fam.optimal_schedule().makespan == m
+        rows.append(
+            {
+                "m": m,
+                "C*": m,
+                "LSRC(bad)": bad.makespan,
+                "ratio": bad.makespan / m,
+                "2-1/m": float(graham_ratio(m)),
+            }
+        )
+    report("thm2_tightness", format_table(rows, title="2 - 1/m tightness"))
+
+    fam = graham_tight_instance(16)
+    benchmark(
+        lambda: list_schedule(fam.instance, order=fam.bad_order).makespan
+    )

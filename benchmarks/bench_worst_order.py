@@ -1,0 +1,88 @@
+"""Extension — per-instance worst list order versus the Figure 4 curves.
+
+The paper bounds the worst case over *all* instances and orders; this
+benchmark measures, on random α-restricted instances, the exact
+per-instance worst-order ratio (all n! orders, exact optimum) and places
+it against the two analytical curves: it must stay below ``2/α``
+(Proposition 3) and random instances sit well below ``B1`` — only the
+crafted Proposition 2 family pushes up against it.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import ReservationInstance
+from repro.theory import (
+    lower_bound_b1,
+    proposition2_instance,
+    upper_bound,
+    worst_order_exhaustive,
+)
+from repro.workloads import (
+    alpha_constrained_instance,
+    random_alpha_reservations,
+)
+
+
+def _alpha_instance(alpha, seed):
+    jobs = alpha_constrained_instance(
+        5, 8, alpha, p_range=(1, 6), seed=seed
+    ).jobs
+    res = random_alpha_reservations(
+        8, alpha, horizon=20, count=2, seed=seed + 7
+    )
+    inst = ReservationInstance(m=8, jobs=jobs, reservations=res)
+    inst.validate_alpha(alpha)
+    return inst
+
+
+def test_worst_order_vs_figure4_curves(benchmark, report):
+    rows = []
+    for alpha in (Fraction(1, 2), Fraction(1, 4)):
+        for seed in range(4):
+            inst = _alpha_instance(alpha, seed)
+            result = worst_order_exhaustive(inst)
+            rows.append(
+                {
+                    "alpha": str(alpha),
+                    "seed": seed,
+                    "C*": result.optimal_makespan,
+                    "worst order": float(result.worst_ratio),
+                    "best order": float(result.best_ratio),
+                    "B1": float(lower_bound_b1(alpha)),
+                    "2/alpha": float(upper_bound(alpha)),
+                }
+            )
+            # --- shape assertions ---
+            assert result.worst_ratio <= float(upper_bound(alpha)) + 1e-9
+            assert result.best_ratio >= 1.0 - 1e-9
+    report(
+        "worst_order",
+        format_table(
+            rows, title="Exact per-instance worst list order (n=5, m=8)"
+        ),
+    )
+    inst = _alpha_instance(Fraction(1, 2), 0)
+    benchmark(lambda: worst_order_exhaustive(inst).worst_ratio)
+
+
+def test_proposition2_touches_lower_curve(benchmark, report):
+    """On the crafted family the worst order reaches B1 exactly; random
+    instances above never get close — the gap the curves cannot show."""
+    fam = proposition2_instance(3)  # 5 jobs: exhaustive is feasible
+    result = worst_order_exhaustive(fam.instance)
+    b1 = lower_bound_b1(fam.alpha)
+    achieved = Fraction(result.worst_makespan, result.optimal_makespan)
+    assert achieved == b1 == Fraction(7, 3)
+    assert result.optimal_makespan == fam.optimal_makespan
+    report(
+        "worst_order_prop2",
+        f"Proposition 2 family k=3 (alpha=2/3): exhaustive worst order\n"
+        f"  worst LSRC = {result.worst_makespan}, C* = "
+        f"{result.optimal_makespan}, ratio = {achieved} = B1 = {b1}\n"
+        f"  ({result.orders_explored} orders evaluated)\n",
+    )
+
+    benchmark(lambda: worst_order_exhaustive(fam.instance).worst_makespan)

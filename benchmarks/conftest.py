@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or an extension
+the paper implies) and:
+
+* asserts the *shape* claims — who wins, by what factor, where the
+  crossovers fall — so a green run means the artifact reproduced;
+* writes the reproduced rows/series to ``benchmarks/results/<name>.txt``
+  (pytest captures stdout, so files are the durable record);
+* times the computational core via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report():
+    """Write a named report file and echo it (visible with ``-s``)."""
+
+    def _report(name: str, text: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n===== {name} =====\n{text}")
+        return str(path)
+
+    return _report

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's worst-case constructions interactively.
+
+Walks through the three families of the paper with real algorithm runs:
+
+1. Proposition 2 / Figure 3 — the α-restricted family where LSRC's list
+   order costs a factor ``2/α - 1 + α/2``;
+2. Section 2.2 — the FCFS ratio-``m`` trap;
+3. Theorem 2 tightness — the classical ``2 - 1/m`` family.
+
+Run:  python examples/adversarial_analysis.py [k]
+"""
+
+import sys
+from fractions import Fraction
+
+from repro.algorithms import ListScheduler, fcfs_schedule, list_schedule
+from repro.analysis import format_table
+from repro.theory import (
+    fcfs_worstcase_instance,
+    graham_ratio,
+    graham_tight_instance,
+    lower_bound_integer_case,
+    proposition2_instance,
+    upper_bound,
+)
+from repro.viz import render_gantt, save_svg
+
+
+def proposition2_demo(k: int) -> None:
+    fam = proposition2_instance(k)
+    print(f"== Proposition 2 family: k={k}, alpha=2/{k}, m={fam.instance.m} ==")
+    optimal = fam.optimal_schedule()
+    optimal.verify()
+    bad = list_schedule(fam.instance, order=fam.bad_order)
+    bad.verify()
+    print(f"optimal makespan     : {optimal.makespan}")
+    print(f"LSRC (bad order)     : {bad.makespan}")
+    print(f"ratio                : {Fraction(bad.makespan, optimal.makespan)}")
+    print(f"2/a - 1 + a/2        : {lower_bound_integer_case(fam.alpha)}")
+    print(f"upper bound 2/a      : {upper_bound(fam.alpha)}")
+    print()
+    print(render_gantt(optimal, width=70, max_rows=12, legend=False))
+    print()
+    print(render_gantt(bad, width=70, max_rows=12, legend=False))
+    for schedule, tag in ((optimal, "optimal"), (bad, "lsrc_bad")):
+        path = f"/tmp/prop2_k{k}_{tag}.svg"
+        save_svg(schedule, path)
+        print(f"saved SVG: {path}")
+    print()
+
+
+def fcfs_demo() -> None:
+    print("== FCFS has no constant guarantee (Section 2.2) ==")
+    rows = []
+    for m in (4, 8, 16):
+        fam = fcfs_worstcase_instance(m, K=200)
+        schedule = fcfs_schedule(fam.instance)
+        schedule.verify()
+        lsrc = ListScheduler().schedule(fam.instance)
+        rows.append(
+            {
+                "m": m,
+                "C*": fam.optimal_makespan,
+                "FCFS": schedule.makespan,
+                "FCFS ratio": round(schedule.makespan / fam.optimal_makespan, 2),
+                "LSRC ratio": round(lsrc.makespan / fam.optimal_makespan, 2),
+            }
+        )
+    print(format_table(rows))
+    print("FCFS degrades linearly in m; LSRC stays within 2 - 1/m.\n")
+
+
+def graham_demo() -> None:
+    print("== Theorem 2 tightness: ratio exactly 2 - 1/m ==")
+    rows = []
+    for m in (2, 4, 8):
+        fam = graham_tight_instance(m)
+        bad = list_schedule(fam.instance, order=fam.bad_order)
+        rows.append(
+            {
+                "m": m,
+                "C*": fam.optimal_makespan,
+                "LSRC(bad)": bad.makespan,
+                "ratio": str(Fraction(bad.makespan, fam.optimal_makespan)),
+                "2 - 1/m": str(graham_ratio(m)),
+            }
+        )
+    print(format_table(rows))
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    proposition2_demo(k)
+    fcfs_demo()
+    graham_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Scheduling algorithms for rigid jobs with reservations.
+
+========================  ====================================================
+registry name             algorithm
+========================  ====================================================
+``lsrc``                  list scheduling with resource constraints
+                          (Garey–Graham; the paper's analysed algorithm)
+``lsrc-lpt`` …            LSRC with a priority rule (lpt/spt/laf/widest)
+``seq``                   sequential earliest-fit placement in list order
+``fcfs``                  pure First Come First Served (no backfilling)
+``backfill-cons``         conservative backfilling
+``backfill-easy``         EASY backfilling
+``backfill-aggressive``   alias of ``lsrc`` (the paper's observation)
+``shelf-nf``/``shelf-ff`` shelf (strip-packing) heuristics
+``batch-lsrc``            online batch-doubling wrapper around LSRC
+``optimal``               exact branch-and-bound (small instances)
+========================  ====================================================
+"""
+
+from .backfilling import (
+    ConservativeBackfillScheduler,
+    EasyBackfillScheduler,
+    conservative_backfill,
+    easy_backfill,
+)
+from .base import (
+    Scheduler,
+    available_schedulers,
+    get_scheduler,
+    register,
+    schedule_with,
+)
+from .fcfs import FCFSScheduler, fcfs_schedule
+from .list_scheduling import (
+    ListScheduler,
+    SequentialPlacementScheduler,
+    list_schedule,
+)
+from .local_search import LocalSearchScheduler, local_search_schedule
+from .online import BatchDoublingScheduler, batch_doubling_schedule
+from .preemptive import (
+    PreemptivePiece,
+    PreemptiveSchedule,
+    preemptive_makespan,
+    preemptive_schedule,
+    price_of_nonpreemption,
+)
+from .optimal import (
+    OptimalResult,
+    OptimalScheduler,
+    branch_and_bound,
+    exhaustive_optimal,
+    optimal_makespan_m1,
+    optimal_schedule,
+)
+from .priority import RULES, explicit_order, get_rule, random_order
+from .shelf import (
+    FirstFitShelfScheduler,
+    NextFitShelfScheduler,
+    shelf_schedule,
+)
+
+__all__ = [
+    "Scheduler",
+    "register",
+    "get_scheduler",
+    "available_schedulers",
+    "schedule_with",
+    "ListScheduler",
+    "SequentialPlacementScheduler",
+    "list_schedule",
+    "FCFSScheduler",
+    "fcfs_schedule",
+    "ConservativeBackfillScheduler",
+    "EasyBackfillScheduler",
+    "conservative_backfill",
+    "easy_backfill",
+    "NextFitShelfScheduler",
+    "FirstFitShelfScheduler",
+    "shelf_schedule",
+    "BatchDoublingScheduler",
+    "batch_doubling_schedule",
+    "OptimalScheduler",
+    "OptimalResult",
+    "branch_and_bound",
+    "exhaustive_optimal",
+    "optimal_makespan_m1",
+    "optimal_schedule",
+    "RULES",
+    "get_rule",
+    "random_order",
+    "explicit_order",
+    "LocalSearchScheduler",
+    "local_search_schedule",
+    "PreemptiveSchedule",
+    "PreemptivePiece",
+    "preemptive_makespan",
+    "preemptive_schedule",
+    "price_of_nonpreemption",
+]

@@ -1,0 +1,83 @@
+"""Scheduler interface and registry.
+
+Every algorithm in this package is a :class:`Scheduler`: a named object
+whose :meth:`Scheduler.schedule` maps an instance (either flavour) to a
+verified-by-construction :class:`~repro.core.schedule.Schedule`.  A global
+registry provides lookup by name, which the experiment harness and the
+benchmarks use to iterate over algorithm sets.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Iterable, List
+
+from ..core.instance import ReservationInstance, as_reservation_instance
+from ..core.schedule import Schedule
+from ..errors import SchedulingError
+
+
+class Scheduler(abc.ABC):
+    """Abstract base class for makespan schedulers.
+
+    Subclasses implement :meth:`_run` on a
+    :class:`~repro.core.instance.ReservationInstance`; the public
+    :meth:`schedule` handles input coercion and tags the produced schedule
+    with the algorithm name.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def schedule(self, instance) -> Schedule:
+        """Produce a schedule for ``instance`` (rigid or with reservations)."""
+        inst = as_reservation_instance(instance)
+        schedule = self._run(inst)
+        schedule.algorithm = self.name
+        return schedule
+
+    @abc.abstractmethod
+    def _run(self, instance: ReservationInstance) -> Schedule:
+        """Algorithm body; must return a feasible schedule."""
+
+    def __call__(self, instance) -> Schedule:
+        return self.schedule(instance)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: Global name -> factory registry.
+_REGISTRY: Dict[str, Callable[[], Scheduler]] = {}
+
+
+def register(name: str, factory: Callable[[], Scheduler]) -> None:
+    """Register a scheduler factory under ``name`` (overwrites silently so
+    reloading modules in notebooks does not error)."""
+    _REGISTRY[name] = factory
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate the scheduler registered under ``name``.
+
+    Raises :class:`~repro.errors.SchedulingError` for unknown names, listing
+    the available ones.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SchedulingError(
+            f"unknown scheduler {name!r}; known schedulers: {known}"
+        ) from None
+    return factory()
+
+
+def available_schedulers() -> List[str]:
+    """Sorted names of all registered schedulers."""
+    return sorted(_REGISTRY)
+
+
+def schedule_with(names: Iterable[str], instance) -> Dict[str, Schedule]:
+    """Run several registered schedulers on one instance."""
+    return {name: get_scheduler(name).schedule(instance) for name in names}

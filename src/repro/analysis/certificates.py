@@ -1,0 +1,192 @@
+"""One-call re-verification of every claim in the paper.
+
+:func:`verify_paper_claims` runs the complete battery — Theorem 1's
+reduction, Proposition 1's transformation, Proposition 2's family,
+Proposition 3's envelope, Theorem 2 and Lemma 1 — each with fresh
+(seeded) randomness where applicable, and returns a structured report.
+``examples/verify_paper.py`` prints it; the test suite asserts every
+claim passes; CI-style usage is a single function call:
+
+    from repro.analysis import verify_paper_claims
+    report = verify_paper_claims(seed=0)
+    assert report.all_passed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List
+
+from ..algorithms import ListScheduler, branch_and_bound, list_schedule
+from ..algorithms.optimal import exhaustive_optimal, optimal_makespan_m1
+from ..core import ReservationInstance, lower_bound
+from ..errors import ReproError
+
+
+@dataclass
+class ClaimResult:
+    """Outcome of re-checking one claim."""
+
+    claim: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class PaperReport:
+    """All claim results of one verification run."""
+
+    results: List[ClaimResult] = field(default_factory=list)
+    seed: int = 0
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def as_rows(self) -> List[Dict]:
+        return [
+            {"claim": r.claim, "passed": r.passed, "detail": r.detail}
+            for r in self.results
+        ]
+
+
+def _claim(report: PaperReport, name: str, fn: Callable[[], str]) -> None:
+    try:
+        detail = fn()
+        report.results.append(ClaimResult(name, True, detail))
+    except (AssertionError, ReproError) as exc:
+        report.results.append(ClaimResult(name, False, str(exc)))
+
+
+def verify_paper_claims(seed: int = 0, thorough: bool = False) -> PaperReport:
+    """Re-run every paper claim; ``thorough`` enlarges the random batteries."""
+    report = PaperReport(seed=seed)
+    trials = 8 if thorough else 4
+
+    # ---- Theorem 1 / Figure 1 ------------------------------------------
+    def thm1() -> str:
+        from ..theory import (
+            blocked_horizon,
+            random_no_3partition,
+            random_yes_3partition,
+            reduction_yes_makespan,
+            three_partition_reduction,
+        )
+
+        yes_vals, B = random_yes_3partition(2, 40, seed=seed)
+        no_vals, _ = random_no_3partition(2, 40, seed=seed + 1)
+        target = reduction_yes_makespan(2, B)
+        yes_c = optimal_makespan_m1(three_partition_reduction(yes_vals, B, rho=2))
+        no_c = optimal_makespan_m1(three_partition_reduction(no_vals, B, rho=2))
+        assert yes_c == target, f"yes-instance missed target: {yes_c} != {target}"
+        assert no_c > blocked_horizon(2, B, 2), "no-instance not pushed past blocker"
+        return f"yes hits {target}; no overflows to {no_c}"
+
+    _claim(report, "Theorem 1 (3-PARTITION reduction)", thm1)
+
+    # ---- Proposition 1 / Figure 2 --------------------------------------
+    def prop1() -> str:
+        from ..theory import proposition1_certify
+        from ..workloads import nonincreasing_staircase, uniform_instance
+
+        checked = 0
+        for s in range(trials):
+            jobs = uniform_instance(
+                5, 8, p_range=(1, 5), q_range=(1, 4), seed=seed + s
+            ).jobs
+            stairs = nonincreasing_staircase(8, 2, horizon=10, seed=seed + s)
+            inst = ReservationInstance(m=8, jobs=jobs, reservations=stairs)
+            cstar = branch_and_bound(inst).makespan
+            cert = proposition1_certify(inst, cstar)
+            assert cert.holds, f"Proposition 1 failed at seed {seed + s}"
+            checked += 1
+        return f"bound + I'=I'' identity on {checked} staircase instances"
+
+    _claim(report, "Proposition 1 (non-increasing reservations)", prop1)
+
+    # ---- Proposition 2 / Figure 3 --------------------------------------
+    def prop2() -> str:
+        from ..theory import lower_bound_integer_case, proposition2_instance
+
+        for k in (3, 6):
+            fam = proposition2_instance(k)
+            opt = fam.optimal_schedule()
+            opt.verify()
+            bad = list_schedule(fam.instance, order=fam.bad_order)
+            bad.verify()
+            assert opt.makespan == k
+            assert bad.makespan == 1 + k * (k - 1)
+            assert Fraction(bad.makespan, opt.makespan) == (
+                lower_bound_integer_case(Fraction(2, k))
+            )
+        return "exact ratios 7/3 (k=3) and 31/6 (k=6, Figure 3)"
+
+    _claim(report, "Proposition 2 (lower-bound family)", prop2)
+
+    # ---- Proposition 3 --------------------------------------------------
+    def prop3() -> str:
+        from ..theory import upper_bound
+        from ..workloads import (
+            alpha_constrained_instance,
+            random_alpha_reservations,
+        )
+
+        alpha = Fraction(1, 2)
+        for s in range(trials):
+            jobs = alpha_constrained_instance(
+                5, 8, alpha, p_range=(1, 6), seed=seed + s
+            ).jobs
+            res = random_alpha_reservations(
+                8, alpha, horizon=30, count=3, seed=seed + s + 50
+            )
+            inst = ReservationInstance(m=8, jobs=jobs, reservations=res)
+            inst.validate_alpha(alpha)
+            lsrc = ListScheduler().schedule(inst)
+            opt = branch_and_bound(inst).makespan
+            assert lsrc.makespan <= upper_bound(alpha) * opt + 1e-9
+        return f"LSRC <= (2/alpha) C* on {trials} alpha=1/2 instances"
+
+    _claim(report, "Proposition 3 (2/alpha upper bound)", prop3)
+
+    # ---- Theorem 2 + Lemma 1 --------------------------------------------
+    def thm2() -> str:
+        from ..theory import graham_ratio, lemma1_violations
+        from ..workloads import uniform_instance
+
+        for s in range(trials):
+            inst = uniform_instance(5, 4, p_range=(1, 6), seed=seed + s)
+            sched = ListScheduler().schedule(inst)
+            assert lemma1_violations(sched) == [], "Lemma 1 violated"
+            cstar = exhaustive_optimal(inst).makespan
+            assert sched.makespan <= graham_ratio(4) * cstar + 1e-9
+        return f"2 - 1/m bound + Lemma 1 on {trials} instances"
+
+    _claim(report, "Theorem 2 + Lemma 1 (Graham bound)", thm2)
+
+    # ---- Figure 4 ordering ------------------------------------------------
+    def fig4() -> str:
+        from ..theory import lower_bound_b1, lower_bound_b2, upper_bound
+
+        for i in range(5, 101, 5):
+            a = Fraction(i, 100)
+            assert upper_bound(a) >= lower_bound_b1(a) >= lower_bound_b2(a) > 1
+        return "2/alpha >= B1 >= B2 > 1 across the alpha grid"
+
+    _claim(report, "Figure 4 (bound ordering)", fig4)
+
+    # ---- Section 2.2: FCFS unbounded ------------------------------------
+    def fcfs() -> str:
+        from ..algorithms import fcfs_schedule
+        from ..theory import fcfs_worstcase_instance
+
+        fam = fcfs_worstcase_instance(8, K=200)
+        s = fcfs_schedule(fam.instance)
+        assert s.makespan == fam.fcfs_makespan
+        ratio = s.makespan / fam.optimal_makespan
+        assert ratio > 7.5
+        return f"FCFS ratio {ratio:.2f} -> m = 8 on the trap family"
+
+    _claim(report, "Section 2.2 (FCFS has no constant guarantee)", fcfs)
+
+    return report

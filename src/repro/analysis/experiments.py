@@ -1,0 +1,86 @@
+"""Parameter-sweep experiment runner.
+
+A light harness for the benchmarks: declare factors (named value lists),
+give a ``runner(point) -> dict`` callback, and get one merged result row
+per factor combination.  Deterministic iteration order and an explicit
+per-point derived seed keep every experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One factor combination, with a stable derived seed."""
+
+    values: Mapping[str, object]
+    index: int
+
+    def __getitem__(self, key):
+        return self.values[key]
+
+    @property
+    def seed(self) -> int:
+        """Deterministic seed derived from the point's position and values."""
+        basis = tuple(sorted((k, repr(v)) for k, v in self.values.items()))
+        return abs(hash((self.index,) + basis)) % (2**31)
+
+
+@dataclass
+class SweepResult:
+    """All result rows of a sweep, with provenance."""
+
+    rows: List[Dict] = field(default_factory=list)
+    factors: Dict[str, Sequence] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def column(self, name: str) -> List:
+        return [row[name] for row in self.rows]
+
+    def filtered(self, **conditions) -> List[Dict]:
+        """Rows matching all ``column=value`` conditions."""
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in conditions.items()):
+                out.append(row)
+        return out
+
+
+def run_sweep(
+    factors: Mapping[str, Sequence],
+    runner: Callable[[SweepPoint], Dict],
+    repeats: int = 1,
+) -> SweepResult:
+    """Run ``runner`` on the cartesian product of factors.
+
+    Each produced row contains the factor values, the repeat index and
+    whatever the runner returned (runner keys win on collision so runners
+    can override e.g. a derived label).
+    """
+    if repeats < 1:
+        raise InvalidInstanceError("repeats must be >= 1")
+    names = list(factors)
+    if not names:
+        raise InvalidInstanceError("sweep needs at least one factor")
+    started = _time.perf_counter()
+    result = SweepResult(factors={k: list(v) for k, v in factors.items()})
+    index = 0
+    for combo in itertools.product(*(factors[name] for name in names)):
+        for rep in range(repeats):
+            point = SweepPoint(
+                values={**dict(zip(names, combo)), "repeat": rep},
+                index=index,
+            )
+            index += 1
+            row = dict(point.values)
+            row.update(runner(point))
+            result.rows.append(row)
+    result.elapsed_seconds = _time.perf_counter() - started
+    return result

@@ -1,0 +1,131 @@
+"""ASCII line plots (matplotlib is unavailable offline).
+
+Figure 4 of the paper is a plot of three curves against α; the benchmark
+regenerates it as an ASCII chart plus a CSV series.  The renderer handles
+multiple named series, custom canvas size, and marks each series with its
+own glyph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidInstanceError
+
+Series = Sequence[Tuple[float, float]]
+
+#: glyphs assigned to series in order
+GLYPHS = "*+x@o#%&"
+
+
+def ascii_plot(
+    series: Dict[str, Series],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "",
+    y_label: str = "",
+    y_max: Optional[float] = None,
+    y_min: Optional[float] = None,
+) -> str:
+    """Render named ``(x, y)`` series on one ASCII canvas.
+
+    ``y_max`` clips large values (the paper clips Figure 4's y-axis at 10
+    because the bounds diverge as α -> 0).
+    """
+    if not series:
+        raise InvalidInstanceError("no series to plot")
+    if width < 16 or height < 4:
+        raise InvalidInstanceError("canvas too small")
+    points = [
+        (x, y) for pts in series.values() for (x, y) in pts
+        if _finite(x) and _finite(y)
+    ]
+    if not points:
+        raise InvalidInstanceError("series contain no finite points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(ys) if y_min is None else y_min
+    y_hi = max(ys) if y_max is None else y_max
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, int((x - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(y: float) -> Optional[int]:
+        if y > y_hi or y < y_lo:
+            return None
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return height - 1 - min(height - 1, max(0, int(frac * (height - 1))))
+
+    for idx, (name, pts) in enumerate(series.items()):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        for x, y in pts:
+            if not (_finite(x) and _finite(y)):
+                continue
+            row = to_row(y)
+            if row is None:
+                continue
+            canvas[row][to_col(x)] = glyph
+
+    lines: List[str] = []
+    label_w = max(len(f"{y_hi:.3g}"), len(f"{y_lo:.3g}"))
+    for r in range(height):
+        y_here = y_hi - (y_hi - y_lo) * r / (height - 1)
+        prefix = (
+            f"{y_here:.3g}".rjust(label_w) + " |"
+            if r % max(1, height // 5) == 0 or r == height - 1
+            else " " * label_w + " |"
+        )
+        lines.append(prefix + "".join(canvas[r]))
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width // 2) + f"{x_hi:.3g}".rjust(width // 2)
+    lines.append(" " * (label_w + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (label_w + 2) + x_label.center(width))
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {name}" for i, name in enumerate(series)
+    )
+    header = (f"{y_label}" if y_label else "") + ("   " if y_label else "") + legend
+    return header + "\n" + "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal-bar histogram of a sample."""
+    if not values:
+        raise InvalidInstanceError("no values to histogram")
+    if bins < 1:
+        raise InvalidInstanceError("bins must be >= 1")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / (hi - lo) * bins))
+        counts[idx] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for i, c in enumerate(counts):
+        b_lo = lo + (hi - lo) * i / bins
+        b_hi = lo + (hi - lo) * (i + 1) / bins
+        bar = "#" * (int(c / peak * width) if peak else 0)
+        lines.append(f"[{b_lo:9.3g}, {b_hi:9.3g}) {str(c).rjust(6)} {bar}")
+    return "\n".join(lines)
+
+
+def _finite(v) -> bool:
+    try:
+        return math.isfinite(float(v))
+    except (TypeError, ValueError, OverflowError):
+        return False

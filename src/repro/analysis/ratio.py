@@ -1,0 +1,125 @@
+"""Empirical approximation-ratio measurement.
+
+The paper proves worst-case ratios; the natural empirical companion —
+what a systems evaluation would report — is the distribution of
+``Cmax(A) / reference`` over workload samples, where the reference is
+either a certified lower bound (cheap, always available; yields an upper
+estimate of the true ratio) or the exact optimum (small instances only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..algorithms.base import Scheduler, get_scheduler
+from ..algorithms.optimal import branch_and_bound
+from ..core.bounds import lower_bound
+from ..core.instance import as_reservation_instance
+from ..errors import InvalidInstanceError
+from .stats import Summary, describe, geometric_mean
+
+
+@dataclass(frozen=True)
+class RatioSample:
+    """One (algorithm, instance) measurement."""
+
+    algorithm: str
+    instance_name: str
+    makespan: float
+    reference: float
+    ratio: float
+    reference_kind: str  # "lb" or "opt"
+
+
+@dataclass
+class RatioReport:
+    """Aggregated ratios for one algorithm over an instance set."""
+
+    algorithm: str
+    samples: List[RatioSample]
+
+    @property
+    def summary(self) -> Summary:
+        return describe([s.ratio for s in self.samples])
+
+    @property
+    def geo_mean(self) -> float:
+        return geometric_mean([s.ratio for s in self.samples])
+
+    @property
+    def worst(self) -> RatioSample:
+        return max(self.samples, key=lambda s: s.ratio)
+
+    def as_row(self) -> Dict:
+        s = self.summary
+        return {
+            "algorithm": self.algorithm,
+            "n": s.n,
+            "mean_ratio": s.mean,
+            "geo_mean": self.geo_mean,
+            "max_ratio": s.maximum,
+            "min_ratio": s.minimum,
+        }
+
+
+def measure_ratio(
+    scheduler: Scheduler | str,
+    instances: Iterable,
+    reference: str = "lb",
+    node_limit: int = 500_000,
+    verify: bool = True,
+) -> RatioReport:
+    """Run a scheduler over instances and measure makespan ratios.
+
+    ``reference="lb"`` divides by :func:`repro.core.bounds.lower_bound`
+    (an upper estimate of the true ratio); ``reference="opt"`` divides by
+    the exact branch-and-bound optimum (use small instances).
+    """
+    if isinstance(scheduler, str):
+        scheduler = get_scheduler(scheduler)
+    if reference not in ("lb", "opt"):
+        raise InvalidInstanceError(
+            f"reference must be 'lb' or 'opt', got {reference!r}"
+        )
+    samples: List[RatioSample] = []
+    for inst in instances:
+        inst = as_reservation_instance(inst)
+        sched = scheduler.schedule(inst)
+        if verify:
+            sched.verify()
+        if reference == "lb":
+            ref = lower_bound(inst)
+        else:
+            ref = branch_and_bound(inst, node_limit=node_limit).makespan
+        if ref <= 0:
+            raise InvalidInstanceError(
+                f"degenerate reference {ref!r} for {inst!r}"
+            )
+        samples.append(
+            RatioSample(
+                algorithm=scheduler.name,
+                instance_name=inst.name or repr(inst),
+                makespan=float(sched.makespan),
+                reference=float(ref),
+                ratio=float(sched.makespan) / float(ref),
+                reference_kind=reference,
+            )
+        )
+    return RatioReport(algorithm=scheduler.name, samples=samples)
+
+
+def compare_algorithms(
+    names: Sequence[str],
+    instances: Sequence,
+    reference: str = "lb",
+) -> List[Dict]:
+    """Ratio table rows for several registered algorithms on the same
+    instance set (instances are materialised once so every algorithm sees
+    the identical workload)."""
+    pool = [as_reservation_instance(i) for i in instances]
+    rows = []
+    for name in names:
+        report = measure_ratio(name, pool, reference=reference)
+        rows.append(report.as_row())
+    return rows

@@ -1,0 +1,118 @@
+"""Summary statistics for experiment results.
+
+Thin, dependency-light helpers (scipy is used for the t quantile when
+available, with a normal-approximation fallback) so benchmark output can
+report means with confidence intervals instead of bare numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import InvalidInstanceError
+
+try:  # pragma: no cover - exercised through describe()
+    from scipy import stats as _scipy_stats
+except Exception:  # pragma: no cover - scipy is installed in CI
+    _scipy_stats = None
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.4g} ± {(self.ci_high - self.mean):.2g} "
+            f"(95% CI), n={self.n}, range=[{self.minimum:.4g}, "
+            f"{self.maximum:.4g}]"
+        )
+
+
+def mean(xs: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not xs:
+        raise InvalidInstanceError("mean of empty sample")
+    return sum(xs) / len(xs)
+
+
+def std(xs: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator; 0 for n < 2)."""
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mu = mean(xs)
+    return math.sqrt(sum((x - mu) ** 2 for x in xs) / (n - 1))
+
+
+def _t_quantile(df: int, confidence: float) -> float:
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2, df))
+    # normal approximation fallback (fine for df >= 30)
+    return 1.959963984540054
+
+
+def confidence_interval(
+    xs: Sequence[float], confidence: float = 0.95
+) -> tuple:
+    """Two-sided t confidence interval for the mean."""
+    n = len(xs)
+    if n == 0:
+        raise InvalidInstanceError("CI of empty sample")
+    mu = mean(xs)
+    if n == 1:
+        return (mu, mu)
+    half = _t_quantile(n - 1, confidence) * std(xs) / math.sqrt(n)
+    return (mu - half, mu + half)
+
+
+def describe(xs: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Full summary of a sample."""
+    if not xs:
+        raise InvalidInstanceError("describe of empty sample")
+    lo, hi = confidence_interval(xs, confidence)
+    return Summary(
+        n=len(xs),
+        mean=mean(xs),
+        std=std(xs),
+        minimum=min(xs),
+        maximum=max(xs),
+        ci_low=lo,
+        ci_high=hi,
+    )
+
+
+def quantile(xs: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile, ``q`` in [0, 1]."""
+    if not xs:
+        raise InvalidInstanceError("quantile of empty sample")
+    if not 0 <= q <= 1:
+        raise InvalidInstanceError(f"q must lie in [0, 1], got {q}")
+    ys = sorted(xs)
+    pos = q * (len(ys) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ys[lo]
+    frac = pos - lo
+    return ys[lo] * (1 - frac) + ys[hi] * frac
+
+
+def geometric_mean(xs: Sequence[float]) -> float:
+    """Geometric mean (all values must be positive) — the conventional
+    aggregate for performance *ratios*."""
+    if not xs:
+        raise InvalidInstanceError("geometric mean of empty sample")
+    if any(x <= 0 for x in xs):
+        raise InvalidInstanceError("geometric mean needs positive values")
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))

@@ -1,0 +1,91 @@
+"""Result tables: fixed-width text, Markdown and CSV rendering.
+
+The benchmark harness prints the rows the paper's figures encode; these
+helpers keep that output aligned, diff-able and machine-readable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def _format_cell(value, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    float_fmt: str = ".4g",
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned fixed-width table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [
+        [_format_cell(row.get(c, ""), float_fmt) for c in cols] for row in rows
+    ]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in cells:
+        out.write("  ".join(v.ljust(w) for v, w in zip(r, widths)) + "\n")
+    return out.getvalue()
+
+
+def format_markdown(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render dict rows as a GitHub-flavoured Markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    out = io.StringIO()
+    out.write("| " + " | ".join(cols) + " |\n")
+    out.write("|" + "|".join("---" for _ in cols) + "|\n")
+    for row in rows:
+        out.write(
+            "| "
+            + " | ".join(_format_cell(row.get(c, ""), float_fmt) for c in cols)
+            + " |\n"
+        )
+    return out.getvalue()
+
+
+def write_csv(
+    rows: Sequence[Dict],
+    path: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialise dict rows to CSV text (and to ``path`` when given)."""
+    rows = list(rows)
+    cols = list(columns) if columns else (list(rows[0].keys()) if rows else [])
+    out = io.StringIO()
+    writer = csv.DictWriter(
+        out, fieldnames=cols, extrasaction="ignore", lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({c: row.get(c, "") for c in cols})
+    text = out.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as fh:
+            fh.write(text)
+    return text

@@ -1,0 +1,366 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library a batch-system-operator surface:
+
+========== =========================================================
+command     action
+========== =========================================================
+schedule    run an algorithm on an instance JSON file
+optimal     exact branch-and-bound on an instance JSON file
+bounds      print the Figure 4 bound values at given α
+figure      regenerate a paper figure (1-4) in the terminal
+generate    write a random workload instance JSON
+gantt       render a schedule JSON as an ASCII Gantt chart
+simulate    online simulation of an instance with a policy
+swf         convert an SWF trace to instance JSON
+info        characterize a workload instance
+list        list registered algorithms
+========== =========================================================
+
+Every command reads/writes the JSON formats of
+:mod:`repro.core.serialize`, so outputs chain into inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import List, Optional
+
+from . import __version__
+from .algorithms import available_schedulers, branch_and_bound, get_scheduler
+from .analysis import format_table
+from .core import lower_bound, summarize
+from .core.serialize import (
+    dumps_instance,
+    dumps_schedule,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+)
+from .errors import ReproError
+
+
+def _cmd_schedule(args) -> int:
+    instance = load_instance(args.instance)
+    scheduler = get_scheduler(args.algorithm)
+    schedule = scheduler.schedule(instance)
+    schedule.verify()
+    metrics = summarize(schedule)
+    print(
+        f"{scheduler.name}: Cmax={metrics.makespan}  "
+        f"LB={lower_bound(instance)}  util={metrics.utilization:.3f}"
+    )
+    if args.output:
+        save_schedule(schedule, args.output)
+        print(f"schedule written to {args.output}")
+    else:
+        print(dumps_schedule(schedule))
+    return 0
+
+
+def _cmd_optimal(args) -> int:
+    instance = load_instance(args.instance)
+    result = branch_and_bound(instance, node_limit=args.node_limit)
+    result.schedule.verify()
+    print(
+        f"optimal Cmax={result.makespan}  nodes={result.nodes}  "
+        f"proven={result.proven_optimal}"
+    )
+    if args.output:
+        save_schedule(result.schedule, args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _parse_alpha(token: str) -> Fraction:
+    if "/" in token:
+        num, den = token.split("/", 1)
+        return Fraction(int(num), int(den))
+    return Fraction(token)
+
+
+def _cmd_bounds(args) -> int:
+    from .theory import lower_bound_b1, lower_bound_b2, upper_bound
+
+    rows = []
+    for token in args.alpha:
+        a = _parse_alpha(token)
+        rows.append(
+            {
+                "alpha": token,
+                "upper 2/a": str(upper_bound(a)),
+                "B1": str(lower_bound_b1(a)),
+                "B2": str(lower_bound_b2(a)),
+            }
+        )
+    print(format_table(rows, title="alpha-RESASCHEDULING bounds"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .viz import render_gantt
+
+    if args.number == 1:
+        from .algorithms import optimal_makespan_m1
+        from .theory import (
+            random_yes_3partition,
+            reduction_yes_makespan,
+            three_partition_reduction,
+        )
+
+        vals, bound = random_yes_3partition(args.k, 60, seed=args.seed)
+        inst = three_partition_reduction(vals, bound, rho=2)
+        target = reduction_yes_makespan(args.k, bound)
+        achieved = optimal_makespan_m1(inst)
+        print(f"Figure 1: 3-PARTITION reduction, k={args.k}, B={bound}")
+        print(f"target makespan k(B+1)-1 = {target}; solved = {achieved}")
+        print("yes-instance scheduled into the gaps exactly" if
+              achieved == target else "MISMATCH")
+    elif args.number == 2:
+        from .algorithms import ListScheduler
+        from .core import ReservationInstance
+        from .workloads import nonincreasing_staircase, uniform_instance
+
+        jobs = uniform_instance(6, 8, p_range=(1, 6), q_range=(1, 4),
+                                seed=args.seed).jobs
+        stairs = nonincreasing_staircase(8, 3, horizon=10, seed=args.seed)
+        inst = ReservationInstance(m=8, jobs=jobs, reservations=stairs)
+        schedule = ListScheduler().schedule(inst)
+        print("Figure 2: non-increasing reservations, LSRC schedule")
+        print(render_gantt(schedule, width=70))
+    elif args.number == 3:
+        from .algorithms import list_schedule
+        from .theory import proposition2_instance
+
+        fam = proposition2_instance(args.k if args.k >= 3 else 6)
+        optimal = fam.optimal_schedule()
+        bad = list_schedule(fam.instance, order=fam.bad_order)
+        print(f"Figure 3: k={fam.k}, alpha=2/{fam.k}, m={fam.instance.m}")
+        print(render_gantt(optimal, width=70, max_rows=10, legend=False))
+        print()
+        print(render_gantt(bad, width=70, max_rows=10, legend=False))
+        print(f"\nC*={optimal.makespan}  LSRC(bad)={bad.makespan}  "
+              f"ratio={Fraction(bad.makespan, optimal.makespan)}")
+    elif args.number == 4:
+        from .analysis import ascii_plot
+        from .theory import default_alpha_grid, figure4_series
+
+        rows = figure4_series(default_alpha_grid(160, lo=0.2))
+        print(
+            ascii_plot(
+                {
+                    "upper 2/a": [(r.alpha, r.upper) for r in rows],
+                    "B1": [(r.alpha, r.b1) for r in rows],
+                    "B2": [(r.alpha, r.b2) for r in rows],
+                },
+                width=72, height=20, y_max=10.0, y_min=0.0,
+                x_label="alpha", y_label="guarantee",
+            )
+        )
+    else:
+        print(f"unknown figure {args.number}; the paper has figures 1-4",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .core import ReservationInstance
+    from .workloads import (
+        alpha_constrained_instance,
+        feitelson_instance,
+        random_alpha_reservations,
+        uniform_instance,
+    )
+
+    reservations = ()
+    if args.alpha is not None:
+        # the alpha restriction constrains BOTH sides (Section 4.2):
+        # job widths <= alpha*m and reservations <= (1-alpha)*m
+        alpha = _parse_alpha(args.alpha)
+        rigid = alpha_constrained_instance(
+            args.jobs, args.machines, alpha, seed=args.seed
+        )
+        reservations = random_alpha_reservations(
+            args.machines, alpha, horizon=args.horizon,
+            count=args.reservations, seed=args.seed + 1,
+        )
+    elif args.model == "uniform":
+        rigid = uniform_instance(args.jobs, args.machines, seed=args.seed)
+    else:
+        rigid = feitelson_instance(args.jobs, args.machines, seed=args.seed)
+    instance = ReservationInstance(
+        m=args.machines, jobs=rigid.jobs, reservations=reservations,
+        name=f"{args.model}(n={args.jobs},m={args.machines})",
+    )
+    if args.output:
+        save_instance(instance, args.output)
+        print(f"instance written to {args.output}")
+    else:
+        print(dumps_instance(instance))
+    return 0
+
+
+def _cmd_gantt(args) -> int:
+    from .viz import render_gantt, save_svg
+
+    schedule = load_schedule(args.schedule)
+    print(render_gantt(schedule, width=args.width))
+    if args.svg:
+        save_svg(schedule, args.svg)
+        print(f"SVG written to {args.svg}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .simulation import simulate
+
+    instance = load_instance(args.instance)
+    result = simulate(instance, args.policy)
+    result.schedule.verify()
+    metrics = summarize(result.schedule)
+    print(
+        f"online {args.policy}: Cmax={metrics.makespan:.6g}  "
+        f"mean_wait={metrics.mean_wait:.6g}  events={len(result.trace)}"
+    )
+    if args.output:
+        save_schedule(result.schedule, args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _cmd_swf(args) -> int:
+    from .workloads import read_swf
+
+    with open(args.trace) as fh:
+        report = read_swf(
+            fh, m=args.machines, max_jobs=args.max_jobs,
+            use_release=not args.offline,
+        )
+    print(
+        f"parsed {report.instance.n} jobs on m={report.instance.m} "
+        f"({len(report.skipped)} skipped)"
+    )
+    instance = report.instance.to_reservation_instance()
+    if args.output:
+        save_instance(instance, args.output)
+        print(f"instance written to {args.output}")
+    else:
+        print(dumps_instance(instance))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .workloads.characterize import characterize
+
+    instance = load_instance(args.instance)
+    profile = characterize(instance)
+    print(format_table([profile.as_dict()], title=f"workload {args.instance}"))
+    print(f"lower bound on C*max: {lower_bound(instance)}")
+    print(f"alpha window: [{instance.min_alpha}, {instance.max_alpha}]")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    for name in available_schedulers():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Scheduling rigid parallel jobs with reservations "
+            "(IPDPS'07 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="run an algorithm on an instance")
+    p.add_argument("instance", help="instance JSON file")
+    p.add_argument("-a", "--algorithm", default="lsrc")
+    p.add_argument("-o", "--output", help="write schedule JSON here")
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("optimal", help="exact branch-and-bound")
+    p.add_argument("instance")
+    p.add_argument("-o", "--output")
+    p.add_argument("--node-limit", type=int, default=2_000_000)
+    p.set_defaults(func=_cmd_optimal)
+
+    p = sub.add_parser("bounds", help="Figure 4 bound values")
+    p.add_argument("alpha", nargs="+", help="e.g. 0.5 or 2/3")
+    p.set_defaults(func=_cmd_bounds)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure (1-4)")
+    p.add_argument("number", type=int)
+    p.add_argument("--k", type=int, default=3, help="family parameter")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("generate", help="generate a workload instance")
+    p.add_argument("-n", "--jobs", type=int, default=20)
+    p.add_argument("-m", "--machines", type=int, default=16)
+    p.add_argument("--model", choices=["uniform", "feitelson"],
+                   default="uniform")
+    p.add_argument("--alpha", help="add alpha-budgeted reservations")
+    p.add_argument("--reservations", type=int, default=4)
+    p.add_argument("--horizon", type=float, default=200.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("gantt", help="render a schedule JSON")
+    p.add_argument("schedule")
+    p.add_argument("--width", type=int, default=78)
+    p.add_argument("--svg", help="also write an SVG here")
+    p.set_defaults(func=_cmd_gantt)
+
+    p = sub.add_parser("simulate", help="online simulation")
+    p.add_argument("instance")
+    p.add_argument(
+        "-p", "--policy", default="greedy",
+        choices=["fcfs", "easy", "conservative", "greedy"],
+    )
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("swf", help="convert an SWF trace")
+    p.add_argument("trace")
+    p.add_argument("-m", "--machines", type=int)
+    p.add_argument("--max-jobs", type=int)
+    p.add_argument("--offline", action="store_true",
+                   help="drop submit times")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_swf)
+
+    p = sub.add_parser("info", help="characterize a workload")
+    p.add_argument("instance")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("list", help="list registered algorithms")
+    p.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

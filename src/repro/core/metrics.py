@@ -1,0 +1,127 @@
+"""Schedule quality metrics beyond the makespan.
+
+The paper's criterion is the makespan, but production batch schedulers
+(the motivation of Section 1) are additionally judged on utilization,
+waiting time and slowdown; the examples and the online simulator report
+these.  All metrics are exact sums/maxima over the schedule's event
+structure — no sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Summary statistics of a schedule.
+
+    Attributes
+    ----------
+    makespan:
+        ``Cmax`` — latest job completion.
+    total_work:
+        ``W`` — total job area processed.
+    utilization:
+        ``W / (m * Cmax)``: fraction of the raw machine used by jobs.
+    available_utilization:
+        ``W / available_area``: fraction of the *reservation-free* capacity
+        in ``[0, Cmax)`` used by jobs.  Equals ``utilization`` when there
+        are no reservations.
+    mean_wait / max_wait:
+        Waiting time ``sigma_i - release_i`` statistics.
+    mean_slowdown / max_slowdown:
+        Bounded slowdown ``(wait + p) / p`` statistics (>= 1).
+    idle_area:
+        Capacity left unused by jobs within ``[0, Cmax)``, reservations
+        excluded: ``available_area - W``.
+    n_jobs:
+        Number of jobs.
+    """
+
+    makespan: float
+    total_work: float
+    utilization: float
+    available_utilization: float
+    mean_wait: float
+    max_wait: float
+    mean_slowdown: float
+    max_slowdown: float
+    idle_area: float
+    n_jobs: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain dict, handy for table rows and CSV export."""
+        return {
+            "makespan": self.makespan,
+            "total_work": self.total_work,
+            "utilization": self.utilization,
+            "available_utilization": self.available_utilization,
+            "mean_wait": self.mean_wait,
+            "max_wait": self.max_wait,
+            "mean_slowdown": self.mean_slowdown,
+            "max_slowdown": self.max_slowdown,
+            "idle_area": self.idle_area,
+            "n_jobs": self.n_jobs,
+        }
+
+
+def waiting_times(schedule: Schedule) -> List:
+    """Per-job waiting times ``sigma_i - release_i``."""
+    inst = schedule.instance
+    return [
+        schedule.starts[job.id] - job.release for job in inst.jobs
+    ]
+
+
+def slowdowns(schedule: Schedule) -> List:
+    """Per-job slowdowns ``(wait_i + p_i) / p_i``; 1.0 means no wait."""
+    inst = schedule.instance
+    result = []
+    for job in inst.jobs:
+        wait = schedule.starts[job.id] - job.release
+        result.append((wait + job.p) / job.p)
+    return result
+
+
+def utilization(schedule: Schedule) -> float:
+    """``W / (m * Cmax)``: raw machine utilization by jobs."""
+    cmax = schedule.makespan
+    if cmax == 0:
+        return 0.0
+    inst = schedule.instance
+    return inst.total_work / (inst.m * cmax)
+
+
+def available_area(schedule: Schedule):
+    """Reservation-free capacity area within ``[0, Cmax)``."""
+    cmax = schedule.makespan
+    if cmax == 0:
+        return 0
+    return schedule.instance.availability_profile().area(0, cmax)
+
+
+def summarize(schedule: Schedule) -> ScheduleMetrics:
+    """Compute every metric at once."""
+    inst = schedule.instance
+    cmax = schedule.makespan
+    work = inst.total_work
+    waits = waiting_times(schedule)
+    slows = slowdowns(schedule)
+    avail = available_area(schedule)
+    n = len(waits)
+    return ScheduleMetrics(
+        makespan=cmax,
+        total_work=work,
+        utilization=(work / (inst.m * cmax)) if cmax else 0.0,
+        available_utilization=(work / avail) if avail else 0.0,
+        mean_wait=(sum(waits) / n) if n else 0.0,
+        max_wait=max(waits) if waits else 0.0,
+        mean_slowdown=(sum(slows) / n) if n else 0.0,
+        max_slowdown=max(slows) if slows else 0.0,
+        idle_area=avail - work,
+        n_jobs=n,
+    )

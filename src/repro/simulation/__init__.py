@@ -1,0 +1,43 @@
+"""Discrete-event online cluster simulation (built from scratch).
+
+* :mod:`repro.simulation.engine` — generic calendar-queue event loop;
+* :mod:`repro.simulation.cluster` — resource-manager state (profile,
+  queue, running set);
+* :mod:`repro.simulation.online_sim` — online policies (fcfs, easy,
+  conservative, greedy/LSRC) driven by the engine, producing verified
+  schedules plus event traces.
+"""
+
+from .cluster import ClusterState, RunningJob
+from .engine import SimulationError, Simulator
+from .online_sim import (
+    POLICIES,
+    OnlineSimulation,
+    SimulationResult,
+    TraceEvent,
+    simulate,
+)
+from .timeline import (
+    TimelineSummary,
+    queue_length_timeline,
+    running_count_timeline,
+    summarize_timeline,
+    utilization_timeline,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "ClusterState",
+    "RunningJob",
+    "OnlineSimulation",
+    "SimulationResult",
+    "TraceEvent",
+    "simulate",
+    "POLICIES",
+    "TimelineSummary",
+    "queue_length_timeline",
+    "running_count_timeline",
+    "utilization_timeline",
+    "summarize_timeline",
+]

@@ -1,0 +1,134 @@
+"""A minimal discrete-event simulation engine.
+
+The online experiments need an event loop (job arrivals, completions,
+reservation boundaries).  External simulators (simpy, SimGrid, Batsim)
+are out of scope for a from-scratch reproduction, so this module provides
+the classical calendar-queue engine: a priority queue of timestamped
+events with deterministic FIFO tie-breaking, a clock, and a run loop.
+
+The engine is deliberately generic — callbacks receive the simulator so
+they can schedule further events — and is reused by the online cluster
+simulation in :mod:`repro.simulation.online_sim`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..errors import ReproError
+
+
+class SimulationError(ReproError):
+    """The event loop was driven incorrectly (time travel, bad handler)."""
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: Any
+    priority: int
+    seq: int
+    action: Callable[["Simulator"], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Events at equal times run in (priority, insertion) order; lower
+    priority values run first.  This matters for correctness of the online
+    scheduler: completions (freeing processors) must be processed before
+    the decision pass at the same instant, so completions use priority 0,
+    arrivals priority 1 and decision passes priority 2.
+    """
+
+    #: conventional priorities
+    PRIO_COMPLETION = 0
+    PRIO_ARRIVAL = 1
+    PRIO_DECISION = 2
+
+    def __init__(self, start_time=0):
+        self.now = start_time
+        self._queue: List[_QueuedEvent] = []
+        self._counter = itertools.count()
+        self._running = False
+        #: number of events processed so far
+        self.processed = 0
+
+    def schedule_at(
+        self,
+        time,
+        action: Callable[["Simulator"], None],
+        priority: int = 2,
+        label: str = "",
+    ) -> None:
+        """Enqueue ``action`` to run at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        heapq.heappush(
+            self._queue,
+            _QueuedEvent(
+                time=time,
+                priority=priority,
+                seq=next(self._counter),
+                action=action,
+                label=label,
+            ),
+        )
+
+    def schedule_in(
+        self,
+        delay,
+        action: Callable[["Simulator"], None],
+        priority: int = 2,
+        label: str = "",
+    ) -> None:
+        """Enqueue ``action`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule_at(self.now + delay, action, priority=priority, label=label)
+
+    @property
+    def pending(self) -> int:
+        """Number of queued events."""
+        return len(self._queue)
+
+    def peek_time(self) -> Optional[Any]:
+        """Time of the next event, or ``None`` when the queue is empty."""
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the single next event; returns False when none is queued."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        self.processed += 1
+        event.action(self)
+        return True
+
+    def run(self, until=None, max_events: int = 10_000_000) -> None:
+        """Drain the queue (optionally stopping after time ``until``).
+
+        ``max_events`` guards against runaway self-rescheduling handlers.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            count = 0
+            while self._queue:
+                if until is not None and self._queue[0].time > until:
+                    break
+                count += 1
+                if count > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; handler loop?"
+                    )
+                self.step()
+        finally:
+            self._running = False

@@ -1,0 +1,118 @@
+"""The paper's theory as executable, machine-checked artifacts.
+
+* :mod:`repro.theory.graham` — Theorem 2 and Lemma 1 (appendix):
+  Graham's ``2 - 1/m`` bound for LSRC with certificate checkers;
+* :mod:`repro.theory.alpha_bounds` — Section 4.2's ``2/α`` upper bound
+  and ``B1``/``B2`` lower bounds (Figure 4);
+* :mod:`repro.theory.reductions` — Theorem 1's 3-PARTITION reduction
+  (Figure 1) and Proposition 1's non-increasing transformation
+  (Figure 2);
+* :mod:`repro.theory.adversarial` — the worst-case families: Proposition
+  2 / Figure 3, the FCFS ratio-``m`` family, Graham tightness;
+* :mod:`repro.theory.partition` — PARTITION / 3-PARTITION solvers that
+  drive and verify the reductions.
+"""
+
+from .adversarial import (
+    FCFSWorstCase,
+    GrahamTightFamily,
+    Proposition2Family,
+    fcfs_worstcase_instance,
+    graham_tight_instance,
+    proposition2_instance,
+)
+from .alpha_bounds import (
+    BoundsRow,
+    default_alpha_grid,
+    figure4_series,
+    gap_at,
+    lower_bound_b1,
+    lower_bound_b2,
+    lower_bound_integer_case,
+    upper_bound,
+)
+from .graham import (
+    check_lemma1,
+    graham_ratio,
+    lemma1_violations,
+    nonincreasing_ratio,
+    theorem2_check,
+    work_area_inequality,
+)
+from .partition import (
+    is_3partition_yes,
+    random_no_3partition,
+    random_yes_3partition,
+    solve_3partition,
+    solve_partition,
+)
+from .worst_order import (
+    WorstOrderResult,
+    worst_order_exhaustive,
+    worst_order_sample,
+)
+from .reductions import (
+    HeadJobsTransform,
+    Proposition1Certificate,
+    blocked_horizon,
+    deadline_reservation_reduction,
+    partition_target,
+    partition_to_rigid,
+    proposition1_certify,
+    reduction_yes_makespan,
+    reservations_to_head_jobs,
+    schedule_solves_3partition,
+    schedule_solves_partition,
+    three_partition_reduction,
+    truncate_availability,
+)
+
+__all__ = [
+    # graham
+    "graham_ratio",
+    "nonincreasing_ratio",
+    "lemma1_violations",
+    "check_lemma1",
+    "theorem2_check",
+    "work_area_inequality",
+    # alpha bounds
+    "upper_bound",
+    "lower_bound_integer_case",
+    "lower_bound_b1",
+    "lower_bound_b2",
+    "figure4_series",
+    "default_alpha_grid",
+    "gap_at",
+    "BoundsRow",
+    # reductions
+    "three_partition_reduction",
+    "reduction_yes_makespan",
+    "blocked_horizon",
+    "schedule_solves_3partition",
+    "deadline_reservation_reduction",
+    "partition_to_rigid",
+    "partition_target",
+    "schedule_solves_partition",
+    "truncate_availability",
+    "reservations_to_head_jobs",
+    "HeadJobsTransform",
+    "proposition1_certify",
+    "Proposition1Certificate",
+    # adversarial families
+    "proposition2_instance",
+    "Proposition2Family",
+    "fcfs_worstcase_instance",
+    "FCFSWorstCase",
+    "graham_tight_instance",
+    "GrahamTightFamily",
+    # partition
+    "solve_partition",
+    "solve_3partition",
+    "is_3partition_yes",
+    "random_yes_3partition",
+    "random_no_3partition",
+    # worst-order analysis
+    "WorstOrderResult",
+    "worst_order_exhaustive",
+    "worst_order_sample",
+]

@@ -1,0 +1,269 @@
+"""Worst-case instance families from the paper, built exactly.
+
+* :func:`proposition2_instance` — the lower-bound family of Proposition 2
+  (Figure 3): for ``α = 2/k`` the optimal makespan is ``1`` (scaled:
+  ``k``) while LSRC with the adversarial list order achieves
+  ``2/α - 1 + α/2`` times that.  The default integer scaling by ``k``
+  reproduces Figure 3's annotations for ``k = 6``: ``C* = 6`` and
+  ``Cmax = 5 × 6 + 1 = 31`` on ``m = 180`` machines.
+
+* :func:`fcfs_worstcase_instance` — Section 2.2's claim that FCFS (even
+  conservative) has no constant guarantee: a family with optimal makespan
+  ``K + m - 1`` and FCFS makespan ``m K + m - 1``, whose ratio tends to
+  ``m`` as ``K`` grows.
+
+* :func:`graham_tight_instance` — the classical family showing Theorem 2's
+  ``2 - 1/m`` is tight for list scheduling: ratio ``(2m - 1)/m``.
+
+All constructions use integer times only, so every makespan and ratio in
+the benchmarks is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..core.instance import ReservationInstance, RigidInstance
+from ..core.job import Job, Reservation
+from ..core.schedule import Schedule
+from ..errors import InvalidInstanceError
+
+
+# ---------------------------------------------------------------------------
+# Proposition 2 / Figure 3
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Proposition2Family:
+    """The Proposition 2 construction for ``α = 2/k``, scaled by ``k``.
+
+    Attributes
+    ----------
+    instance:
+        The RESASCHEDULING instance (integer times).
+    k:
+        The parameter; ``α = 2/k``.
+    optimal_makespan:
+        ``k`` (the paper's ``1``, scaled).
+    lsrc_makespan:
+        ``1 + k(k-1)`` (the paper's ``1/k + k - 1``, scaled): what LSRC
+        produces under :attr:`bad_order`.
+    bad_order:
+        The adversarial list order (first set of tasks first).
+    """
+
+    instance: ReservationInstance
+    k: int
+
+    @property
+    def alpha(self) -> Fraction:
+        return Fraction(2, self.k)
+
+    @property
+    def scale(self) -> int:
+        return self.k
+
+    @property
+    def optimal_makespan(self) -> int:
+        return self.k  # = 1 * scale
+
+    @property
+    def lsrc_makespan(self) -> int:
+        # (1/k + k - 1) * scale with scale = k
+        return 1 + self.k * (self.k - 1)
+
+    @property
+    def ratio(self) -> Fraction:
+        """``2/α - 1 + α/2`` — Proposition 2's lower bound, exactly."""
+        return Fraction(self.lsrc_makespan, self.optimal_makespan)
+
+    @property
+    def bad_order(self) -> List:
+        """List order that makes LSRC hit the bound: short/wide set first."""
+        return [f"A{i}" for i in range(self.k)] + [
+            f"B{i}" for i in range(self.k - 1)
+        ]
+
+    def optimal_schedule(self) -> Schedule:
+        """The analytic optimal schedule finishing at the reservation start.
+
+        The ``k - 1`` long/wide B tasks run side by side on ``[0, k)``;
+        the ``k`` short A tasks run *one after another* on the remaining
+        ``(k-1)^2`` processors (the widths satisfy
+        ``(k-1)(k(k-1)+1) + (k-1)^2 = m`` exactly, the paper's packing
+        identity), each taking 1 time unit (scaled), so the machine is
+        fully busy on ``[0, k)`` and ``C* = k``.
+        """
+        starts = {}
+        for i in range(self.k - 1):
+            starts[f"B{i}"] = 0
+        for i in range(self.k):
+            starts[f"A{i}"] = i
+        return Schedule(self.instance, starts, algorithm="analytic-optimal")
+
+
+def proposition2_instance(k: int) -> Proposition2Family:
+    """Build the Proposition 2 family member for ``α = 2/k`` (``k >= 3``).
+
+    Construction (times scaled by ``k`` to stay integral):
+
+    * ``m = k^2 (k - 1)`` machines;
+    * set A: ``k`` tasks with ``p = 1`` (paper: ``1/k``) and
+      ``q = (k-1)^2``;
+    * set B: ``k - 1`` tasks with ``p = k`` (paper: ``1``) and
+      ``q = k(k-1) + 1``;
+    * one reservation starting at ``k`` (paper: ``1``) of length
+      ``2k · k`` (paper: ``2k``) over ``k(k-1)(k-2)`` processors —
+      exactly ``(1 - α) m``.
+
+    ``k = 2`` is degenerate (the reservation would need 0 processors and
+    α = 1); the construction requires ``k >= 3``.
+    """
+    if k < 3:
+        raise InvalidInstanceError(
+            f"Proposition 2's construction needs k >= 3, got {k}"
+        )
+    m = k * k * (k - 1)
+    set_a = [
+        Job(id=f"A{i}", p=1, q=(k - 1) ** 2, name=f"short/narrow A{i}")
+        for i in range(k)
+    ]
+    set_b = [
+        Job(id=f"B{i}", p=k, q=k * (k - 1) + 1, name=f"long/wide B{i}")
+        for i in range(k - 1)
+    ]
+    reservation = Reservation(
+        id="R", start=k, p=2 * k * k, q=k * (k - 1) * (k - 2)
+    )
+    instance = ReservationInstance(
+        m=m,
+        jobs=tuple(set_a + set_b),
+        reservations=(reservation,),
+        name=f"prop2(k={k},alpha=2/{k})",
+    )
+    return Proposition2Family(instance=instance, k=k)
+
+
+# ---------------------------------------------------------------------------
+# FCFS has no constant guarantee (Section 2.2)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FCFSWorstCase:
+    """FCFS ratio-``m`` family.
+
+    ``m`` narrow long jobs ``(q=1, p=K)`` interleaved with ``m - 1`` full
+    -width short jobs ``(q=m, p=1)``, submitted alternately.  FCFS (which
+    may not overtake) serialises every pair; the optimum runs all narrow
+    jobs in parallel and the wide jobs after one another.
+    """
+
+    instance: RigidInstance
+    m: int
+    K: int
+
+    @property
+    def optimal_makespan(self) -> int:
+        """Narrow jobs in parallel on ``[0, K)``, wide ones after: K + m - 1."""
+        return self.K + self.m - 1
+
+    @property
+    def fcfs_makespan(self) -> int:
+        """Each narrow job then a wide one, strictly alternating:
+        ``m K + (m - 1)``."""
+        return self.m * self.K + self.m - 1
+
+    @property
+    def ratio(self) -> Fraction:
+        """Tends to ``m`` as ``K -> inf`` (the paper's unbounded-ratio
+        statement, with optimal makespan normalised to 1)."""
+        return Fraction(self.fcfs_makespan, self.optimal_makespan)
+
+    def optimal_schedule(self) -> Schedule:
+        starts = {}
+        for i in range(self.m):
+            starts[f"N{i}"] = 0
+        for i in range(self.m - 1):
+            starts[f"W{i}"] = self.K + i
+        return Schedule(self.instance, starts, algorithm="analytic-optimal")
+
+
+def fcfs_worstcase_instance(m: int, K: int = 100) -> FCFSWorstCase:
+    """Build the FCFS worst-case family member (``m >= 2``, ``K >= 1``).
+
+    Submission order (= instance order) alternates narrow and wide:
+    ``N0, W0, N1, W1, ..., N_{m-1}``.
+    """
+    if m < 2:
+        raise InvalidInstanceError("FCFS worst case needs m >= 2")
+    if K < 1:
+        raise InvalidInstanceError("K must be >= 1")
+    jobs: List[Job] = []
+    for i in range(m):
+        jobs.append(Job(id=f"N{i}", p=K, q=1, name=f"narrow {i}"))
+        if i < m - 1:
+            jobs.append(Job(id=f"W{i}", p=1, q=m, name=f"wide {i}"))
+    instance = RigidInstance(
+        m=m, jobs=tuple(jobs), name=f"fcfs-worst(m={m},K={K})"
+    )
+    return FCFSWorstCase(instance=instance, m=m, K=K)
+
+
+# ---------------------------------------------------------------------------
+# Tightness of Theorem 2 (2 - 1/m)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GrahamTightFamily:
+    """The classical ``2 - 1/m`` tight family for list scheduling.
+
+    ``m(m-1)`` unit jobs ``(q=1, p=1)`` followed (in the list) by one long
+    job ``(q=1, p=m)``.  The bad order floods the machine with unit jobs —
+    the long job starts only at ``m - 1``; the optimum dedicates one
+    processor to the long job from the start.
+    """
+
+    instance: RigidInstance
+    m: int
+
+    @property
+    def optimal_makespan(self) -> int:
+        return self.m
+
+    @property
+    def lsrc_makespan(self) -> int:
+        return 2 * self.m - 1
+
+    @property
+    def ratio(self) -> Fraction:
+        """Exactly ``2 - 1/m``."""
+        return Fraction(2 * self.m - 1, self.m)
+
+    @property
+    def bad_order(self) -> List:
+        return [f"u{i}" for i in range(self.m * (self.m - 1))] + ["long"]
+
+    def optimal_schedule(self) -> Schedule:
+        starts = {"long": 0}
+        # m(m-1) unit jobs on the remaining m-1 processors: m per processor
+        for i in range(self.m * (self.m - 1)):
+            proc, slot = divmod(i, self.m)
+            starts[f"u{i}"] = slot
+        return Schedule(self.instance, starts, algorithm="analytic-optimal")
+
+
+def graham_tight_instance(m: int) -> GrahamTightFamily:
+    """Build the ``2 - 1/m`` tight family member (``m >= 2``)."""
+    if m < 2:
+        raise InvalidInstanceError("Graham tight family needs m >= 2")
+    jobs = [
+        Job(id=f"u{i}", p=1, q=1, name=f"unit {i}")
+        for i in range(m * (m - 1))
+    ]
+    jobs.append(Job(id="long", p=m, q=1, name="long job"))
+    instance = RigidInstance(
+        m=m, jobs=tuple(jobs), name=f"graham-tight(m={m})"
+    )
+    return GrahamTightFamily(instance=instance, m=m)

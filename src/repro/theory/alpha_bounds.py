@@ -1,0 +1,145 @@
+"""The α-RESASCHEDULING performance bounds (Section 4.2 and Figure 4).
+
+For the restricted problem where reservations leave at least ``α m``
+processors free and no job needs more than ``α m``, the paper proves:
+
+* **upper bound** (Proposition 3): LSRC is a ``2/α``-approximation;
+* **integer-case lower bound** (Proposition 2): when ``2/α`` is an
+  integer, LSRC's worst-case ratio is at least ``2/α - 1 + α/2``;
+* **general lower bounds**::
+
+      B1 = ceil(2/α) - 1 + 1 / ( floor( (1 - α/2) /
+               (1 - (α/2) (ceil(2/α) - 1)) ) + 1 )
+      B2 = ceil(2/α) - (ceil(2/α) - 1) / (2/α)
+
+  with ``B1 >= B2`` (B2 is "a bit less precise but easier to express").
+
+Figure 4 of the paper plots ``2/α``, ``B1`` and ``B2`` against α; this
+module computes the exact series (use :class:`fractions.Fraction` inputs
+for exact arithmetic) and ``benchmarks/bench_fig4_bounds.py`` regenerates
+the plot.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, List, NamedTuple, Sequence
+
+from ..errors import InvalidInstanceError
+
+
+def _check_alpha(alpha) -> None:
+    if not 0 < alpha <= 1:
+        raise InvalidInstanceError(f"alpha must lie in (0, 1], got {alpha!r}")
+
+
+def upper_bound(alpha):
+    """Proposition 3: LSRC's guarantee ``2 / α`` on α-RESASCHEDULING."""
+    _check_alpha(alpha)
+    return 2 / alpha
+
+
+def _exact(alpha) -> Fraction:
+    """Exact rational value of ``alpha`` (floats are exact binary rationals,
+    so this conversion is lossless; all ceil/floor are then exact)."""
+    return alpha if isinstance(alpha, Fraction) else Fraction(alpha)
+
+
+def lower_bound_integer_case(alpha):
+    """Proposition 2: ``2/α - 1 + α/2``, valid when ``2/α`` is an integer.
+
+    Raises when ``2/α`` is not integral — use :func:`lower_bound_b1` then.
+    Pass :class:`fractions.Fraction` values (for example ``Fraction(2, 3)``)
+    to hit the integral case exactly.
+    """
+    _check_alpha(alpha)
+    a = _exact(alpha)
+    two_over = 2 / a
+    if two_over.denominator != 1:
+        raise InvalidInstanceError(
+            f"2/alpha = {two_over!r} is not an integer; Proposition 2's "
+            "closed form needs alpha = 2/k (pass a Fraction for exactness)"
+        )
+    result = two_over - 1 + a / 2
+    return result if isinstance(alpha, Fraction) else float(result)
+
+
+def lower_bound_b1(alpha):
+    """The paper's ``B1`` lower bound on LSRC's performance ratio.
+
+    Computed in exact rational arithmetic; the return type matches the
+    input (Fraction in, Fraction out).  For ``alpha = 2/k`` it coincides
+    with Proposition 2's ``2/α - 1 + α/2``.
+    """
+    _check_alpha(alpha)
+    a = _exact(alpha)
+    c = math.ceil(2 / a)
+    half = a / 2
+    denom_inner = 1 - half * (c - 1)
+    if denom_inner <= 0:  # pragma: no cover - c - 1 < 2/a makes this impossible
+        raise InvalidInstanceError(f"degenerate B1 denominator for alpha={alpha!r}")
+    floor_term = math.floor((1 - half) / denom_inner)
+    result = c - 1 + Fraction(1, floor_term + 1)
+    return result if isinstance(alpha, Fraction) else float(result)
+
+
+def lower_bound_b2(alpha):
+    """The paper's ``B2`` lower bound: ``ceil(2/α) - (ceil(2/α) - 1)/(2/α)``.
+
+    Weaker than B1 but a single closed form; exact rational arithmetic as
+    for :func:`lower_bound_b1`.
+    """
+    _check_alpha(alpha)
+    a = _exact(alpha)
+    two_over = 2 / a
+    c = math.ceil(two_over)
+    result = c - (c - 1) / two_over
+    return result if isinstance(alpha, Fraction) else float(result)
+
+
+class BoundsRow(NamedTuple):
+    """One α sample of Figure 4."""
+
+    alpha: object
+    upper: object  # 2/α      (Proposition 3)
+    b1: object     # B1       (Proposition 2, general α)
+    b2: object     # B2       (weaker closed form)
+
+
+def figure4_series(alphas: Sequence) -> List[BoundsRow]:
+    """The three Figure 4 curves sampled at the given α values."""
+    rows = []
+    for a in alphas:
+        rows.append(
+            BoundsRow(
+                alpha=a,
+                upper=upper_bound(a),
+                b1=lower_bound_b1(a),
+                b2=lower_bound_b2(a),
+            )
+        )
+    return rows
+
+
+def default_alpha_grid(points: int = 200, lo: float = 0.05) -> List[float]:
+    """An evenly spaced α grid over ``[lo, 1]`` (Figure 4's x-axis).
+
+    The figure's axis starts at 0 but the bounds diverge as ``α -> 0``;
+    ``lo`` bounds the plotted range like the paper's y-axis clip at 10.
+    """
+    if points < 2:
+        raise InvalidInstanceError("need at least 2 grid points")
+    step = (1.0 - lo) / (points - 1)
+    return [lo + i * step for i in range(points)]
+
+
+def gap_at(alpha):
+    """Absolute gap between the upper bound and B1 at ``alpha``.
+
+    The paper notes the two "can be arbitrarily close to each other for
+    some values of the parameter α"; at ``α = 2/k`` the gap is
+    ``1 - α/2 < 1`` while both bounds are ``Θ(1/α)``, so the *relative*
+    gap vanishes as ``α -> 0``.
+    """
+    return upper_bound(alpha) - lower_bound_b1(alpha)

@@ -1,0 +1,172 @@
+"""Graham's bound for list scheduling, as executable certificates.
+
+The paper's appendix gives a new continuous proof of the Garey–Graham
+``2 - 1/m`` guarantee for LSRC on independent rigid jobs (single shared
+resource).  The two executable artifacts are:
+
+* **Lemma 1**: for a list schedule, any two times ``t' >= t + pmax``
+  inside ``[0, Cmax)`` satisfy ``r(t) + r(t') >= m + 1`` where ``r`` is
+  the processor usage.  :func:`lemma1_violations` checks the property
+  exhaustively on the usage profile of a schedule — our LSRC
+  implementation must never violate it on reservation-free instances
+  (property-tested in the suite);
+* **Theorem 2**: ``Cmax(A) <= (2 - 1/m) C*max`` for every list algorithm.
+  :func:`theorem2_check` certifies a (schedule, optimum) pair, and
+  :func:`work_area_inequality` verifies the integral inequality
+  ``X <= W(I) - x C*max`` that drives the proof.
+
+Proposition 1's refinement for non-increasing reservations
+(``2 - 1/m(C*max)``) lives here too since it is a direct corollary.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..core.instance import as_reservation_instance
+from ..core.schedule import Schedule
+from ..errors import InvalidInstanceError
+
+
+def graham_ratio(m: int):
+    """``2 - 1/m`` — Theorem 2's guarantee (exact Fraction)."""
+    if m < 1:
+        raise InvalidInstanceError(f"machine count must be >= 1, got {m}")
+    return 2 - Fraction(1, m)
+
+
+def nonincreasing_ratio(instance, cstar):
+    """Proposition 1's guarantee ``2 - 1/m(C*max)`` for an instance with
+    non-increasing reservations.
+
+    ``m(C*max)`` is the number of available machines at the optimal
+    makespan; since availability is non-decreasing, this is the largest
+    availability the schedule can ever use before ``C*max``.
+    """
+    inst = as_reservation_instance(instance)
+    if not inst.has_nonincreasing_reservations():
+        raise InvalidInstanceError(
+            "Proposition 1 requires non-increasing reservations"
+        )
+    m_at = inst.availability_profile().capacity_at(cstar)
+    if m_at < 1:
+        raise InvalidInstanceError(
+            f"no machine available at C*max = {cstar}; degenerate instance"
+        )
+    return 2 - Fraction(1, m_at)
+
+
+def lemma1_violations(schedule: Schedule) -> List[Tuple]:
+    """All pairs witnessing a violation of Lemma 1.
+
+    Lemma 1 (appendix): if ``A`` is a list algorithm then for all
+    ``t, t' in [0, Cmax)`` with ``t' >= t + pmax``,
+    ``r(t) + r(t') >= m + 1``.
+
+    ``r`` is piecewise constant, so it suffices to check one representative
+    time per segment pair; returned tuples are
+    ``(t, t', r(t), r(t'))`` for each violated pair of segments.
+
+    The lemma concerns the *reservation-free* model; calling this on a
+    schedule whose instance has reservations is allowed (the benchmark for
+    Proposition 1 does, after transforming reservations into jobs) but the
+    caller is responsible for the model fitting.
+    """
+    inst = schedule.instance
+    m = inst.m
+    if not inst.jobs:
+        return []
+    pmax = inst.pmax
+    cmax = schedule.makespan
+    usage = schedule.usage_profile()
+    # representative points: segment starts clipped to [0, cmax)
+    segs = [
+        (start, end, cap)
+        for (start, end, cap) in usage.segments(horizon=cmax)
+        if start < cmax
+    ]
+    violations: List[Tuple] = []
+    for (s1, e1, r1) in segs:
+        for (s2, e2, r2) in segs:
+            # does the segment pair contain t, t' with t' >= t + pmax?
+            # smallest achievable gap uses t = s1, t' approaching e2; the
+            # constraint is satisfiable iff e2 > s1 + pmax, and then t' can
+            # be any point in [max(s2, s1 + pmax), e2).
+            t = s1
+            t_prime_lo = t + pmax
+            if t_prime_lo < s2:
+                t_prime = s2
+            elif t_prime_lo < e2:
+                t_prime = t_prime_lo
+            else:
+                continue
+            if t_prime >= cmax:
+                continue
+            if r1 + r2 <= m:
+                violations.append((t, t_prime, r1, r2))
+    return violations
+
+
+def check_lemma1(schedule: Schedule) -> None:
+    """Assert Lemma 1 on a schedule; raises ``AssertionError`` with the
+    first violating pair otherwise (used by tests and benches)."""
+    violations = lemma1_violations(schedule)
+    if violations:
+        t, tp, r1, r2 = violations[0]
+        raise AssertionError(
+            f"Lemma 1 violated: r({t}) + r({tp}) = {r1} + {r2} <= "
+            f"m = {schedule.instance.m}"
+        )
+
+
+def theorem2_check(schedule: Schedule, cstar) -> Tuple[object, object]:
+    """Certify Theorem 2 on a (list schedule, optimal makespan) pair.
+
+    Returns ``(achieved_ratio, guaranteed_ratio)`` and raises
+    ``AssertionError`` when ``Cmax > (2 - 1/m) C*max`` (which would
+    disprove the implementation's list property or the claimed optimum).
+    """
+    if cstar <= 0:
+        raise InvalidInstanceError(f"C*max must be positive, got {cstar!r}")
+    m = schedule.instance.m
+    ratio = Fraction(schedule.makespan) / Fraction(cstar) if isinstance(
+        cstar, (int, Fraction)
+    ) and isinstance(schedule.makespan, (int, Fraction)) else (
+        schedule.makespan / cstar
+    )
+    guarantee = graham_ratio(m)
+    if ratio > guarantee + Fraction(1, 10**9):
+        raise AssertionError(
+            f"Theorem 2 violated: Cmax/C* = {ratio} > 2 - 1/m = {guarantee}"
+        )
+    return ratio, guarantee
+
+
+def work_area_inequality(schedule: Schedule, cstar) -> Tuple:
+    """The integral inequality at the heart of the Theorem 2 proof.
+
+    With ``x`` defined by ``Cmax = (2 - x) C*max``, the proof integrates
+    Lemma 1 to get::
+
+        X := ∫_0^{(1-x)C*} [ r(t) + r(t + C*) ] dt  >=  (m+1)(1-x) C*
+        X <= W(I) - x C*
+
+    hence ``x >= 1/m``.  Returns ``(X, (m+1)(1-x)C*, W - x C*)`` so tests
+    can confirm both inequalities numerically on concrete schedules
+    (x is clamped at 0 when the schedule is better than ``2 C*``...
+    the inequality chain is only meaningful when ``0 <= x <= 1``).
+    """
+    inst = schedule.instance
+    m = inst.m
+    cmax = schedule.makespan
+    x = 2 - (Fraction(cmax) / Fraction(cstar) if isinstance(cmax, (int, Fraction))
+             and isinstance(cstar, (int, Fraction)) else cmax / cstar)
+    usage = schedule.usage_profile()
+    window = (1 - x) * cstar
+    if window <= 0:
+        return (0, 0, inst.total_work)
+    X = usage.area(0, window) + usage.area(cstar, cstar + window)
+    lower = (m + 1) * window
+    upper = inst.total_work - x * cstar
+    return (X, lower, upper)

@@ -1,0 +1,192 @@
+"""PARTITION and 3-PARTITION: solvers and instance generators.
+
+Theorem 1's inapproximability proof reduces 3-PARTITION to
+RESASCHEDULING, and Section 2.1 recalls that RIGIDSCHEDULING on two
+processors *is* PARTITION.  To make the reductions executable we need the
+NP-complete source problems themselves:
+
+* :func:`solve_partition` — pseudo-polynomial subset-sum DP (PARTITION is
+  only weakly NP-hard, footnote 1 of the paper);
+* :func:`solve_3partition` — exact backtracking for 3-PARTITION (strongly
+  NP-hard, so exponential in general; fine at reduction-verification
+  sizes);
+* generators for yes- and no-instances with the standard
+  ``B/4 < x_i < B/2`` restriction (which forces every group to have
+  exactly three elements).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import InvalidInstanceError
+
+
+def solve_partition(values: Sequence[int]) -> Optional[Tuple[List[int], List[int]]]:
+    """Split ``values`` into two halves of equal sum, or return ``None``.
+
+    Subset-sum dynamic program over achievable sums with parent pointers;
+    runs in ``O(n * sum)`` time and space.
+    """
+    vals = list(values)
+    if any((not isinstance(v, int)) or v <= 0 for v in vals):
+        raise InvalidInstanceError("PARTITION values must be positive integers")
+    total = sum(vals)
+    if total % 2:
+        return None
+    target = total // 2
+    # parent[s] = (previous sum, item index used), -1 roots the chain
+    parent = {0: (-1, -1)}
+    for idx, v in enumerate(vals):
+        # iterate over a snapshot so each item is used at most once
+        for s in list(parent):
+            ns = s + v
+            if ns <= target and ns not in parent:
+                parent[ns] = (s, idx)
+    if target not in parent:
+        return None
+    chosen = set()
+    s = target
+    while s != 0:
+        prev, idx = parent[s]
+        chosen.add(idx)
+        s = prev
+    left = [vals[i] for i in sorted(chosen)]
+    right = [vals[i] for i in range(len(vals)) if i not in chosen]
+    return left, right
+
+
+def solve_3partition(
+    values: Sequence[int], bound: int
+) -> Optional[List[Tuple[int, int, int]]]:
+    """Partition ``3k`` integers into ``k`` triples each summing to ``bound``.
+
+    Returns the triples (as value tuples) or ``None`` when impossible.
+    Backtracking over items sorted decreasingly, filling one group at a
+    time; prunes on group overshoot and skips equal values at the same
+    decision point to avoid redundant branches.
+    """
+    vals = sorted(values, reverse=True)
+    n = len(vals)
+    if n % 3:
+        raise InvalidInstanceError(
+            f"3-PARTITION needs a multiple of 3 values, got {n}"
+        )
+    k = n // 3
+    if any((not isinstance(v, int)) or v <= 0 for v in vals):
+        raise InvalidInstanceError("3-PARTITION values must be positive integers")
+    if sum(vals) != k * bound:
+        return None
+    used = [False] * n
+    groups: List[List[int]] = []
+
+    def fill(start: int, current: List[int], acc: int) -> bool:
+        if len(current) == 3:
+            if acc != bound:
+                return False
+            groups.append(list(current))
+            if len(groups) == k:
+                return True
+            # start the next group at the first unused item (canonical order
+            # kills group-permutation symmetry)
+            nxt = next(i for i in range(n) if not used[i])
+            used[nxt] = True
+            current2 = [vals[nxt]]
+            ok = fill(nxt + 1, current2, vals[nxt])
+            if ok:
+                return True
+            used[nxt] = False
+            groups.pop()
+            return False
+        prev = None
+        for i in range(start, n):
+            if used[i]:
+                continue
+            v = vals[i]
+            if v == prev:
+                continue  # same value at same position: symmetric branch
+            if acc + v > bound:
+                prev = v
+                continue
+            # not enough room for the remaining slots even with the
+            # smallest available values -> all later (smaller) values fail
+            used[i] = True
+            current.append(v)
+            if fill(i + 1, current, acc + v):
+                return True
+            current.pop()
+            used[i] = False
+            prev = v
+        return False
+
+    if k == 0:
+        return []
+    used[0] = True
+    if fill(1, [vals[0]], vals[0]):
+        return [tuple(g) for g in groups]  # type: ignore[misc]
+    return None
+
+
+def is_3partition_yes(values: Sequence[int], bound: int) -> bool:
+    """True when the 3-PARTITION instance admits a solution."""
+    return solve_3partition(values, bound) is not None
+
+
+def random_yes_3partition(
+    k: int, bound: int = 100, seed: int = 0
+) -> Tuple[List[int], int]:
+    """A guaranteed-yes 3-PARTITION instance with ``3k`` values.
+
+    Builds ``k`` triples summing to ``bound`` with every value in the
+    standard open range ``(bound/4, bound/2)``, then shuffles.  ``bound``
+    must be large enough for that range to contain three valid integers
+    (``bound >= 20`` is comfortable).
+    """
+    if k < 1:
+        raise InvalidInstanceError("k must be >= 1")
+    rng = random.Random(seed)
+    lo, hi = bound // 4 + 1, (bound - 1) // 2
+    if lo + 2 > hi or 3 * lo > bound:
+        raise InvalidInstanceError(
+            f"bound {bound} too small for the B/4 < x < B/2 restriction"
+        )
+    values: List[int] = []
+    for _ in range(k):
+        # choose x, y, z = B - x - y inside (B/4, B/2)
+        for _attempt in range(10_000):
+            x = rng.randint(lo, hi)
+            y = rng.randint(lo, hi)
+            z = bound - x - y
+            if lo <= z <= hi:
+                values.extend((x, y, z))
+                break
+        else:  # pragma: no cover - range is never this tight for bound>=20
+            raise InvalidInstanceError("failed to sample a valid triple")
+    rng.shuffle(values)
+    return values, bound
+
+
+def random_no_3partition(
+    k: int, bound: int = 100, seed: int = 0, max_tries: int = 200
+) -> Tuple[List[int], int]:
+    """A no-instance: same sum ``k * bound`` but no triple partition.
+
+    Perturbs a yes-instance (moving a unit between two values so both stay
+    in range) until the exact solver rejects it.  Verification keeps the
+    generator honest, at the cost of an exact solve per attempt.
+    """
+    rng = random.Random(seed)
+    for attempt in range(max_tries):
+        values, _ = random_yes_3partition(k, bound, seed=rng.randrange(2**30))
+        vals = list(values)
+        i, j = rng.sample(range(len(vals)), 2)
+        lo, hi = bound // 4 + 1, (bound - 1) // 2
+        if vals[i] + 1 <= hi and vals[j] - 1 >= lo:
+            vals[i] += 1
+            vals[j] -= 1
+        if solve_3partition(vals, bound) is None:
+            return vals, bound
+    raise InvalidInstanceError(
+        f"could not build a no-instance in {max_tries} tries (k={k}, B={bound})"
+    )

@@ -1,0 +1,426 @@
+"""The paper's reductions and transformations, executable.
+
+Three constructions:
+
+* **Theorem 1 / Figure 1** — 3-PARTITION → RESASCHEDULING on one machine:
+  ``3k`` unit-width jobs of lengths ``x_i`` and ``k`` reservations leaving
+  gaps of exactly ``B``; the last reservation has length
+  ``ρ k (B+1) + 1`` so that any ρ-approximation must solve 3-PARTITION
+  exactly.  :func:`three_partition_reduction` builds the instance,
+  :func:`reduction_yes_makespan` gives the target makespan
+  ``k(B+1) - 1``, and :func:`schedule_solves_3partition` extracts a
+  3-PARTITION certificate back out of a schedule (the proof's converse
+  direction).
+
+* **Theorem 1, ``n' = 1`` case** — RIGIDSCHEDULING → RESASCHEDULING with
+  a single huge reservation placed at a guessed deadline
+  (:func:`deadline_reservation_reduction`): a ρ-approximation scheduling
+  below the reservation decides "is C*max <= deadline".
+
+* **Proposition 1 / Figure 2** — instances with non-increasing
+  reservations: truncate availability after ``C*max``
+  (:func:`truncate_availability`, the ``I'`` of the proof) and replace
+  the staircase by rigid *head jobs* (:func:`reservations_to_head_jobs`,
+  the ``I''``), such that LSRC with the head jobs first yields the same
+  schedule.  :func:`proposition1_certify` runs the whole argument on an
+  instance and checks the resulting guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.instance import (
+    ReservationInstance,
+    RigidInstance,
+    as_reservation_instance,
+)
+from ..core.job import Job, Reservation
+from ..core.schedule import Schedule
+from ..errors import InvalidInstanceError
+from ..algorithms.list_scheduling import ListScheduler
+from ..algorithms.priority import explicit_order
+from .graham import nonincreasing_ratio
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1 / Figure 1: 3-PARTITION -> RESASCHEDULING (m = 1)
+# ---------------------------------------------------------------------------
+
+def three_partition_reduction(
+    values: Sequence[int], bound: int, rho: int = 1
+) -> ReservationInstance:
+    """Figure 1's instance: one machine, gaps of ``B`` between reservations.
+
+    Given 3-PARTITION values ``x_1..x_{3k}`` with ``sum x_i = k B``:
+
+    * ``m = 1``;
+    * ``3k`` jobs with ``q_i = 1`` and ``p_i = x_i``;
+    * ``k`` unit reservations at ``r_j = (j)(B+1) - 1`` for ``j = 1..k``
+      (i.e. ``r_{n+1} = B`` and then every ``B + 1``), except the last
+      which has length ``ρ k (B+1) + 1`` and therefore ends at
+      ``(ρ+1) k (B+1)``.
+
+    A schedule with makespan ``k(B+1) - 1`` exists iff the 3-PARTITION
+    instance is a yes-instance; any ρ-approximation must then find it
+    (Theorem 1's contradiction).
+    """
+    vals = list(values)
+    if len(vals) % 3:
+        raise InvalidInstanceError("3-PARTITION needs 3k values")
+    k = len(vals) // 3
+    if sum(vals) != k * bound:
+        raise InvalidInstanceError(
+            f"values sum to {sum(vals)}, expected k*B = {k * bound}"
+        )
+    if rho < 1:
+        raise InvalidInstanceError("rho must be >= 1")
+    jobs = tuple(
+        Job(id=i, p=v, q=1, name=f"x{i}") for i, v in enumerate(vals)
+    )
+    reservations = []
+    for j in range(1, k + 1):
+        start = j * (bound + 1) - 1
+        length = 1 if j < k else rho * k * (bound + 1) + 1
+        reservations.append(
+            Reservation(id=f"R{j}", start=start, p=length, q=1)
+        )
+    return ReservationInstance(
+        m=1,
+        jobs=jobs,
+        reservations=tuple(reservations),
+        name=f"3partition(k={k},B={bound},rho={rho})",
+    )
+
+
+def reduction_yes_makespan(k: int, bound: int):
+    """The optimal makespan ``k(B+1) - 1`` of a yes-instance's reduction."""
+    return k * (bound + 1) - 1
+
+
+def blocked_horizon(k: int, bound: int, rho: int):
+    """End of the last reservation: ``(ρ+1) k (B+1)``.
+
+    Any schedule that misses the ``k(B+1) - 1`` target is pushed past this
+    time, which is what makes the ratio unbounded as ``ρ`` grows.
+    """
+    return (rho + 1) * k * (bound + 1)
+
+
+def schedule_solves_3partition(
+    schedule: Schedule, values: Sequence[int], bound: int
+) -> Optional[List[Tuple[int, ...]]]:
+    """Extract the 3-PARTITION solution encoded by a reduction schedule.
+
+    If the schedule's makespan is ``k(B+1) - 1`` (all jobs packed into the
+    gaps), group the jobs by the gap they run in and return the ``k``
+    groups of values; otherwise return ``None``.  This is the converse
+    direction of Theorem 1's proof.
+    """
+    k = len(values) // 3
+    target = reduction_yes_makespan(k, bound)
+    if schedule.makespan > target:
+        return None
+    groups: Dict[int, List[int]] = {g: [] for g in range(k)}
+    for job in schedule.instance.jobs:
+        start = schedule.starts[job.id]
+        gap = int(start // (bound + 1))
+        # job must lie inside its gap [gap(B+1), gap(B+1)+B)
+        gap_start = gap * (bound + 1)
+        if not (gap_start <= start and start + job.p <= gap_start + bound):
+            return None
+        groups[gap].append(int(job.p))
+    result = []
+    for g in range(k):
+        if sum(groups[g]) != bound:
+            return None
+        result.append(tuple(sorted(groups[g])))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 2.1, footnote 1: RIGIDSCHEDULING on two machines IS PARTITION
+# ---------------------------------------------------------------------------
+
+def partition_to_rigid(values: Sequence[int]) -> RigidInstance:
+    """PARTITION → RIGIDSCHEDULING on ``m = 2`` (Section 2.1, footnote 1).
+
+    The paper recalls that scheduling sequential jobs on two processors
+    "is exactly the same as PARTITION": unit-width jobs with ``p_i = x_i``
+    admit a schedule of makespan ``sum(x)/2`` iff the values split into
+    two equal-sum halves.
+    """
+    vals = list(values)
+    if not vals:
+        raise InvalidInstanceError("PARTITION needs at least one value")
+    if any((not isinstance(v, int)) or v <= 0 for v in vals):
+        raise InvalidInstanceError("PARTITION values must be positive integers")
+    jobs = tuple(Job(id=i, p=v, q=1, name=f"x{i}") for i, v in enumerate(vals))
+    return RigidInstance(m=2, jobs=jobs, name=f"partition(n={len(vals)})")
+
+
+def partition_target(values: Sequence[int]):
+    """The yes-makespan of :func:`partition_to_rigid`: ``sum(values) / 2``.
+
+    Returned exactly (an ``int`` when the sum is even, else a ``Fraction``
+    — odd sums are automatic no-instances).
+    """
+    total = sum(values)
+    if total % 2 == 0:
+        return total // 2
+    from fractions import Fraction as _F
+
+    return _F(total, 2)
+
+
+def schedule_solves_partition(
+    schedule: Schedule, values: Sequence[int]
+) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Extract a PARTITION certificate from a target-makespan schedule.
+
+    With makespan ``sum/2`` on two machines and total work ``sum``, the
+    machine is saturated: jobs split into two sequences by processor.
+    Returns the two value groups, or ``None`` when the schedule misses
+    the target.
+    """
+    target = partition_target(values)
+    if schedule.makespan > target:
+        return None
+    assignment = schedule.assign_processors()
+    groups = {0: [], 1: []}
+    for job in schedule.instance.jobs:
+        procs = assignment[("job", job.id)]
+        groups[procs[0]].append(int(job.p))
+    if sum(groups[0]) != target or sum(groups[1]) != target:
+        return None  # pragma: no cover - saturation forces equality
+    return tuple(sorted(groups[0])), tuple(sorted(groups[1]))
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1, n' = 1: RIGID -> RESA with one deadline reservation
+# ---------------------------------------------------------------------------
+
+def deadline_reservation_reduction(
+    rigid: RigidInstance, deadline, rho: int = 1
+) -> ReservationInstance:
+    """Add one full-width reservation at ``deadline`` for ``ρ·deadline + 1``.
+
+    If ``C*max(rigid) <= deadline``, the reservation is harmless and the
+    optimum is unchanged; otherwise every schedule overflows past the
+    reservation's end ``(ρ+1) deadline + 1``.  A ρ-approximation therefore
+    decides the RIGIDSCHEDULING decision problem — the ``n' = 1`` half of
+    Theorem 1.
+    """
+    if deadline <= 0:
+        raise InvalidInstanceError("deadline must be positive")
+    if rho < 1:
+        raise InvalidInstanceError("rho must be >= 1")
+    blocker = Reservation(
+        id="deadline",
+        start=deadline,
+        p=rho * deadline + 1,
+        q=rigid.m,
+        name="deadline blocker",
+    )
+    return ReservationInstance(
+        m=rigid.m,
+        jobs=rigid.jobs,
+        reservations=(blocker,),
+        name=f"{rigid.name or 'rigid'}+deadline@{deadline}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Proposition 1 / Figure 2: non-increasing reservations
+# ---------------------------------------------------------------------------
+
+def truncate_availability(instance, horizon) -> ReservationInstance:
+    """The proof's ``I'``: freeze availability at its value at ``horizon``.
+
+    For a non-increasing-reservations instance, capacity beyond
+    ``horizon`` (in the proof, ``C*max``) is replaced by the constant
+    ``m(horizon)``, i.e. the machine "stays as open as it was at the
+    optimum".  Optimal value and feasibility below the horizon are
+    untouched; schedules of ``I'`` are feasible for ``I``.
+
+    Implemented by rebuilding reservations from the truncated
+    unavailability staircase (each capacity *drop* from the right becomes
+    one reservation starting at 0 — valid because availability is
+    non-decreasing).
+    """
+    inst = as_reservation_instance(instance)
+    if not inst.has_nonincreasing_reservations():
+        raise InvalidInstanceError(
+            "truncate_availability requires non-increasing reservations"
+        )
+    profile = inst.availability_profile().truncated_after(horizon)
+    return _staircase_to_instance(inst, profile)
+
+
+def _staircase_to_instance(
+    inst: ReservationInstance, profile
+) -> ReservationInstance:
+    """Rebuild an instance whose availability equals a non-decreasing
+    ``profile`` using reservations that all start at 0."""
+    m = inst.m
+    reservations = []
+    segs = list(profile.segments())
+    # capacity m - c missing during [0, t_end of segment); since capacity is
+    # non-decreasing we emit one reservation per step, nested like Figure 2.
+    for idx, (start, end, cap) in enumerate(segs):
+        if idx + 1 < len(segs):
+            nxt_cap = segs[idx + 1][2]
+        else:
+            break
+        drop = nxt_cap - cap
+        if drop <= 0:  # pragma: no cover - nondecreasing guarantees drop > 0
+            raise InvalidInstanceError("profile is not non-decreasing")
+        reservations.append(
+            Reservation(id=f"U{idx}", start=0, p=end, q=drop)
+        )
+    tail_missing = m - segs[-1][2]
+    if tail_missing > 0:
+        # capacity never returns to m: represent with a very long reservation
+        # (RESASCHEDULING reservations are finite; use a horizon far beyond
+        # any job completion so schedules cannot tell the difference).
+        horizon_guard = _safe_horizon(inst)
+        reservations.append(
+            Reservation(id="Utail", start=0, p=horizon_guard, q=tail_missing)
+        )
+    return ReservationInstance(
+        m=m,
+        jobs=inst.jobs,
+        reservations=tuple(reservations),
+        name=f"{inst.name or 'instance'}|truncated",
+    )
+
+
+def _safe_horizon(inst: ReservationInstance):
+    """A time no reasonable schedule of ``inst`` can reach: total work plus
+    every processing time plus the reservation horizon, and then doubled."""
+    span = sum(job.p for job in inst.jobs) + inst.total_work + 1
+    span = span + inst.last_reservation_end
+    return 2 * span + 1
+
+
+@dataclass(frozen=True)
+class HeadJobsTransform:
+    """Result of the ``I' -> I''`` transformation of Proposition 1.
+
+    Attributes
+    ----------
+    rigid:
+        The RIGIDSCHEDULING instance ``I''`` (original jobs + head jobs).
+    head_ids:
+        Ids of the synthetic jobs encoding the staircase, in the order
+        they must head the list.
+    """
+
+    rigid: RigidInstance
+    head_ids: Tuple
+
+    def list_order(self) -> List:
+        """Job-id order: head jobs first, then original jobs in instance
+        order — the order under which LSRC reproduces the ``I'`` schedule."""
+        originals = [
+            j.id for j in self.rigid.jobs if j.id not in set(self.head_ids)
+        ]
+        return list(self.head_ids) + originals
+
+
+def reservations_to_head_jobs(instance, horizon) -> HeadJobsTransform:
+    """The proof's ``I''``: replace the (truncated) staircase by rigid jobs.
+
+    If ``U^{I'}`` takes values ``U_1 > U_2 > ... > U_k = 0`` with
+    ``U(t) = U_j`` on ``[t_j, t_{j+1})``, add ``k - 1`` jobs with
+    ``q_{n+j} = U_j - U_{j+1}`` and ``p_{n+j} = t_{j+1}``.  Placed at the
+    head of the list they all start at time 0 under LSRC and exactly
+    rebuild the staircase, so LSRC produces the same schedule for ``I'``
+    and ``I''`` — which transfers Theorem 2's bound.
+    """
+    inst = as_reservation_instance(instance)
+    if not inst.has_nonincreasing_reservations():
+        raise InvalidInstanceError(
+            "reservations_to_head_jobs requires non-increasing reservations"
+        )
+    profile = inst.availability_profile().truncated_after(horizon)
+    m_prime = profile.final_capacity()  # m^{I'} = m(horizon)
+    if inst.jobs and inst.qmax > m_prime:
+        raise InvalidInstanceError(
+            f"a job needs {inst.qmax} processors but only {m_prime} are "
+            f"available at the horizon {horizon}; in Proposition 1 the "
+            "horizon is C*max, where every job provably fits "
+            "(availability is non-decreasing and all jobs finish by C*max)"
+        )
+    segs = list(profile.segments())
+    head_jobs: List[Job] = []
+    for idx in range(len(segs) - 1):
+        start, end, cap = segs[idx]
+        nxt_cap = segs[idx + 1][2]
+        drop = nxt_cap - cap
+        head_jobs.append(
+            Job(
+                id=f"head{idx}",
+                p=end,
+                q=drop,
+                name=f"staircase step {idx}",
+            )
+        )
+    jobs = tuple(head_jobs) + tuple(inst.jobs)
+    rigid = RigidInstance(
+        m=m_prime,
+        jobs=jobs,
+        name=f"{inst.name or 'instance'}|head-jobs",
+    )
+    return HeadJobsTransform(
+        rigid=rigid, head_ids=tuple(j.id for j in head_jobs)
+    )
+
+
+@dataclass(frozen=True)
+class Proposition1Certificate:
+    """Everything Proposition 1 predicts, measured on a concrete instance."""
+
+    lsrc_makespan: object
+    cstar: object
+    guarantee: object           # 2 - 1/m(C*max)
+    ratio: object
+    head_schedule_matches: bool  # LSRC(I') == LSRC(I'') on original jobs
+
+    @property
+    def holds(self) -> bool:
+        """Proposition 1's inequality on this instance."""
+        return self.ratio <= self.guarantee and self.head_schedule_matches
+
+
+def proposition1_certify(instance, cstar) -> Proposition1Certificate:
+    """Run the full Proposition 1 argument on one instance.
+
+    ``cstar`` must be the instance's optimal makespan (from the exact
+    solver).  Checks both the final bound on LSRC(I) and the structural
+    claim that LSRC schedules ``I'`` (availability frozen at ``C*max``)
+    and ``I''`` (staircase as head-of-list jobs) identically.
+    """
+    inst = as_reservation_instance(instance)
+    guarantee = nonincreasing_ratio(inst, cstar)
+    lsrc = ListScheduler().schedule(inst)
+    ratio = lsrc.makespan / cstar
+
+    i_prime = truncate_availability(inst, cstar)
+    sched_i1 = ListScheduler().schedule(i_prime)
+    transform = reservations_to_head_jobs(inst, cstar)
+    order = transform.list_order()
+    sched_i2 = ListScheduler(explicit_order(order)).schedule(transform.rigid)
+    # the proof's structural identity: original jobs start at the same
+    # times in LSRC(I') and LSRC(I'') when the head jobs lead the list
+    matches = all(
+        sched_i2.starts[j.id] == sched_i1.starts[j.id] for j in inst.jobs
+    )
+    return Proposition1Certificate(
+        lsrc_makespan=lsrc.makespan,
+        cstar=cstar,
+        guarantee=guarantee,
+        ratio=ratio,
+        head_schedule_matches=matches,
+    )

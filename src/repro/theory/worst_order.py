@@ -1,0 +1,176 @@
+"""Empirical worst-order analysis: how bad can the list order get?
+
+The paper sandwiches LSRC's worst-case ratio on α-RESASCHEDULING between
+``B1`` and ``2/α`` *over all instances and all orders*.  A natural
+empirical companion — which the paper's Figure 4 invites but cannot show
+analytically — is the per-instance quantity
+
+    worst_ratio(I) = max over list orders of Cmax(LSRC_order(I)) / C*max(I)
+
+computed exactly on small instances (all ``n!`` orders, exact optimum).
+By Theorem 2 / Proposition 3 this never exceeds the upper-bound curve;
+Proposition 2's family shows instances where it touches the lower-bound
+curve.  Random instances land in between, and the benchmark
+``bench_worst_order.py`` plots where.
+
+For larger ``n`` the exhaustive maximum is replaced by a seeded random +
+structured-order search (:func:`worst_order_sample`), a lower bound on
+the true per-instance worst case.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..algorithms.list_scheduling import ListScheduler
+from ..algorithms.optimal import branch_and_bound
+from ..algorithms.priority import RULES, explicit_order
+from ..core.instance import as_reservation_instance
+from ..errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class WorstOrderResult:
+    """Per-instance worst-order analysis outcome.
+
+    Attributes
+    ----------
+    worst_makespan / best_makespan:
+        Extremes of LSRC makespan over the explored orders.
+    optimal_makespan:
+        Exact ``C*max`` from branch-and-bound.
+    worst_order / best_order:
+        Job-id sequences achieving the extremes.
+    orders_explored:
+        Number of orders evaluated.
+    exhaustive:
+        True when every permutation was evaluated (exact worst case).
+    """
+
+    worst_makespan: object
+    best_makespan: object
+    optimal_makespan: object
+    worst_order: Tuple
+    best_order: Tuple
+    orders_explored: int
+    exhaustive: bool
+
+    @property
+    def worst_ratio(self) -> float:
+        """``worst LSRC / C*`` — the per-instance list-order risk.
+
+        Requires the exact optimum (``optimal_makespan`` not ``None``).
+        """
+        if self.optimal_makespan is None:
+            raise InvalidInstanceError(
+                "optimum was not computed; rerun with compute_optimal=True"
+            )
+        return self.worst_makespan / self.optimal_makespan
+
+    @property
+    def best_ratio(self) -> float:
+        """``best LSRC / C*`` — how close some order gets to optimal."""
+        if self.optimal_makespan is None:
+            raise InvalidInstanceError(
+                "optimum was not computed; rerun with compute_optimal=True"
+            )
+        return self.best_makespan / self.optimal_makespan
+
+    @property
+    def order_spread(self) -> float:
+        """``worst / best`` — how much the order alone can cost."""
+        return self.worst_makespan / self.best_makespan
+
+
+def _evaluate_orders(instance, orders) -> Tuple:
+    worst = best = None
+    worst_order = best_order = None
+    count = 0
+    for order in orders:
+        count += 1
+        schedule = ListScheduler(explicit_order(order)).schedule(instance)
+        c = schedule.makespan
+        if worst is None or c > worst:
+            worst, worst_order = c, tuple(order)
+        if best is None or c < best:
+            best, best_order = c, tuple(order)
+    return worst, best, worst_order, best_order, count
+
+
+def worst_order_exhaustive(instance, node_limit: int = 500_000) -> WorstOrderResult:
+    """Exact per-instance worst/best order (all ``n!`` permutations).
+
+    Limited to ``n <= 8`` (40k+ LSRC runs beyond that).
+    """
+    inst = as_reservation_instance(instance)
+    ids = [job.id for job in inst.jobs]
+    if len(ids) > 8:
+        raise InvalidInstanceError(
+            f"{len(ids)}! orders is too many; use worst_order_sample"
+        )
+    if not ids:
+        raise InvalidInstanceError("instance has no jobs")
+    worst, best, worst_order, best_order, count = _evaluate_orders(
+        inst, itertools.permutations(ids)
+    )
+    optimal = branch_and_bound(inst, node_limit=node_limit).makespan
+    return WorstOrderResult(
+        worst_makespan=worst,
+        best_makespan=best,
+        optimal_makespan=optimal,
+        worst_order=worst_order,
+        best_order=best_order,
+        orders_explored=count,
+        exhaustive=True,
+    )
+
+
+def worst_order_sample(
+    instance,
+    samples: int = 200,
+    seed: int = 0,
+    node_limit: int = 500_000,
+    compute_optimal: bool = True,
+) -> WorstOrderResult:
+    """Sampled worst/best order for larger instances.
+
+    Explores every named priority rule, their reversals, and ``samples``
+    random permutations.  The reported worst case is a *lower bound* on
+    the true per-instance worst order.  For instances too large for the
+    exact solver, pass ``compute_optimal=False`` — the ratio properties
+    then raise, but the order spread remains available.
+    """
+    inst = as_reservation_instance(instance)
+    ids = [job.id for job in inst.jobs]
+    if not ids:
+        raise InvalidInstanceError("instance has no jobs")
+    rng = random.Random(seed)
+    orders: List[Sequence] = []
+    for rule in RULES.values():
+        ordered = [j.id for j in rule(inst.jobs)]
+        orders.append(ordered)
+        orders.append(list(reversed(ordered)))
+    for _ in range(samples):
+        perm = list(ids)
+        rng.shuffle(perm)
+        orders.append(perm)
+    worst, best, worst_order, best_order, count = _evaluate_orders(
+        inst, orders
+    )
+    optimal = (
+        branch_and_bound(inst, node_limit=node_limit).makespan
+        if compute_optimal
+        else None
+    )
+    return WorstOrderResult(
+        worst_makespan=worst,
+        best_makespan=best,
+        optimal_makespan=optimal,
+        worst_order=worst_order,
+        best_order=best_order,
+        orders_explored=count,
+        exhaustive=False,
+    )

@@ -1,0 +1,12 @@
+"""Schedule visualisation: ASCII Gantt charts and SVG export."""
+
+from .gantt import render_gantt, render_profile, render_utilization
+from .svg import save_svg, schedule_to_svg
+
+__all__ = [
+    "render_gantt",
+    "render_profile",
+    "render_utilization",
+    "schedule_to_svg",
+    "save_svg",
+]

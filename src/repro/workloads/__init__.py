@@ -1,0 +1,48 @@
+"""Workload generation and trace I/O.
+
+* :mod:`repro.workloads.synthetic` — seeded random rigid-job generators
+  (uniform, log-uniform, α-constrained, tiny exact-solver instances);
+* :mod:`repro.workloads.feitelson` — stylised Feitelson parallel-workload
+  model (power-of-two widths, hyper-exponential correlated runtimes);
+* :mod:`repro.workloads.reservations` — reservation calendars (periodic
+  maintenance, α-budgeted random, non-increasing staircases);
+* :mod:`repro.workloads.swf` — Standard Workload Format reader/writer.
+"""
+
+from .characterize import WorkloadProfile, characterize, characterize_many
+from .feitelson import FeitelsonModel, feitelson_instance
+from .reservations import (
+    nonincreasing_staircase,
+    periodic_maintenance,
+    random_alpha_reservations,
+    reservation_load,
+)
+from .swf import SAMPLE_SWF, SWFReadReport, read_swf, write_swf
+from .synthetic import (
+    alpha_constrained_instance,
+    loguniform_instance,
+    small_exact_instance,
+    uniform_instance,
+    with_poisson_releases,
+)
+
+__all__ = [
+    "uniform_instance",
+    "loguniform_instance",
+    "alpha_constrained_instance",
+    "small_exact_instance",
+    "with_poisson_releases",
+    "FeitelsonModel",
+    "feitelson_instance",
+    "periodic_maintenance",
+    "random_alpha_reservations",
+    "nonincreasing_staircase",
+    "reservation_load",
+    "read_swf",
+    "write_swf",
+    "SWFReadReport",
+    "SAMPLE_SWF",
+    "WorkloadProfile",
+    "characterize",
+    "characterize_many",
+]

@@ -1,0 +1,122 @@
+"""Workload characterisation: descriptive statistics of instances.
+
+Experiment reports should state *what* was scheduled, not just how well.
+This module computes the standard descriptors of a rigid-job workload
+(width/runtime distributions, load, power-of-two share, reservation
+pressure) as a plain dataclass that drops into the reporting tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.instance import as_reservation_instance
+from ..errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Descriptive statistics of one instance.
+
+    Attributes
+    ----------
+    n / m:
+        Job and processor counts.
+    total_work:
+        ``sum p_i q_i``.
+    load_factor:
+        ``total_work / (m * lower_horizon)`` where the horizon is the
+        area lower bound — 1.0 means the workload exactly fills the
+        machine up to the bound.
+    mean_width / max_width / serial_share / pow2_share:
+        Width distribution descriptors.
+    mean_runtime / max_runtime / runtime_cv:
+        Runtime distribution descriptors (cv = coefficient of variation;
+        > 1 signals the heavy tail real traces show).
+    reservation_pressure:
+        Fraction of machine-time area blocked by reservations within the
+        reservation span (0 when there are none).
+    arrival_span:
+        Last release minus first (0 for offline instances).
+    """
+
+    n: int
+    m: int
+    total_work: float
+    load_factor: float
+    mean_width: float
+    max_width: int
+    serial_share: float
+    pow2_share: float
+    mean_runtime: float
+    max_runtime: float
+    runtime_cv: float
+    reservation_pressure: float
+    arrival_span: float
+
+    def as_dict(self) -> Dict:
+        """Row form for the table/CSV helpers."""
+        return {
+            "n": self.n,
+            "m": self.m,
+            "work": self.total_work,
+            "load": round(self.load_factor, 3),
+            "mean_q": round(self.mean_width, 2),
+            "max_q": self.max_width,
+            "serial%": round(100 * self.serial_share, 1),
+            "pow2%": round(100 * self.pow2_share, 1),
+            "mean_p": round(self.mean_runtime, 2),
+            "cv_p": round(self.runtime_cv, 2),
+            "res_pressure": round(self.reservation_pressure, 3),
+        }
+
+
+def characterize(instance) -> WorkloadProfile:
+    """Compute the workload profile of an instance."""
+    inst = as_reservation_instance(instance)
+    if not inst.jobs:
+        raise InvalidInstanceError("cannot characterize an empty workload")
+    widths = [job.q for job in inst.jobs]
+    runtimes = [float(job.p) for job in inst.jobs]
+    n = len(widths)
+    mean_p = sum(runtimes) / n
+    var_p = sum((p - mean_p) ** 2 for p in runtimes) / n
+    cv = math.sqrt(var_p) / mean_p if mean_p else 0.0
+
+    from ..core.bounds import area_bound
+
+    horizon = float(area_bound(inst)) or 1.0
+    load = float(inst.total_work) / (inst.m * horizon)
+
+    pressure = 0.0
+    if inst.reservations:
+        span_start = min(r.start for r in inst.reservations)
+        span_end = max(r.end for r in inst.reservations)
+        span = float(span_end - span_start)
+        if span > 0:
+            blocked = sum(float(r.area) for r in inst.reservations)
+            pressure = blocked / (inst.m * span)
+
+    releases = [float(job.release) for job in inst.jobs]
+    return WorkloadProfile(
+        n=n,
+        m=inst.m,
+        total_work=float(inst.total_work),
+        load_factor=load,
+        mean_width=sum(widths) / n,
+        max_width=max(widths),
+        serial_share=sum(1 for q in widths if q == 1) / n,
+        pow2_share=sum(1 for q in widths if q & (q - 1) == 0) / n,
+        mean_runtime=mean_p,
+        max_runtime=max(runtimes),
+        runtime_cv=cv,
+        reservation_pressure=pressure,
+        arrival_span=max(releases) - min(releases),
+    )
+
+
+def characterize_many(instances) -> List[Dict]:
+    """Profiles of several instances, as table rows."""
+    return [characterize(inst).as_dict() for inst in instances]

@@ -1,0 +1,137 @@
+"""A Feitelson-style parallel workload model.
+
+The paper's experimental context is production clusters (Section 1.1,
+"more than 70 percent ... of the top-500 are clusters"), whose workloads
+are conventionally modelled after Feitelson's observations on rigid-job
+traces (Feitelson '96; Feitelson & Rudolph '98):
+
+* **degrees of parallelism** are small-biased, favour powers of two, and
+  occasionally use the full machine;
+* **runtimes** are hyper-exponentially distributed (many short jobs, a
+  heavy tail of long ones) and *positively correlated* with parallelism;
+* **arrivals** follow a Poisson process for stationary periods.
+
+This module is a self-contained implementation of that stylised model
+(the exact published model is tied to specific trace fits; we document
+each simplification inline).  It exists so the benchmarks can exercise
+the schedulers on realistic job mixes, not just uniform noise.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from ..core.instance import RigidInstance
+from ..core.job import Job
+from ..errors import InvalidInstanceError
+
+
+class FeitelsonModel:
+    """Sampler for rigid jobs following the stylised Feitelson model.
+
+    Parameters
+    ----------
+    m:
+        Machine size (widths are clipped to ``[1, m]``).
+    pow2_probability:
+        Probability that a sampled width is snapped to a power of two
+        (trace studies report 70–90%; default 0.8).
+    serial_probability:
+        Probability mass of strictly serial jobs (``q = 1``); traces show
+        20–40%; default 0.25.
+    short_mean / long_mean:
+        Means of the two exponential branches of the runtime
+        hyper-exponential.
+    long_probability:
+        Weight of the long branch (the heavy tail); default 0.1.
+    correlation:
+        Strength in ``[0, 1]`` of the runtime–parallelism correlation:
+        the long-branch probability is boosted by
+        ``correlation * (log2 q / log2 m)``.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        pow2_probability: float = 0.8,
+        serial_probability: float = 0.25,
+        short_mean: float = 10.0,
+        long_mean: float = 300.0,
+        long_probability: float = 0.1,
+        correlation: float = 0.5,
+    ):
+        if m < 1:
+            raise InvalidInstanceError("m must be >= 1")
+        for name, value in [
+            ("pow2_probability", pow2_probability),
+            ("serial_probability", serial_probability),
+            ("long_probability", long_probability),
+            ("correlation", correlation),
+        ]:
+            if not 0 <= value <= 1:
+                raise InvalidInstanceError(f"{name} must lie in [0, 1]")
+        if short_mean <= 0 or long_mean <= 0:
+            raise InvalidInstanceError("runtime means must be positive")
+        self.m = m
+        self.pow2_probability = pow2_probability
+        self.serial_probability = serial_probability
+        self.short_mean = short_mean
+        self.long_mean = long_mean
+        self.long_probability = long_probability
+        self.correlation = correlation
+
+    # -- sampling -------------------------------------------------------
+    def sample_width(self, rng: random.Random) -> int:
+        """Degree of parallelism: serial mass + log-uniform body + pow2 snap."""
+        if rng.random() < self.serial_probability or self.m == 1:
+            return 1
+        raw = math.exp(rng.uniform(0.0, math.log(self.m)))
+        q = max(1, min(self.m, int(round(raw))))
+        if rng.random() < self.pow2_probability:
+            exp = max(0, int(round(math.log2(max(1, q)))))
+            q = max(1, min(self.m, 2**exp))
+        return q
+
+    def sample_runtime(self, rng: random.Random, q: int) -> float:
+        """Hyper-exponential runtime, long branch boosted for wide jobs."""
+        boost = 0.0
+        if self.m > 1:
+            boost = self.correlation * (math.log2(max(1, q)) / math.log2(self.m))
+        p_long = min(1.0, self.long_probability + boost * self.long_probability * 4)
+        mean = self.long_mean if rng.random() < p_long else self.short_mean
+        # runtimes below one time unit are rounded up: schedulers assume p > 0
+        return max(1.0, rng.expovariate(1.0 / mean))
+
+    def instance(
+        self,
+        n: int,
+        seed: int = 0,
+        arrival_rate: Optional[float] = None,
+        name: str = "",
+    ) -> RigidInstance:
+        """Sample ``n`` jobs; optional Poisson releases with ``arrival_rate``."""
+        rng = random.Random(seed)
+        jobs: List[Job] = []
+        t = 0.0
+        for i in range(n):
+            q = self.sample_width(rng)
+            p = self.sample_runtime(rng, q)
+            release = 0.0
+            if arrival_rate is not None:
+                t += rng.expovariate(arrival_rate)
+                release = t
+            jobs.append(Job(id=i, p=p, q=q, release=release))
+        return RigidInstance(
+            m=self.m,
+            jobs=tuple(jobs),
+            name=name or f"feitelson(n={n},m={self.m})",
+        )
+
+
+def feitelson_instance(
+    n: int, m: int, seed: int = 0, arrival_rate: Optional[float] = None
+) -> RigidInstance:
+    """Shorthand: default-parameter Feitelson-style instance."""
+    return FeitelsonModel(m).instance(n, seed=seed, arrival_rate=arrival_rate)

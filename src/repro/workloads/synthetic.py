@@ -1,0 +1,167 @@
+"""Synthetic rigid-job workload generators.
+
+Randomised instances for the empirical benchmarks.  Every generator takes
+an explicit ``seed`` and returns plain instances from :mod:`repro.core`;
+distributions follow the stylised facts of parallel workloads (see
+:mod:`repro.workloads.feitelson` for the model-based generator):
+
+* processor requirements are small-biased with a bump at powers of two;
+* runtimes are log-uniform-ish (heavy right tail);
+* optional Poisson release times for online experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from ..core.instance import ReservationInstance, RigidInstance
+from ..core.job import Job
+from ..errors import InvalidInstanceError
+
+
+def uniform_instance(
+    n: int,
+    m: int,
+    p_range=(1, 100),
+    q_range=(1, None),
+    seed: int = 0,
+    name: str = "",
+) -> RigidInstance:
+    """Jobs with integer ``p ~ U[p_range]`` and ``q ~ U[q_range]``.
+
+    ``q_range[1]`` defaults to ``m``.  Integer times keep schedule algebra
+    exact in the tests.
+    """
+    if n < 0:
+        raise InvalidInstanceError("n must be >= 0")
+    rng = random.Random(seed)
+    q_lo, q_hi = q_range
+    q_hi = m if q_hi is None else q_hi
+    if not 1 <= q_lo <= q_hi <= m:
+        raise InvalidInstanceError(
+            f"invalid q_range {q_range!r} for m = {m}"
+        )
+    p_lo, p_hi = p_range
+    if not 0 < p_lo <= p_hi:
+        raise InvalidInstanceError(f"invalid p_range {p_range!r}")
+    jobs = [
+        Job(id=i, p=rng.randint(p_lo, p_hi), q=rng.randint(q_lo, q_hi))
+        for i in range(n)
+    ]
+    return RigidInstance(m=m, jobs=tuple(jobs), name=name or f"uniform(n={n},m={m})")
+
+
+def loguniform_instance(
+    n: int,
+    m: int,
+    p_max: float = 1000.0,
+    seed: int = 0,
+    name: str = "",
+) -> RigidInstance:
+    """Log-uniform runtimes in ``[1, p_max]``, power-of-two-biased widths.
+
+    Mimics the heavy-tailed runtimes of production traces: most jobs are
+    short, a few are very long.
+    """
+    if p_max <= 1:
+        raise InvalidInstanceError("p_max must exceed 1")
+    rng = random.Random(seed)
+    jobs = []
+    for i in range(n):
+        p = math.exp(rng.uniform(0.0, math.log(p_max)))
+        q = _pow2_biased_width(rng, m)
+        jobs.append(Job(id=i, p=p, q=q))
+    return RigidInstance(
+        m=m, jobs=tuple(jobs), name=name or f"loguniform(n={n},m={m})"
+    )
+
+
+def _pow2_biased_width(rng: random.Random, m: int, alpha_cap: Optional[float] = None) -> int:
+    """Width sampler: log-uniform in ``[1, cap]`` and snapped to a power of
+    two with probability 0.75 (the classical observation that users ask
+    for powers of two)."""
+    cap = m if alpha_cap is None else max(1, int(alpha_cap * m))
+    raw = math.exp(rng.uniform(0.0, math.log(cap))) if cap > 1 else 1.0
+    q = max(1, min(cap, int(round(raw))))
+    if rng.random() < 0.75:
+        # snap to the nearest power of two within [1, cap]
+        exp = max(0, int(round(math.log2(q))))
+        q = min(cap, 2**exp)
+    return max(1, q)
+
+
+def alpha_constrained_instance(
+    n: int,
+    m: int,
+    alpha,
+    p_range=(1, 100),
+    seed: int = 0,
+    name: str = "",
+) -> RigidInstance:
+    """Jobs whose widths respect the α-restriction ``q_i <= α m``.
+
+    Combine with
+    :func:`repro.workloads.reservations.random_alpha_reservations` to get
+    full α-RESASCHEDULING instances (Section 4.2).
+    """
+    if not 0 < alpha <= 1:
+        raise InvalidInstanceError(f"alpha must lie in (0, 1], got {alpha!r}")
+    cap = int(alpha * m)
+    if cap < 1:
+        raise InvalidInstanceError(
+            f"alpha = {alpha} leaves no width for jobs on m = {m}"
+        )
+    rng = random.Random(seed)
+    p_lo, p_hi = p_range
+    jobs = [
+        Job(
+            id=i,
+            p=rng.randint(p_lo, p_hi),
+            q=_pow2_biased_width(rng, m, alpha_cap=alpha),
+        )
+        for i in range(n)
+    ]
+    return RigidInstance(
+        m=m,
+        jobs=tuple(jobs),
+        name=name or f"alpha-jobs(n={n},m={m},alpha={alpha})",
+    )
+
+
+def with_poisson_releases(
+    instance: RigidInstance, rate: float, seed: int = 0
+) -> RigidInstance:
+    """Copy of ``instance`` with Poisson-process release times.
+
+    Inter-arrival times are exponential with the given ``rate`` (jobs per
+    unit time); job order follows the instance order, matching how a
+    submission queue fills up.
+    """
+    if rate <= 0:
+        raise InvalidInstanceError("arrival rate must be positive")
+    rng = random.Random(seed)
+    t = 0.0
+    jobs: List[Job] = []
+    for job in instance.jobs:
+        t += rng.expovariate(rate)
+        jobs.append(job.with_release(t))
+    return instance.with_jobs(jobs)
+
+
+def small_exact_instance(
+    n: int,
+    m: int,
+    p_max: int = 8,
+    seed: int = 0,
+) -> RigidInstance:
+    """Tiny integer instances for exact-solver cross-checks (``n <= 8``)."""
+    if n > 8:
+        raise InvalidInstanceError("small_exact_instance is for n <= 8")
+    rng = random.Random(seed)
+    jobs = [
+        Job(id=i, p=rng.randint(1, p_max), q=rng.randint(1, m))
+        for i in range(n)
+    ]
+    return RigidInstance(m=m, jobs=tuple(jobs), name=f"small(n={n},m={m})")

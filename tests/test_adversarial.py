@@ -1,0 +1,142 @@
+"""Tests for the worst-case families — each checked against its analytic
+values AND by actually running the algorithms."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import ListScheduler, fcfs_schedule, list_schedule
+from repro.core import lower_bound
+from repro.errors import InvalidInstanceError
+from repro.theory import (
+    fcfs_worstcase_instance,
+    graham_tight_instance,
+    lower_bound_integer_case,
+    proposition2_instance,
+)
+
+
+class TestProposition2Family:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_structure(self, k):
+        fam = proposition2_instance(k)
+        inst = fam.instance
+        assert inst.m == k * k * (k - 1)
+        assert inst.n == 2 * k - 1
+        assert inst.n_reservations == 1
+        res = inst.reservations[0]
+        assert res.q == k * (k - 1) * (k - 2)
+        assert res.start == k  # scaled: paper's t = 1
+        # the alpha restriction holds exactly: U <= (1-α)m, q <= αm
+        inst.validate_alpha(fam.alpha)
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_analytic_optimal_schedule_is_feasible_and_tight(self, k):
+        fam = proposition2_instance(k)
+        opt = fam.optimal_schedule()
+        opt.verify()
+        assert opt.makespan == fam.optimal_makespan == k
+        # it is truly optimal: the area bound already matches, because the
+        # machine is fully packed on [0, k)
+        assert lower_bound(fam.instance) == k
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_lsrc_bad_order_hits_bound_exactly(self, k):
+        fam = proposition2_instance(k)
+        sched = list_schedule(fam.instance, order=fam.bad_order)
+        sched.verify()
+        assert sched.makespan == fam.lsrc_makespan == 1 + k * (k - 1)
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_ratio_equals_proposition2_formula(self, k):
+        fam = proposition2_instance(k)
+        assert fam.ratio == lower_bound_integer_case(Fraction(2, k))
+
+    def test_figure3_exact_annotations(self):
+        """Figure 3: α = 1/3 (k = 6, m = 180): C* = 6, Cmax = 5×6+1 = 31."""
+        fam = proposition2_instance(6)
+        assert fam.instance.m == 180
+        assert fam.optimal_makespan == 6
+        assert fam.lsrc_makespan == 31
+        assert fam.ratio == Fraction(31, 6)
+
+    def test_k_too_small_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            proposition2_instance(2)
+
+    def test_good_order_does_much_better(self):
+        """LSRC with the wide jobs first achieves the optimum here —
+        ordering is everything on this family."""
+        fam = proposition2_instance(5)
+        good = [f"B{i}" for i in range(4)] + [f"A{i}" for i in range(5)]
+        sched = list_schedule(fam.instance, order=good)
+        sched.verify()
+        assert sched.makespan == fam.optimal_makespan
+
+
+class TestFCFSWorstCase:
+    @pytest.mark.parametrize("m", [2, 3, 5, 8])
+    def test_fcfs_hits_analytic_makespan(self, m):
+        fam = fcfs_worstcase_instance(m, K=20)
+        s = fcfs_schedule(fam.instance)
+        s.verify()
+        assert s.makespan == fam.fcfs_makespan == m * 20 + m - 1
+
+    @pytest.mark.parametrize("m", [2, 3, 5])
+    def test_optimal_schedule_verified(self, m):
+        fam = fcfs_worstcase_instance(m, K=20)
+        opt = fam.optimal_schedule()
+        opt.verify()
+        assert opt.makespan == fam.optimal_makespan
+        # optimality certified by the work bound
+        assert lower_bound(fam.instance) == fam.optimal_makespan
+
+    def test_ratio_approaches_m(self):
+        m = 6
+        ratios = [
+            float(fcfs_worstcase_instance(m, K=K).ratio)
+            for K in (10, 100, 1000)
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > m - 0.1
+
+    def test_lsrc_is_fine_on_this_family(self):
+        """LSRC backfills the narrow jobs: ratio stays near 1."""
+        fam = fcfs_worstcase_instance(6, K=50)
+        s = ListScheduler().schedule(fam.instance)
+        s.verify()
+        assert s.makespan <= 2 * fam.optimal_makespan
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            fcfs_worstcase_instance(1)
+        with pytest.raises(InvalidInstanceError):
+            fcfs_worstcase_instance(3, K=0)
+
+
+class TestGrahamTightFamily:
+    @pytest.mark.parametrize("m", [2, 3, 4, 6])
+    def test_bad_order_achieves_2m_minus_1(self, m):
+        fam = graham_tight_instance(m)
+        s = list_schedule(fam.instance, order=fam.bad_order)
+        s.verify()
+        assert s.makespan == 2 * m - 1
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 6])
+    def test_optimal_schedule(self, m):
+        fam = graham_tight_instance(m)
+        opt = fam.optimal_schedule()
+        opt.verify()
+        assert opt.makespan == m
+        assert lower_bound(fam.instance) == m  # work bound is tight
+
+    def test_ratio_is_graham_bound_exactly(self):
+        from repro.theory import graham_ratio
+
+        for m in (2, 3, 5, 10):
+            fam = graham_tight_instance(m)
+            assert fam.ratio == graham_ratio(m)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            graham_tight_instance(1)

@@ -1,0 +1,146 @@
+"""Tests for the alpha-RESASCHEDULING bound formulas (Figure 4)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.theory import (
+    default_alpha_grid,
+    figure4_series,
+    gap_at,
+    lower_bound_b1,
+    lower_bound_b2,
+    lower_bound_integer_case,
+    upper_bound,
+)
+
+
+class TestUpperBound:
+    def test_values(self):
+        assert upper_bound(1) == 2
+        assert upper_bound(0.5) == 4
+        assert upper_bound(Fraction(1, 4)) == 8
+
+    def test_paper_example_alpha_half(self):
+        """'For α = 1/2, we obtain a bound of 4.'"""
+        assert upper_bound(Fraction(1, 2)) == 4
+
+    def test_domain(self):
+        with pytest.raises(InvalidInstanceError):
+            upper_bound(0)
+        with pytest.raises(InvalidInstanceError):
+            upper_bound(1.2)
+
+
+class TestIntegerCaseLowerBound:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 10])
+    def test_closed_form(self, k):
+        alpha = Fraction(2, k)
+        want = Fraction(2, alpha) - 1 + alpha / 2
+        assert lower_bound_integer_case(alpha) == want
+
+    def test_figure3_value(self):
+        """α = 1/3 gives 2/α - 1 + α/2 = 6 - 1 + 1/6 = 31/6."""
+        assert lower_bound_integer_case(Fraction(1, 3)) == Fraction(31, 6)
+
+    def test_non_integral_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            lower_bound_integer_case(Fraction(3, 4))
+
+    def test_float_input_returns_float(self):
+        assert lower_bound_integer_case(0.5) == pytest.approx(3.25)
+
+
+class TestB1B2:
+    def test_b1_matches_integer_case_at_2_over_k(self):
+        for k in range(2, 12):
+            alpha = Fraction(2, k)
+            assert lower_bound_b1(alpha) == lower_bound_integer_case(alpha)
+
+    def test_b2_value_at_alpha_08(self):
+        # 2/α = 2.5, ceil = 3, B2 = 3 - 2/2.5 = 2.2
+        assert lower_bound_b2(Fraction(4, 5)) == Fraction(11, 5)
+
+    def test_b1_value_at_alpha_08(self):
+        # ceil=3; inner = 1 - 0.4*2 = 0.2; floor(0.6/0.2)=3; B1 = 2 + 1/4
+        assert lower_bound_b1(Fraction(4, 5)) == Fraction(9, 4)
+
+    def test_alpha_one(self):
+        assert lower_bound_b1(Fraction(1)) == Fraction(3, 2)
+        assert lower_bound_b2(Fraction(1)) == Fraction(3, 2)
+
+    def test_fraction_in_fraction_out(self):
+        assert isinstance(lower_bound_b1(Fraction(1, 3)), Fraction)
+        assert isinstance(lower_bound_b2(Fraction(1, 3)), Fraction)
+
+    def test_float_in_float_out(self):
+        assert isinstance(lower_bound_b1(0.37), float)
+        assert isinstance(lower_bound_b2(0.37), float)
+
+
+class TestOrderingInvariants:
+    """Figure 4's visual facts: upper >= B1 >= B2 > 1 on (0, 1]."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        num=st.integers(min_value=1, max_value=200),
+        den=st.integers(min_value=1, max_value=200),
+    )
+    def test_b1_dominates_b2_exact(self, num, den):
+        if num > den:
+            num, den = den, num
+        alpha = Fraction(num, den)
+        assert lower_bound_b1(alpha) >= lower_bound_b2(alpha)
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        num=st.integers(min_value=1, max_value=200),
+        den=st.integers(min_value=1, max_value=200),
+    )
+    def test_upper_dominates_b1_exact(self, num, den):
+        if num > den:
+            num, den = den, num
+        alpha = Fraction(num, den)
+        assert Fraction(2) / alpha >= lower_bound_b1(alpha)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        num=st.integers(min_value=1, max_value=100),
+        den=st.integers(min_value=1, max_value=100),
+    )
+    def test_bounds_exceed_one(self, num, den):
+        if num > den:
+            num, den = den, num
+        alpha = Fraction(num, den)
+        assert lower_bound_b2(alpha) > 1
+
+    def test_gap_shrinks_relatively_as_alpha_decreases(self):
+        """At α = 2/k the absolute gap stays below 1 while the bounds grow,
+        so the relative gap vanishes — the paper's 'arbitrarily close'."""
+        for k in (2, 4, 8, 16, 64):
+            alpha = Fraction(2, k)
+            gap = gap_at(alpha)
+            assert gap < 1
+            assert gap / upper_bound(alpha) <= Fraction(1, k)
+
+
+class TestSeries:
+    def test_figure4_series_shape(self):
+        grid = default_alpha_grid(50)
+        rows = figure4_series(grid)
+        assert len(rows) == 50
+        for row in rows:
+            assert row.upper >= row.b1 >= row.b2
+
+    def test_default_grid_spans(self):
+        grid = default_alpha_grid(100, lo=0.1)
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(1.0)
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_grid_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            default_alpha_grid(1)

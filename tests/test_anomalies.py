@@ -1,0 +1,100 @@
+"""Tests for the Graham timing-anomaly explorer."""
+
+import pytest
+
+from repro.algorithms import ListScheduler
+from repro.analysis import (
+    capacity_anomaly,
+    classic_capacity_anomaly,
+    find_anomalies,
+    removal_anomaly,
+    shortening_anomaly,
+)
+from repro.core import ReservationInstance, RigidInstance
+from repro.errors import InvalidInstanceError
+
+
+class TestWitnessVerification:
+    def test_classic_capacity_witness(self):
+        witness = classic_capacity_anomaly()
+        assert witness.kind == "add-capacity"
+        assert witness.perturbed_makespan > witness.base_makespan
+        assert witness.regression > 0
+        # replay both sides with the real scheduler
+        base = ListScheduler().schedule(witness.base_instance)
+        pert = ListScheduler().schedule(witness.perturbed_instance)
+        assert base.makespan == witness.base_makespan
+        assert pert.makespan == witness.perturbed_makespan
+        assert witness.perturbed_instance.m > witness.base_instance.m
+
+    def test_shortening_validation(self, tiny_rigid):
+        with pytest.raises(InvalidInstanceError):
+            shortening_anomaly(tiny_rigid, 0, 99)  # not shorter
+        with pytest.raises(InvalidInstanceError):
+            shortening_anomaly(tiny_rigid, 0, 0)   # not positive
+
+    def test_removal_validation(self, tiny_rigid):
+        with pytest.raises(InvalidInstanceError):
+            removal_anomaly(tiny_rigid, "ghost")
+
+    def test_capacity_validation(self, tiny_rigid):
+        with pytest.raises(InvalidInstanceError):
+            capacity_anomaly(tiny_rigid, extra=0)
+
+    def test_no_witness_returns_none(self):
+        # a single job cannot exhibit any anomaly
+        inst = RigidInstance.from_specs(2, [(5, 1)])
+        assert capacity_anomaly(inst) is None
+        assert removal_anomaly(inst, 0) is None
+        assert shortening_anomaly(inst, 0, 2) is None
+
+
+class TestSearch:
+    def test_search_finds_anomalies(self):
+        """2000 trials find several witnesses."""
+        witnesses = find_anomalies(n_trials=2000, seed=1)
+        assert witnesses, "expected at least one anomaly in 2000 trials"
+        kinds = {w.kind for w in witnesses}
+        assert kinds <= {"shorten", "remove", "add-capacity"}
+
+    def test_search_witnesses_are_genuine(self):
+        for witness in find_anomalies(n_trials=1500, seed=2)[:5]:
+            base = ListScheduler().schedule(witness.base_instance)
+            pert = ListScheduler().schedule(witness.perturbed_instance)
+            assert pert.makespan > base.makespan
+            # the perturbation really is favourable
+            if witness.kind == "shorten":
+                base_work = witness.base_instance.total_work
+                pert_work = witness.perturbed_instance.total_work
+                assert pert_work < base_work
+            elif witness.kind == "remove":
+                assert (
+                    witness.perturbed_instance.n
+                    == witness.base_instance.n - 1
+                )
+            else:
+                assert witness.perturbed_instance.m > witness.base_instance.m
+
+    def test_search_deterministic(self):
+        a = find_anomalies(n_trials=400, seed=3)
+        b = find_anomalies(n_trials=400, seed=3)
+        assert [(w.kind, str(w.base_makespan)) for w in a] == [
+            (w.kind, str(w.base_makespan)) for w in b
+        ]
+
+    def test_reservation_free_anomalies_also_exist(self):
+        """Rigid widths alone already break monotonicity: the search with
+        reservations disabled still finds genuine witnesses (contrast
+        with sequential independent tasks, where greedy is monotone)."""
+        witnesses = find_anomalies(
+            n_trials=800, seed=4, max_reservations=0
+        )
+        assert witnesses
+        for w in witnesses:
+            assert w.base_instance.n_reservations == 0
+            assert w.perturbed_makespan > w.base_makespan
+
+    def test_description_mentions_values(self):
+        witness = classic_capacity_anomaly()
+        assert str(witness.base_makespan) in witness.description
+        assert str(witness.perturbed_makespan) in witness.description

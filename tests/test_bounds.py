@@ -1,0 +1,112 @@
+"""Tests for lower bounds — including the soundness property
+``lower_bound(I) <= C*max(I)`` against the exhaustive solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import exhaustive_optimal
+from repro.core import (
+    ReservationInstance,
+    RigidInstance,
+    Schedule,
+    area_bound,
+    lower_bound,
+    pmax_bound,
+    ratio_to_lower_bound,
+    release_bound,
+    squashed_area_bound,
+    work_bound,
+)
+
+from conftest import random_resa, random_rigid
+
+
+class TestWorkAndAreaBounds:
+    def test_work_bound_rigid(self, tiny_rigid):
+        assert work_bound(tiny_rigid) == tiny_rigid.total_work / 4
+
+    def test_area_bound_equals_work_bound_without_reservations(
+        self, tiny_rigid
+    ):
+        assert area_bound(tiny_rigid) == work_bound(tiny_rigid)
+
+    def test_area_bound_stronger_with_reservations(self, tiny_resa):
+        assert area_bound(tiny_resa) > work_bound(tiny_resa)
+
+    def test_area_bound_exact_value(self):
+        # m=2, work=6, reservation blocks 1 proc on [0, 2):
+        # area offered: t in [0,2): 1/unit; after: 2/unit -> 6 done at t=4
+        inst = ReservationInstance.from_specs(2, [(3, 2)], [(0, 2, 1)])
+        assert area_bound(inst) == 4
+
+    def test_empty(self):
+        inst = RigidInstance(m=2, jobs=())
+        assert lower_bound(inst) == 0
+
+
+class TestPmaxBound:
+    def test_no_reservations(self, tiny_rigid):
+        assert pmax_bound(tiny_rigid) == tiny_rigid.pmax
+
+    def test_with_blocking_reservation(self):
+        # the q=2 job cannot start before the reservation ends at 5
+        inst = ReservationInstance.from_specs(2, [(3, 2)], [(0, 5, 1)])
+        assert pmax_bound(inst) == 8
+
+    def test_unschedulable_job_raises(self):
+        # reservation permanently occupying... not possible (finite), but a
+        # job wider than the machine is rejected at instance level; emulate
+        # narrowness via release-time shenanigans is also impossible ->
+        # check the error path with a profile the job never fits: none
+        # exists, so just confirm normal instances do not raise.
+        inst = ReservationInstance.from_specs(2, [(1, 2)], [(0, 3, 1)])
+        assert pmax_bound(inst) == 4
+
+
+class TestSquashedAreaBound:
+    def test_wide_jobs_serialize(self):
+        # two jobs of q=3 > m/2 on m=4: they cannot overlap
+        inst = RigidInstance.from_specs(4, [(5, 3), (4, 3)])
+        assert squashed_area_bound(inst) == 9
+        assert lower_bound(inst) == 9
+
+    def test_no_wide_jobs(self):
+        inst = RigidInstance.from_specs(4, [(5, 2), (4, 2)])
+        assert squashed_area_bound(inst) == 0
+
+    def test_respects_reservations(self):
+        # wide jobs need >= 3 procs; reservation leaves 2 on [0, 4)
+        inst = ReservationInstance.from_specs(
+            4, [(5, 3), (4, 3)], [(0, 4, 2)]
+        )
+        assert squashed_area_bound(inst) == 13
+
+
+class TestReleaseBound:
+    def test_release_bound(self):
+        inst = RigidInstance.from_specs(2, [(2, 1, 10), (5, 1)])
+        assert release_bound(inst) == 12
+
+
+class TestRatioHelper:
+    def test_ratio_to_lower_bound(self, tiny_rigid):
+        s = Schedule(tiny_rigid, {0: 0, 1: 3, 2: 0, 3: 5})
+        assert ratio_to_lower_bound(s) == s.makespan / lower_bound(tiny_rigid)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_lower_bound_is_sound_rigid(seed):
+    """lower_bound(I) <= C*max(I) on random small rigid instances."""
+    inst = random_rigid(seed, n=5)
+    opt = exhaustive_optimal(inst)
+    assert lower_bound(inst) <= opt.makespan + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_lower_bound_is_sound_with_reservations(seed):
+    """lower_bound(I) <= C*max(I) on random small reservation instances."""
+    inst = random_resa(seed, n=5)
+    opt = exhaustive_optimal(inst)
+    assert lower_bound(inst) <= opt.makespan + 1e-9

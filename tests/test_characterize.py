@@ -1,0 +1,70 @@
+"""Tests for workload characterisation."""
+
+import pytest
+
+from repro.core import ReservationInstance, RigidInstance
+from repro.errors import InvalidInstanceError
+from repro.workloads import (
+    characterize,
+    characterize_many,
+    feitelson_instance,
+    uniform_instance,
+)
+
+
+class TestCharacterize:
+    def test_basic_counts(self, tiny_rigid):
+        profile = characterize(tiny_rigid)
+        assert profile.n == 4
+        assert profile.m == 4
+        assert profile.total_work == float(tiny_rigid.total_work)
+        assert profile.max_width == 4
+
+    def test_load_factor_of_perfect_packing(self):
+        # 2 jobs exactly filling m=2 for 3 units: load = 1
+        inst = RigidInstance.from_specs(2, [(3, 1), (3, 1)])
+        assert characterize(inst).load_factor == pytest.approx(1.0)
+
+    def test_serial_and_pow2_shares(self):
+        inst = RigidInstance.from_specs(8, [(1, 1), (1, 2), (1, 3), (1, 4)])
+        profile = characterize(inst)
+        assert profile.serial_share == 0.25
+        assert profile.pow2_share == 0.75  # widths 1, 2, 4
+
+    def test_runtime_cv_flat(self):
+        inst = RigidInstance.from_specs(2, [(5, 1), (5, 1), (5, 2)])
+        assert characterize(inst).runtime_cv == 0.0
+
+    def test_runtime_cv_heavy_tail(self):
+        inst = feitelson_instance(300, 32, seed=1)
+        profile = characterize(inst)
+        assert profile.runtime_cv > 0.8  # hyper-exponential signature
+
+    def test_reservation_pressure(self):
+        inst = ReservationInstance.from_specs(
+            4, [(1, 1)], [(0, 10, 2)]
+        )
+        # 2 of 4 procs for the whole reservation span
+        assert characterize(inst).reservation_pressure == pytest.approx(0.5)
+
+    def test_no_reservations_zero_pressure(self, tiny_rigid):
+        assert characterize(tiny_rigid).reservation_pressure == 0.0
+
+    def test_arrival_span(self):
+        inst = RigidInstance.from_specs(2, [(1, 1, 0), (1, 1, 9)])
+        assert characterize(inst).arrival_span == 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            characterize(RigidInstance(m=2, jobs=()))
+
+    def test_as_dict_keys(self, tiny_rigid):
+        row = characterize(tiny_rigid).as_dict()
+        assert {"n", "m", "load", "mean_q", "pow2%", "cv_p"} <= set(row)
+
+    def test_characterize_many(self):
+        rows = characterize_many(
+            [uniform_instance(5, 8, seed=s) for s in range(3)]
+        )
+        assert len(rows) == 3
+        assert all(r["n"] == 5 for r in rows)

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface (direct main() calls)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import load_instance, load_schedule
+from repro.workloads import SAMPLE_SWF
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = str(tmp_path / "inst.json")
+    code = main(
+        ["generate", "-n", "6", "-m", "8", "--alpha", "1/2",
+         "--seed", "3", "-o", path]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_instance(self, instance_file):
+        inst = load_instance(instance_file)
+        assert inst.m == 8
+        assert inst.n == 6
+        inst.validate_alpha(0.5)
+
+    def test_stdout_mode(self, capsys):
+        assert main(["generate", "-n", "3", "-m", "4"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["m"] == 4
+
+    def test_feitelson_model(self, tmp_path):
+        path = str(tmp_path / "f.json")
+        assert main(
+            ["generate", "--model", "feitelson", "-n", "5", "-m", "16",
+             "-o", path]
+        ) == 0
+        assert load_instance(path).n == 5
+
+
+class TestSchedule:
+    def test_schedule_roundtrip(self, instance_file, tmp_path, capsys):
+        out_path = str(tmp_path / "sched.json")
+        code = main(
+            ["schedule", instance_file, "-a", "lsrc-lpt", "-o", out_path]
+        )
+        assert code == 0
+        schedule = load_schedule(out_path)
+        schedule.verify()
+        assert "Cmax" in capsys.readouterr().out
+
+    def test_unknown_algorithm(self, instance_file, capsys):
+        code = main(["schedule", instance_file, "-a", "psychic"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["schedule", "/nonexistent.json"]) == 1
+
+
+class TestOptimal:
+    def test_optimal(self, instance_file, capsys):
+        assert main(["optimal", instance_file]) == 0
+        out = capsys.readouterr().out
+        assert "proven=True" in out
+
+
+class TestBounds:
+    def test_bounds_table(self, capsys):
+        assert main(["bounds", "1/2", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "13/4" in out  # B1 at alpha = 1/2
+        assert "upper" in out
+
+
+class TestFigures:
+    @pytest.mark.parametrize("number", [1, 2, 3, 4])
+    def test_each_figure_renders(self, number, capsys):
+        assert main(["figure", str(number), "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "9"]) == 2
+
+
+class TestGanttAndSimulate:
+    def test_gantt(self, instance_file, tmp_path, capsys):
+        sched_path = str(tmp_path / "s.json")
+        main(["schedule", instance_file, "-o", sched_path])
+        capsys.readouterr()
+        svg_path = str(tmp_path / "s.svg")
+        assert main(["gantt", sched_path, "--svg", svg_path]) == 0
+        out = capsys.readouterr().out
+        assert "Gantt" in out
+        assert open(svg_path).read().startswith("<svg")
+
+    @pytest.mark.parametrize("policy", ["fcfs", "easy", "conservative", "greedy"])
+    def test_simulate(self, instance_file, policy, capsys):
+        assert main(["simulate", instance_file, "-p", policy]) == 0
+        assert "Cmax" in capsys.readouterr().out
+
+
+class TestSWFAndInfo:
+    def test_swf_conversion(self, tmp_path, capsys):
+        trace = tmp_path / "t.swf"
+        trace.write_text(SAMPLE_SWF)
+        out_path = str(tmp_path / "converted.json")
+        assert main(["swf", str(trace), "-o", out_path]) == 0
+        inst = load_instance(out_path)
+        assert inst.n == 8
+
+    def test_info(self, instance_file, capsys):
+        assert main(["info", instance_file]) == 0
+        out = capsys.readouterr().out
+        assert "alpha window" in out
+        assert "lower bound" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "lsrc" in out and "fcfs" in out

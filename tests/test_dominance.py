@@ -1,0 +1,77 @@
+"""Instance-wise dominance properties between the policies.
+
+Two relations hold *pointwise* (not just in the worst case), and both are
+useful implementation checks because they couple independent code paths:
+
+1. **Conservative backfilling dominates FCFS job-for-job.**  Both place
+   jobs in queue order; FCFS adds the no-overtaking gate.  By the
+   left-shift exchange argument, relaxing the gate can only move every
+   start earlier: the backfilled job occupies, within any later job's
+   FCFS window, a subset of the capacity it occupied under FCFS.
+
+2. **LSRC schedules are left-shift stable.**  LSRC starts a job at the
+   first decision point where it fits against the already-started jobs —
+   which is exactly the placement rule of
+   :func:`repro.core.schedule.left_shifted`, so re-shifting changes
+   nothing.  (A failure here means the two implementations disagree about
+   "earliest feasible start".)
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    ConservativeBackfillScheduler,
+    FCFSScheduler,
+    ListScheduler,
+)
+from repro.core import left_shifted
+
+from conftest import random_resa, random_rigid
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_conservative_dominates_fcfs_jobwise(seed):
+    inst = random_resa(seed)
+    fcfs = FCFSScheduler().schedule(inst)
+    cons = ConservativeBackfillScheduler().schedule(inst)
+    for job in inst.jobs:
+        assert cons.starts[job.id] <= fcfs.starts[job.id], (
+            f"job {job.id} starts later under conservative backfilling"
+        )
+    assert cons.makespan <= fcfs.makespan
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_lsrc_is_left_shift_stable(seed):
+    inst = random_resa(seed)
+    schedule = ListScheduler().schedule(inst)
+    shifted = left_shifted(schedule)
+    assert shifted.starts == schedule.starts
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_conservative_is_left_shift_stable(seed):
+    """Conservative backfilling *is* sequential earliest-fit in start
+    order modulo ordering ties, so left-shifting cannot improve it either."""
+    inst = random_rigid(seed).to_reservation_instance()
+    schedule = ConservativeBackfillScheduler().schedule(inst)
+    shifted = left_shifted(schedule)
+    assert shifted.makespan == schedule.makespan
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_fcfs_left_shift_recovers_backfilling_gains(seed):
+    """Left-shifting an FCFS schedule is a (weak) form of backfilling:
+    it never hurts, and whenever it helps it lands between FCFS and
+    conservative backfilling."""
+    inst = random_resa(seed)
+    fcfs = FCFSScheduler().schedule(inst)
+    shifted = left_shifted(fcfs)
+    cons = ConservativeBackfillScheduler().schedule(inst)
+    assert shifted.makespan <= fcfs.makespan
+    assert cons.makespan <= fcfs.makespan

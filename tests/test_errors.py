@@ -1,0 +1,59 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    AlphaViolationError,
+    CapacityError,
+    InfeasibleInstanceError,
+    InfeasibleScheduleError,
+    InvalidInstanceError,
+    ReproError,
+    SchedulingError,
+    SearchBudgetExceeded,
+    TraceFormatError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (
+            InvalidInstanceError,
+            InfeasibleInstanceError,
+            AlphaViolationError,
+            InfeasibleScheduleError,
+            SchedulingError,
+            CapacityError,
+            SearchBudgetExceeded,
+            TraceFormatError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Model errors double as ValueError so generic callers catch them."""
+        assert issubclass(InvalidInstanceError, ValueError)
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_feasibility_is_a_validity_error(self):
+        assert issubclass(InfeasibleInstanceError, InvalidInstanceError)
+        assert issubclass(AlphaViolationError, InvalidInstanceError)
+
+    def test_capacity_is_a_scheduling_error(self):
+        assert issubclass(CapacityError, SchedulingError)
+        assert issubclass(SearchBudgetExceeded, SchedulingError)
+
+    def test_infeasible_schedule_carries_violations(self):
+        err = InfeasibleScheduleError("bad", violations=["a", "b"])
+        assert err.violations == ["a", "b"]
+        assert InfeasibleScheduleError("bad").violations == []
+
+    def test_budget_carries_incumbent(self):
+        err = SearchBudgetExceeded("out of nodes", incumbent=(7, {}))
+        assert err.incumbent == (7, {})
+
+    def test_single_catch_point(self):
+        """One except clause suffices for library consumers."""
+        from repro.core import RigidInstance
+
+        with pytest.raises(ReproError):
+            RigidInstance(m=0, jobs=())

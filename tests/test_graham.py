@@ -1,0 +1,150 @@
+"""Tests for the Graham-bound machinery (Theorem 2 and Lemma 1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import ListScheduler, exhaustive_optimal
+from repro.core import ReservationInstance, RigidInstance, Schedule
+from repro.errors import InvalidInstanceError
+from repro.theory import (
+    check_lemma1,
+    graham_ratio,
+    lemma1_violations,
+    nonincreasing_ratio,
+    theorem2_check,
+    work_area_inequality,
+)
+
+from conftest import random_rigid
+
+
+class TestGrahamRatio:
+    def test_values(self):
+        assert graham_ratio(1) == 1
+        assert graham_ratio(2) == Fraction(3, 2)
+        assert graham_ratio(10) == Fraction(19, 10)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(InvalidInstanceError):
+            graham_ratio(0)
+
+
+class TestLemma1:
+    def test_holds_on_lsrc_schedules(self):
+        for seed in range(20):
+            inst = random_rigid(seed)
+            s = ListScheduler().schedule(inst)
+            assert lemma1_violations(s) == [], f"seed {seed}"
+
+    def test_holds_for_every_priority_rule(self, tiny_rigid):
+        for rule in ("fifo", "lpt", "spt", "laf", "widest", "narrowest"):
+            s = ListScheduler(rule).schedule(tiny_rigid)
+            check_lemma1(s)
+
+    def test_detects_artificial_violation(self):
+        """A deliberately lazy schedule (idle machine with work pending)
+        violates the lemma."""
+        inst = RigidInstance.from_specs(2, [(1, 1), (1, 1), (1, 1), (1, 1)])
+        # run jobs strictly one at a time: r(t) = 1 everywhere, pmax = 1,
+        # so r(t) + r(t') = 2 <= m = 2 for t' >= t + 1
+        lazy = Schedule(inst, {0: 0, 1: 1, 2: 2, 3: 3})
+        lazy.verify()
+        assert lemma1_violations(lazy)
+        with pytest.raises(AssertionError):
+            check_lemma1(lazy)
+
+    def test_empty_schedule(self):
+        inst = RigidInstance(m=2, jobs=())
+        assert lemma1_violations(Schedule(inst, {})) == []
+
+    def test_single_job_has_no_valid_pairs(self):
+        inst = RigidInstance.from_specs(2, [(3, 1)])
+        s = Schedule(inst, {0: 0})
+        # t' >= t + pmax = t + 3 never lands inside [0, 3)
+        assert lemma1_violations(s) == []
+
+
+class TestTheorem2:
+    def test_certifies_lsrc_against_exact_optimum(self):
+        for seed in range(15):
+            inst = random_rigid(seed, n=5)
+            s = ListScheduler().schedule(inst)
+            cstar = exhaustive_optimal(inst).makespan
+            ratio, guarantee = theorem2_check(s, cstar)
+            assert ratio <= guarantee
+
+    def test_rejects_fake_optimum(self, tiny_rigid):
+        s = ListScheduler().schedule(tiny_rigid)
+        with pytest.raises(AssertionError):
+            # claiming C* = 1 makes the ratio blow past 2 - 1/m
+            theorem2_check(s, 1)
+
+    def test_rejects_nonpositive_cstar(self, tiny_rigid):
+        s = ListScheduler().schedule(tiny_rigid)
+        with pytest.raises(InvalidInstanceError):
+            theorem2_check(s, 0)
+
+
+class TestWorkAreaInequality:
+    def test_inequality_chain_on_lsrc(self):
+        """X >= (m+1)(1-x)C* and X <= W - x C* on real schedules."""
+        for seed in range(12):
+            inst = random_rigid(seed, n=6)
+            s = ListScheduler().schedule(inst)
+            cstar = exhaustive_optimal(inst).makespan
+            X, lower, upper = work_area_inequality(s, cstar)
+            assert X >= lower - 1e-9, f"seed {seed}: X={X} < lower={lower}"
+            assert X <= upper + 1e-9, f"seed {seed}: X={X} > upper={upper}"
+
+    def test_degenerate_window(self, tiny_rigid):
+        s = ListScheduler().schedule(tiny_rigid)
+        # with cstar = makespan, x = 1 and the window is empty
+        X, lower, upper = work_area_inequality(s, s.makespan)
+        assert X == 0 and lower == 0
+
+
+class TestNonincreasingRatio:
+    def test_value(self):
+        inst = ReservationInstance.from_specs(
+            4, [(1, 1)], [(0, 10, 2), (0, 5, 1)]
+        )
+        # availability at C* = 3: capacity at t=3 is 4 - 3 = 1
+        assert nonincreasing_ratio(inst, 3) == 2 - Fraction(1, 1)
+        # at t = 7 one reservation remains: capacity 2
+        assert nonincreasing_ratio(inst, 7) == 2 - Fraction(1, 2)
+
+    def test_requires_nonincreasing(self):
+        inst = ReservationInstance.from_specs(4, [(1, 1)], [(3, 2, 1)])
+        with pytest.raises(InvalidInstanceError):
+            nonincreasing_ratio(inst, 5)
+
+    def test_never_weaker_than_graham(self):
+        """2 - 1/m(C*) <= ... >= hmm: m(C*) <= m so the guarantee is at
+        most 2 - 1/m — i.e. Proposition 1 is at least as strong."""
+        inst = ReservationInstance.from_specs(
+            8, [(1, 1)], [(0, 10, 4)]
+        )
+        assert nonincreasing_ratio(inst, 5) <= graham_ratio(8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_lemma1_property_on_random_lsrc(seed):
+    """Lemma 1 holds for LSRC on arbitrary rigid instances — this is the
+    executable version of the appendix proof's key step."""
+    inst = random_rigid(seed)
+    s = ListScheduler().schedule(inst)
+    assert lemma1_violations(s) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_theorem2_property(seed):
+    """Cmax(LSRC) <= (2 - 1/m) C*max on random small instances — the
+    executable Theorem 2."""
+    inst = random_rigid(seed, n=5)
+    s = ListScheduler().schedule(inst)
+    cstar = exhaustive_optimal(inst).makespan
+    assert s.makespan <= graham_ratio(inst.m) * cstar + 1e-9

@@ -1,0 +1,182 @@
+"""Unit tests for instances (repro.core.instance)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    Job,
+    Reservation,
+    ReservationInstance,
+    RigidInstance,
+    as_reservation_instance,
+)
+from repro.errors import (
+    AlphaViolationError,
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+)
+
+
+class TestRigidInstance:
+    def test_aggregates(self, tiny_rigid):
+        assert tiny_rigid.n == 4
+        assert tiny_rigid.total_work == 3 * 2 + 2 * 1 + 4 * 2 + 1 * 4
+        assert tiny_rigid.pmax == 4
+        assert tiny_rigid.qmax == 4
+        assert tiny_rigid.max_release == 0
+
+    def test_job_lookup(self, tiny_rigid):
+        assert tiny_rigid.job_by_id[2].p == 4
+
+    def test_rejects_wide_job(self):
+        with pytest.raises(InvalidInstanceError):
+            RigidInstance(m=2, jobs=(Job(id=1, p=1, q=3),))
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(InvalidInstanceError):
+            RigidInstance(m=2, jobs=(Job(id=1, p=1, q=1), Job(id=1, p=2, q=1)))
+
+    def test_rejects_bad_machine_count(self):
+        with pytest.raises(InvalidInstanceError):
+            RigidInstance(m=0, jobs=())
+        with pytest.raises(InvalidInstanceError):
+            RigidInstance(m=2.5, jobs=())
+
+    def test_with_jobs(self, tiny_rigid):
+        smaller = tiny_rigid.with_jobs(tiny_rigid.jobs[:2])
+        assert smaller.n == 2
+        assert tiny_rigid.n == 4
+
+    def test_scaled(self, tiny_rigid):
+        doubled = tiny_rigid.scaled(2)
+        assert doubled.pmax == 8
+        assert doubled.total_work == 2 * tiny_rigid.total_work
+
+    def test_to_reservation_instance(self, tiny_rigid):
+        resa = tiny_rigid.to_reservation_instance()
+        assert resa.n_reservations == 0
+        assert resa.m == tiny_rigid.m
+
+    def test_empty_instance_allowed(self):
+        inst = RigidInstance(m=3, jobs=())
+        assert inst.total_work == 0
+        assert inst.pmax == 0
+
+
+class TestReservationInstance:
+    def test_basic(self, tiny_resa):
+        assert tiny_resa.n == 4
+        assert tiny_resa.n_reservations == 1
+        assert tiny_resa.max_unavailability == 2
+        assert tiny_resa.last_reservation_end == 4
+
+    def test_unavailability_function(self, tiny_resa):
+        assert tiny_resa.unavailability_at(0) == 0
+        assert tiny_resa.unavailability_at(2) == 2
+        assert tiny_resa.unavailability_at(3.9) == 2
+        assert tiny_resa.unavailability_at(4) == 0
+
+    def test_profile_is_a_copy(self, tiny_resa):
+        p = tiny_resa.availability_profile()
+        p.reserve(0, 1, 2)
+        q = tiny_resa.availability_profile()
+        assert q.capacity_at(0) == tiny_resa.m
+
+    def test_infeasible_reservations_rejected(self):
+        with pytest.raises(InfeasibleInstanceError):
+            ReservationInstance.from_specs(
+                2, [(1, 1)], [(0, 5, 1), (2, 2, 2)]
+            )
+
+    def test_too_wide_reservation_rejected(self):
+        with pytest.raises(InfeasibleInstanceError):
+            ReservationInstance.from_specs(2, [(1, 1)], [(0, 1, 3)])
+
+    def test_exactly_full_reservations_are_feasible(self):
+        inst = ReservationInstance.from_specs(2, [(1, 1)], [(0, 3, 2)])
+        assert inst.unavailability_at(1) == 2
+
+    def test_nonincreasing_detection(self):
+        stair = ReservationInstance.from_specs(
+            4, [(1, 1)], [(0, 10, 2), (0, 5, 1)]
+        )
+        assert stair.has_nonincreasing_reservations()
+        bump = ReservationInstance.from_specs(4, [(1, 1)], [(3, 2, 1)])
+        assert not bump.has_nonincreasing_reservations()
+
+    def test_without_reservations(self, tiny_resa):
+        rigid = tiny_resa.without_reservations()
+        assert isinstance(rigid, RigidInstance)
+        assert rigid.n == tiny_resa.n
+
+    def test_scaled_preserves_structure(self, tiny_resa):
+        big = tiny_resa.scaled(3)
+        assert big.reservations[0].start == 6
+        assert big.reservations[0].p == 6
+        assert big.pmax == 12
+
+    def test_duplicate_reservation_ids_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            ReservationInstance(
+                m=4,
+                jobs=(),
+                reservations=(
+                    Reservation(id="r", start=0, p=1, q=1),
+                    Reservation(id="r", start=5, p=1, q=1),
+                ),
+            )
+
+
+class TestAlphaRestrictions:
+    def test_alpha_window(self, tiny_resa):
+        # qmax = 4 = m -> min_alpha = 1; Umax = 2 -> max_alpha = 1/2
+        assert tiny_resa.min_alpha == 1
+        assert tiny_resa.max_alpha == Fraction(1, 2)
+        assert tiny_resa.admissible_alpha is None
+
+    def test_valid_alpha_instance(self):
+        inst = ReservationInstance.from_specs(
+            4, [(2, 2), (3, 1)], [(1, 2, 2)]
+        )
+        # qmax = 2 -> min 1/2; Umax = 2 -> max 1/2
+        assert inst.is_alpha_restricted(Fraction(1, 2))
+        inst.validate_alpha(Fraction(1, 2))
+        assert inst.admissible_alpha == Fraction(1, 2)
+
+    def test_alpha_out_of_range(self, tiny_resa):
+        assert not tiny_resa.is_alpha_restricted(0)
+        assert not tiny_resa.is_alpha_restricted(2)
+        with pytest.raises(AlphaViolationError):
+            tiny_resa.validate_alpha(0)
+
+    def test_alpha_job_violation(self):
+        inst = ReservationInstance.from_specs(4, [(1, 3)], [])
+        with pytest.raises(AlphaViolationError) as err:
+            inst.validate_alpha(Fraction(1, 2))
+        assert "job" in str(err.value)
+
+    def test_alpha_reservation_violation(self):
+        inst = ReservationInstance.from_specs(4, [(1, 1)], [(0, 1, 3)])
+        with pytest.raises(AlphaViolationError) as err:
+            inst.validate_alpha(Fraction(1, 2))
+        assert "reservations" in str(err.value)
+
+    def test_no_reservations_allows_alpha_one(self):
+        inst = ReservationInstance.from_specs(4, [(1, 4)], [])
+        assert inst.is_alpha_restricted(1)
+        assert inst.max_alpha == 1
+
+
+class TestCoercion:
+    def test_rigid_passes_through(self, tiny_rigid):
+        resa = as_reservation_instance(tiny_rigid)
+        assert isinstance(resa, ReservationInstance)
+        assert resa.n_reservations == 0
+
+    def test_resa_identity(self, tiny_resa):
+        assert as_reservation_instance(tiny_resa) is tiny_resa
+
+    def test_rejects_other_types(self):
+        with pytest.raises(InvalidInstanceError):
+            as_reservation_instance("not an instance")

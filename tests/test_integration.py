@@ -1,0 +1,115 @@
+"""Cross-module integration tests: the paper's guarantees exercised end to
+end on generated workloads, plus full-pipeline smoke paths."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    ListScheduler,
+    available_schedulers,
+    branch_and_bound,
+    get_scheduler,
+)
+from repro.analysis import format_table, measure_ratio
+from repro.core import (
+    ReservationInstance,
+    lower_bound,
+    summarize,
+)
+from repro.simulation import simulate
+from repro.theory import graham_ratio, upper_bound
+from repro.viz import render_gantt, schedule_to_svg
+from repro.workloads import (
+    SAMPLE_SWF,
+    alpha_constrained_instance,
+    random_alpha_reservations,
+    read_swf,
+    uniform_instance,
+)
+
+
+def make_alpha_instance(m, alpha, n, seed):
+    """An α-RESASCHEDULING instance: α-capped jobs + α-budgeted reservations."""
+    jobs = alpha_constrained_instance(n, m, alpha, p_range=(1, 6), seed=seed).jobs
+    reservations = random_alpha_reservations(
+        m, alpha, horizon=30, count=3, seed=seed + 1
+    )
+    inst = ReservationInstance(m=m, jobs=jobs, reservations=reservations)
+    inst.validate_alpha(alpha)
+    return inst
+
+
+class TestPaperGuaranteesEndToEnd:
+    @pytest.mark.parametrize("alpha", [Fraction(1, 2), Fraction(1, 4)])
+    def test_proposition3_alpha_guarantee_against_exact_optimum(self, alpha):
+        """Cmax(LSRC) <= (2/α) C*max on α-restricted instances."""
+        for seed in range(6):
+            inst = make_alpha_instance(8, alpha, n=5, seed=seed)
+            lsrc = ListScheduler().schedule(inst)
+            lsrc.verify()
+            opt = branch_and_bound(inst).makespan
+            assert lsrc.makespan <= upper_bound(alpha) * opt + 1e-9, (
+                f"alpha={alpha}, seed={seed}: {lsrc.makespan} vs opt {opt}"
+            )
+
+    def test_theorem2_on_every_priority_rule(self):
+        """Theorem 2 holds for *any* list order — test all rules."""
+        for seed in range(3):
+            inst = uniform_instance(5, 4, p_range=(1, 6), seed=seed)
+            opt = branch_and_bound(inst).makespan
+            for rule in ("fifo", "lpt", "spt", "laf", "widest", "narrowest"):
+                s = ListScheduler(rule).schedule(inst)
+                assert s.makespan <= graham_ratio(4) * opt + 1e-9
+
+    def test_every_registered_scheduler_runs_the_full_pipeline(self):
+        """Registry -> schedule -> verify -> metrics -> render for all."""
+        inst = make_alpha_instance(8, Fraction(1, 2), n=8, seed=3)
+        rows = []
+        for name in available_schedulers():
+            if name == "optimal":
+                continue  # exponential; covered separately
+            s = get_scheduler(name).schedule(inst)
+            s.verify()
+            metrics = summarize(s)
+            rows.append({"algorithm": name, "makespan": metrics.makespan})
+            assert metrics.makespan >= lower_bound(inst) - 1e-9
+        table = format_table(rows)
+        assert all(name in table for name, _ in
+                   [(r["algorithm"], r) for r in rows])
+
+    def test_swf_to_simulation_pipeline(self):
+        """Trace file -> instance -> online simulation -> verified schedule
+        -> renderings."""
+        inst = read_swf(SAMPLE_SWF).instance
+        result = simulate(inst, "easy")
+        result.schedule.verify()
+        gantt = render_gantt(result.schedule)
+        assert "Cmax" in gantt
+        svg = schedule_to_svg(result.schedule)
+        assert svg.startswith("<svg")
+
+    def test_ratio_harness_vs_guarantee(self):
+        """measure_ratio against the exact optimum stays within Theorem 2."""
+        instances = [
+            uniform_instance(5, 4, p_range=(1, 5), seed=s) for s in range(5)
+        ]
+        report = measure_ratio("lsrc", instances, reference="opt")
+        assert report.worst.ratio <= float(graham_ratio(4)) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_alpha_pipeline_property(seed):
+    """Random α-instances: validation, scheduling, verification, and the
+    2/α envelope versus the certified lower bound all hold together."""
+    alpha = Fraction(1, 2)
+    inst = make_alpha_instance(8, alpha, n=6, seed=seed)
+    s = ListScheduler().schedule(inst)
+    s.verify()
+    lb = lower_bound(inst)
+    # lower_bound <= C* so this is implied by Proposition 3:
+    assert s.makespan <= float(upper_bound(alpha)) * lb * 1.0 + 1e-9 or (
+        s.makespan <= upper_bound(alpha) * branch_and_bound(inst).makespan
+    )

@@ -1,0 +1,79 @@
+"""Tests for the order local-search scheduler."""
+
+import pytest
+
+from repro.algorithms import (
+    ListScheduler,
+    LocalSearchScheduler,
+    branch_and_bound,
+    local_search_schedule,
+)
+from repro.errors import InvalidInstanceError
+from repro.theory import graham_ratio, proposition2_instance
+from repro.workloads import uniform_instance
+
+from conftest import random_resa
+
+
+class TestLocalSearch:
+    def test_never_worse_than_seed_rule(self):
+        for seed in range(8):
+            inst = random_resa(seed, n=8)
+            seeded = ListScheduler("lpt").schedule(inst)
+            improved = local_search_schedule(inst, budget=150, seed=seed)
+            improved.verify()
+            assert improved.makespan <= seeded.makespan
+
+    def test_stats_recorded(self):
+        inst = uniform_instance(8, 4, seed=1)
+        scheduler = LocalSearchScheduler(budget=100)
+        schedule = scheduler.schedule(inst)
+        stats = scheduler.last_stats
+        assert stats is not None
+        assert stats.evaluations <= 100
+        assert stats.final_makespan == schedule.makespan
+        assert stats.final_makespan <= stats.start_makespan
+
+    def test_recovers_optimum_on_adversarial_family(self):
+        """Local search escapes the Proposition 2 trap: starting from the
+        *bad* order, reordering finds the optimal k-makespan schedule."""
+        fam = proposition2_instance(3)  # small enough to search
+        scheduler = LocalSearchScheduler(
+            start_rule="fifo", budget=400, seed=0
+        )
+        schedule = scheduler.schedule(fam.instance)
+        schedule.verify()
+        assert schedule.makespan == fam.optimal_makespan
+
+    def test_still_a_list_schedule(self):
+        """The result obeys list-scheduling guarantees (it IS an LSRC run)."""
+        for seed in range(5):
+            inst = uniform_instance(5, 4, p_range=(1, 5), seed=seed)
+            schedule = local_search_schedule(inst, budget=120, seed=seed)
+            cstar = branch_and_bound(inst).makespan
+            assert schedule.makespan <= graham_ratio(4) * cstar + 1e-9
+
+    def test_neighbourhood_options(self):
+        inst = uniform_instance(6, 4, seed=2)
+        for hood in ("swap", "reinsert", "both"):
+            s = LocalSearchScheduler(
+                neighbourhood=hood, budget=60
+            ).schedule(inst)
+            s.verify()
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            LocalSearchScheduler(budget=0)
+        with pytest.raises(InvalidInstanceError):
+            LocalSearchScheduler(neighbourhood="teleport")
+
+    def test_deterministic(self):
+        inst = uniform_instance(8, 4, seed=3)
+        a = LocalSearchScheduler(budget=100, seed=5).schedule(inst)
+        b = LocalSearchScheduler(budget=100, seed=5).schedule(inst)
+        assert a.starts == b.starts
+
+    def test_registered(self):
+        from repro.algorithms import available_schedulers
+
+        assert "lsrc-ls" in available_schedulers()

@@ -1,0 +1,115 @@
+"""Cross-validation of the production LSRC against an independent,
+deliberately naive reference implementation.
+
+The reference shares no code with the production scheduler: capacity is
+recomputed from the raw job/reservation intervals at every query, and the
+event sweep is a plain sorted-set loop.  Hypothesis then asserts the two
+produce *identical* schedules (same start for every job) across random
+instances — the strongest correctness statement available for the
+library's central algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import ListScheduler
+from repro.core import ReservationInstance
+
+from conftest import random_resa, random_rigid
+
+
+def naive_lsrc(instance: ReservationInstance) -> Dict:
+    """Reference LSRC: raw interval arithmetic, no shared data structures."""
+    jobs = list(instance.jobs)
+    placed: Dict = {}  # job id -> start
+
+    def capacity_at(t) -> int:
+        used = 0
+        for res in instance.reservations:
+            if res.start <= t < res.end:
+                used += res.q
+        for job in jobs:
+            if job.id in placed:
+                s = placed[job.id]
+                if s <= t < s + job.p:
+                    used += job.q
+        return instance.m - used
+
+    def fits(job, t) -> bool:
+        # capacity changes only at interval endpoints; sample t and every
+        # endpoint strictly inside [t, t + p)
+        points = {t}
+        for res in instance.reservations:
+            for e in (res.start, res.end):
+                if t < e < t + job.p:
+                    points.add(e)
+        for other in jobs:
+            if other.id in placed:
+                s = placed[other.id]
+                for e in (s, s + other.p):
+                    if t < e < t + job.p:
+                        points.add(e)
+        return all(capacity_at(p) >= job.q for p in points)
+
+    # event times: 0, releases, reservation boundaries, plus completions
+    # as they appear
+    events = {0}
+    events.update(j.release for j in jobs)
+    for res in instance.reservations:
+        events.update((res.start, res.end))
+    done_events = set()
+    while len(placed) < len(jobs):
+        future = sorted(e for e in events if e not in done_events)
+        if not future:
+            raise AssertionError("reference LSRC ran out of events")
+        t = future[0]
+        done_events.add(t)
+        for job in jobs:  # list order
+            if job.id in placed or job.release > t:
+                continue
+            if fits(job, t):
+                placed[job.id] = t
+                events.add(t + job.p)
+    return placed
+
+
+class TestAgainstReference:
+    def test_tiny_instances(self, tiny_rigid, tiny_resa):
+        for inst in (tiny_rigid.to_reservation_instance(), tiny_resa):
+            production = ListScheduler().schedule(inst)
+            reference = naive_lsrc(inst)
+            assert production.starts == reference
+
+    def test_reservation_heavy(self):
+        inst = ReservationInstance.from_specs(
+            4,
+            [(3, 2), (5, 1), (2, 4), (1, 1), (4, 2)],
+            [(2, 3, 2), (8, 2, 3)],
+        )
+        assert ListScheduler().schedule(inst).starts == naive_lsrc(inst)
+
+    def test_with_releases(self):
+        inst = ReservationInstance.from_specs(
+            3,
+            [(2, 1, 0), (3, 2, 1), (1, 3, 2), (4, 1, 0)],
+            [(4, 2, 1)],
+        )
+        assert ListScheduler().schedule(inst).starts == naive_lsrc(inst)
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_production_equals_reference_random_rigid(seed):
+    inst = random_rigid(seed, n=8).to_reservation_instance()
+    assert ListScheduler().schedule(inst).starts == naive_lsrc(inst)
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_production_equals_reference_random_reservations(seed):
+    inst = random_resa(seed, n=7)
+    assert ListScheduler().schedule(inst).starts == naive_lsrc(inst)

@@ -1,0 +1,84 @@
+"""Tests for schedule metrics."""
+
+import pytest
+
+from repro.algorithms import list_schedule
+from repro.core import (
+    ReservationInstance,
+    RigidInstance,
+    Schedule,
+    summarize,
+    utilization,
+)
+from repro.core.metrics import available_area, slowdowns, waiting_times
+
+
+class TestWaitingAndSlowdown:
+    def test_no_wait(self):
+        inst = RigidInstance.from_specs(2, [(2, 1)])
+        s = Schedule(inst, {0: 0})
+        assert waiting_times(s) == [0]
+        assert slowdowns(s) == [1.0]
+
+    def test_wait_measured_from_release(self):
+        inst = RigidInstance.from_specs(2, [(2, 1, 3)])
+        s = Schedule(inst, {0: 5})
+        assert waiting_times(s) == [2]
+        assert slowdowns(s) == [(2 + 2) / 2]
+
+    def test_multiple_jobs(self):
+        inst = RigidInstance.from_specs(1, [(2, 1), (4, 1)])
+        s = Schedule(inst, {0: 0, 1: 2})
+        assert waiting_times(s) == [0, 2]
+        assert slowdowns(s) == [1.0, 1.5]
+
+
+class TestUtilization:
+    def test_full_machine(self):
+        inst = RigidInstance.from_specs(2, [(3, 2)])
+        s = Schedule(inst, {0: 0})
+        assert utilization(s) == 1.0
+
+    def test_half_machine(self):
+        inst = RigidInstance.from_specs(2, [(3, 1)])
+        s = Schedule(inst, {0: 0})
+        assert utilization(s) == 0.5
+
+    def test_available_utilization_discounts_reservations(self):
+        inst = ReservationInstance.from_specs(2, [(4, 1)], [(0, 4, 1)])
+        s = Schedule(inst, {0: 0})
+        m = summarize(s)
+        assert m.utilization == 0.5          # half the raw machine
+        assert m.available_utilization == 1.0  # all of what was available
+        assert m.idle_area == 0
+
+    def test_available_area(self):
+        inst = ReservationInstance.from_specs(2, [(4, 1)], [(0, 2, 1)])
+        s = Schedule(inst, {0: 0})
+        assert available_area(s) == 2 * 4 - 2
+
+
+class TestSummary:
+    def test_summarize_fields(self, tiny_resa):
+        s = list_schedule(tiny_resa)
+        m = summarize(s)
+        assert m.makespan == s.makespan
+        assert m.n_jobs == 4
+        assert m.total_work == tiny_resa.total_work
+        assert 0 < m.utilization <= 1
+        assert m.mean_wait <= m.max_wait
+        assert 1 <= m.mean_slowdown <= m.max_slowdown
+        assert m.idle_area >= 0
+
+    def test_as_dict_roundtrip(self, tiny_resa):
+        m = summarize(list_schedule(tiny_resa))
+        d = m.as_dict()
+        assert d["makespan"] == m.makespan
+        assert set(d) >= {"makespan", "utilization", "mean_wait", "n_jobs"}
+
+    def test_empty_schedule(self):
+        inst = RigidInstance(m=2, jobs=())
+        m = summarize(Schedule(inst, {}))
+        assert m.makespan == 0
+        assert m.utilization == 0.0
+        assert m.n_jobs == 0

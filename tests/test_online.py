@@ -1,0 +1,79 @@
+"""Tests for the batch-doubling online wrapper (Section 2.1)."""
+
+import pytest
+
+from repro.algorithms import (
+    BatchDoublingScheduler,
+    ConservativeBackfillScheduler,
+    ListScheduler,
+    batch_doubling_schedule,
+    exhaustive_optimal,
+)
+from repro.core import ReservationInstance, RigidInstance
+from repro.workloads import uniform_instance, with_poisson_releases
+
+from conftest import random_rigid
+
+
+class TestBatchStructure:
+    def test_offline_instance_is_one_batch(self):
+        inst = uniform_instance(10, 8, seed=1)
+        batch = batch_doubling_schedule(inst)
+        direct = ListScheduler().schedule(inst)
+        assert batch.starts == direct.starts
+
+    def test_late_jobs_wait_for_current_batch(self):
+        # job 1 arrives while batch {0} is running; it must not start
+        # before job 0 completes even though processors are free
+        inst = RigidInstance.from_specs(4, [(10, 1), (1, 1, 2)])
+        s = batch_doubling_schedule(inst)
+        s.verify()
+        assert s.starts[0] == 0
+        assert s.starts[1] >= 10
+
+    def test_batches_do_not_overlap(self):
+        base = uniform_instance(20, 8, seed=2)
+        timed = with_poisson_releases(base, rate=0.05, seed=3)
+        s = batch_doubling_schedule(timed)
+        s.verify()
+        # reconstruct batch boundaries: sorted by start, a batch boundary
+        # exists wherever a job starts exactly at/after all earlier ends...
+        # weaker invariant that must hold: starts respect releases
+        for job in timed.jobs:
+            assert s.starts[job.id] >= job.release
+
+    def test_gap_until_first_release(self):
+        inst = RigidInstance.from_specs(2, [(1, 1, 5), (1, 1, 5)])
+        s = batch_doubling_schedule(inst)
+        assert s.starts[0] == 5 and s.starts[1] == 5
+
+    def test_reservations_respected_across_batches(self):
+        inst = ReservationInstance.from_specs(
+            2,
+            [(3, 2), (2, 2, 1)],
+            [(4, 3, 2)],
+        )
+        s = batch_doubling_schedule(inst)
+        s.verify()
+
+    def test_inner_factory_plumbed(self):
+        inst = uniform_instance(10, 8, seed=4)
+        sched = BatchDoublingScheduler(ConservativeBackfillScheduler).schedule(
+            inst
+        )
+        sched.verify()
+        assert sched.algorithm == "batch[backfill-cons]"
+
+
+class TestDoublingGuarantee:
+    def test_within_twice_graham_of_optimum(self):
+        """Cmax(batch LSRC) <= 2 (2 - 1/m) C*max — the SWW doubling bound
+        on top of Theorem 2 — on random small instances with arrivals."""
+        for seed in range(8):
+            base = random_rigid(seed, n=5)
+            inst = with_poisson_releases(base, rate=0.3, seed=seed)
+            s = batch_doubling_schedule(inst)
+            s.verify()
+            opt = exhaustive_optimal(inst).makespan
+            m = inst.m
+            assert s.makespan <= 2 * (2 - 1 / m) * opt + 1e-9, f"seed {seed}"

@@ -1,0 +1,140 @@
+"""Cross-validation of the exact solvers (BnB vs exhaustive vs m=1 DP)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    ListScheduler,
+    branch_and_bound,
+    exhaustive_optimal,
+    optimal_makespan_m1,
+    optimal_schedule,
+)
+from repro.core import ReservationInstance, RigidInstance, lower_bound
+from repro.errors import SchedulingError, SearchBudgetExceeded
+
+from conftest import random_resa, random_rigid
+
+
+class TestBranchAndBound:
+    def test_trivial(self):
+        inst = RigidInstance.from_specs(2, [(3, 1)])
+        res = branch_and_bound(inst)
+        assert res.makespan == 3
+        assert res.proven_optimal
+
+    def test_empty(self):
+        res = branch_and_bound(RigidInstance(m=2, jobs=()))
+        assert res.makespan == 0
+
+    def test_known_optimum(self, tiny_rigid):
+        # work=20 on m=4 gives LB 5, but the q=4 job needs the whole
+        # machine for 1 unit and no 5-length packing accommodates it:
+        # the optimum is 6 (confirmed independently by exhaustive search)
+        res = branch_and_bound(tiny_rigid)
+        assert res.makespan == 6
+        assert exhaustive_optimal(tiny_rigid).makespan == 6
+        res.schedule.verify()
+
+    def test_with_reservations(self, tiny_resa):
+        res = branch_and_bound(tiny_resa)
+        assert res.makespan == 7
+        res.schedule.verify()
+
+    def test_beats_or_ties_lsrc(self):
+        for seed in range(15):
+            inst = random_resa(seed, n=6)
+            opt = branch_and_bound(inst)
+            heur = ListScheduler().schedule(inst)
+            assert opt.makespan <= heur.makespan
+
+    def test_respects_lower_bound(self):
+        for seed in range(15):
+            inst = random_resa(seed, n=6)
+            opt = branch_and_bound(inst)
+            assert opt.makespan >= lower_bound(inst) - 1e-9
+
+    def test_node_limit(self):
+        inst = random_rigid(1, n=12, m=4)
+        with pytest.raises(SearchBudgetExceeded) as err:
+            branch_and_bound(inst, node_limit=3)
+        assert err.value.incumbent is not None
+
+    def test_upper_bound_hint_accelerates_but_preserves_value(self):
+        inst = random_rigid(5, n=7, m=4)
+        plain = branch_and_bound(inst)
+        hinted = branch_and_bound(inst, upper_bound_hint=plain.makespan)
+        assert hinted.makespan == plain.makespan
+        assert hinted.nodes <= plain.nodes
+
+    def test_optimal_schedule_wrapper(self, tiny_rigid):
+        s = optimal_schedule(tiny_rigid)
+        s.verify()
+        assert s.makespan == 6
+
+
+class TestExhaustive:
+    def test_matches_bnb_on_rigid(self):
+        for seed in range(20):
+            inst = random_rigid(seed, n=5)
+            a = branch_and_bound(inst).makespan
+            b = exhaustive_optimal(inst).makespan
+            assert a == b, f"seed {seed}: bnb {a} != exhaustive {b}"
+
+    def test_matches_bnb_with_reservations(self):
+        for seed in range(20):
+            inst = random_resa(seed, n=5)
+            a = branch_and_bound(inst).makespan
+            b = exhaustive_optimal(inst).makespan
+            assert a == b, f"seed {seed}: bnb {a} != exhaustive {b}"
+
+    def test_too_many_jobs_rejected(self):
+        inst = random_rigid(0, n=9 if False else None)
+        inst = random_rigid(0, n=12, m=4)
+        with pytest.raises(SchedulingError):
+            exhaustive_optimal(inst)
+
+
+class TestSingleMachineDP:
+    def test_requires_m1(self, tiny_rigid):
+        with pytest.raises(SchedulingError):
+            optimal_makespan_m1(tiny_rigid)
+
+    def test_no_holes_equals_sum(self):
+        inst = RigidInstance.from_specs(1, [(2, 1), (3, 1), (1, 1)])
+        assert optimal_makespan_m1(inst) == 6
+
+    def test_with_holes_matches_bnb(self, single_machine_holes):
+        dp = optimal_makespan_m1(single_machine_holes)
+        bnb = branch_and_bound(single_machine_holes).makespan
+        assert dp == bnb
+
+    def test_dp_matches_bnb_random(self):
+        import random as _r
+
+        for seed in range(15):
+            rng = _r.Random(seed)
+            jobs = [(rng.randint(1, 4), 1) for _ in range(rng.randint(1, 7))]
+            res, t = [], 2
+            for _ in range(rng.randint(0, 3)):
+                res.append((t, rng.randint(1, 2), 1))
+                t += rng.randint(4, 8)
+            inst = ReservationInstance.from_specs(1, jobs, res)
+            assert optimal_makespan_m1(inst) == branch_and_bound(inst).makespan
+
+    def test_gap_skipping_is_optimal(self):
+        # hole [2, 4); jobs 2+2: the naive order wastes the first gap
+        inst = ReservationInstance.from_specs(1, [(2, 1), (2, 1)], [(2, 2, 1)])
+        assert optimal_makespan_m1(inst) == 6
+
+    def test_rejects_releases(self):
+        inst = RigidInstance.from_specs(1, [(1, 1, 2)])
+        with pytest.raises(SchedulingError):
+            optimal_makespan_m1(inst)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_bnb_equals_exhaustive_property(seed):
+    inst = random_resa(seed, n=4)
+    assert branch_and_bound(inst).makespan == exhaustive_optimal(inst).makespan

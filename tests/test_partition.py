@@ -1,0 +1,117 @@
+"""Tests for PARTITION / 3-PARTITION solvers and generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.theory import (
+    is_3partition_yes,
+    random_no_3partition,
+    random_yes_3partition,
+    solve_3partition,
+    solve_partition,
+)
+
+
+class TestPartition:
+    def test_simple_yes(self):
+        result = solve_partition([1, 2, 3])
+        assert result is not None
+        left, right = result
+        assert sum(left) == sum(right) == 3
+
+    def test_simple_no_odd_sum(self):
+        assert solve_partition([1, 2, 4]) is None
+
+    def test_no_even_sum(self):
+        assert solve_partition([2, 2, 4, 10]) is None
+
+    def test_bigger_yes(self):
+        vals = [7, 3, 5, 1, 8, 2, 6, 4]  # sum 36
+        result = solve_partition(vals)
+        assert result is not None
+        left, right = result
+        assert sum(left) == 18
+        assert sorted(left + right) == sorted(vals)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_partition([1, 0, 2])
+        with pytest.raises(InvalidInstanceError):
+            solve_partition([1, -3])
+
+    def test_single_element_no(self):
+        assert solve_partition([2]) is None
+
+
+class TestThreePartition:
+    def test_known_yes(self):
+        # 2 triples summing to 12
+        vals = [4, 4, 4, 5, 4, 3]
+        groups = solve_3partition(vals, 12)
+        assert groups is not None
+        assert len(groups) == 2
+        for g in groups:
+            assert sum(g) == 12
+        # every value used exactly once
+        used = sorted(v for g in groups for v in g)
+        assert used == sorted(vals)
+
+    def test_known_no(self):
+        # sum matches (24 = 2*12) but 11 would need two partners summing
+        # to 1, impossible with positive integers
+        vals = [11, 2, 1, 5, 4, 1]
+        assert solve_3partition(vals, 12) is None
+
+    def test_wrong_sum_is_no(self):
+        assert solve_3partition([4, 4, 4, 4, 4, 4], 13) is None
+
+    def test_not_multiple_of_three(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_3partition([1, 2], 3)
+
+    def test_empty(self):
+        assert solve_3partition([], 5) == []
+
+    def test_is_yes_wrapper(self):
+        assert is_3partition_yes([4, 4, 4, 5, 4, 3], 12)
+        assert not is_3partition_yes([11, 2, 1, 5, 4, 1], 12)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_yes_instances_are_yes(self, k):
+        vals, bound = random_yes_3partition(k, 100, seed=k)
+        assert len(vals) == 3 * k
+        assert sum(vals) == k * bound
+        # standard restriction: every value in (B/4, B/2)
+        for v in vals:
+            assert bound / 4 < v < bound / 2
+        assert is_3partition_yes(vals, bound)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_no_instances_are_no(self, k):
+        vals, bound = random_no_3partition(k, 100, seed=k)
+        assert sum(vals) == k * bound
+        assert not is_3partition_yes(vals, bound)
+
+    def test_bound_too_small_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            random_yes_3partition(2, 4)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            random_yes_3partition(0, 100)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_generated_yes_instances_always_solvable(k, seed):
+    vals, bound = random_yes_3partition(k, 60, seed=seed)
+    groups = solve_3partition(vals, bound)
+    assert groups is not None
+    for g in groups:
+        assert sum(g) == bound

@@ -1,0 +1,80 @@
+"""Tests for the PARTITION <-> two-machine RIGIDSCHEDULING equivalence
+(Section 2.1, footnote 1)."""
+
+import pytest
+
+from repro.algorithms import branch_and_bound
+from repro.errors import InvalidInstanceError
+from repro.theory import (
+    partition_target,
+    partition_to_rigid,
+    schedule_solves_partition,
+    solve_partition,
+)
+
+
+class TestForwardDirection:
+    def test_yes_instance_achieves_half_sum(self):
+        vals = [3, 1, 1, 2, 3, 2]  # sum 12, many partitions
+        inst = partition_to_rigid(vals)
+        assert inst.m == 2
+        result = branch_and_bound(inst)
+        assert result.makespan == partition_target(vals) == 6
+
+    def test_no_instance_exceeds_half_sum(self):
+        vals = [10, 1, 1]  # sum 12, but 10 cannot be balanced
+        inst = partition_to_rigid(vals)
+        assert branch_and_bound(inst).makespan == 10 > partition_target(vals)
+
+    def test_odd_sum_never_tight(self):
+        vals = [2, 2, 3]
+        target = partition_target(vals)
+        assert target * 2 == 7
+        assert branch_and_bound(partition_to_rigid(vals)).makespan > target
+
+
+class TestConverseDirection:
+    def test_certificate_extraction(self):
+        vals = [4, 3, 2, 5, 1, 3]  # sum 18
+        assert solve_partition(vals) is not None
+        inst = partition_to_rigid(vals)
+        result = branch_and_bound(inst)
+        assert result.makespan == 9
+        cert = schedule_solves_partition(result.schedule, vals)
+        assert cert is not None
+        left, right = cert
+        assert sum(left) == sum(right) == 9
+        assert sorted(left + right) == sorted(vals)
+
+    def test_non_tight_schedule_yields_none(self):
+        vals = [10, 1, 1]
+        inst = partition_to_rigid(vals)
+        result = branch_and_bound(inst)
+        assert schedule_solves_partition(result.schedule, vals) is None
+
+    def test_agreement_with_dp_solver(self):
+        """The scheduling answer and the subset-sum DP always agree."""
+        cases = [
+            [1, 2, 3],
+            [1, 2, 4],
+            [5, 5, 5, 5],
+            [7, 3, 5, 1, 8, 2, 6, 4],
+            [9, 9, 1],
+        ]
+        for vals in cases:
+            dp_yes = solve_partition(vals) is not None
+            sched_yes = (
+                branch_and_bound(partition_to_rigid(vals)).makespan
+                == partition_target(vals)
+            )
+            assert dp_yes == sched_yes, vals
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            partition_to_rigid([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            partition_to_rigid([1, 0])

@@ -1,0 +1,197 @@
+"""Tests for the paper's reductions (Theorem 1 / Figure 1, Proposition 1 /
+Figure 2) run end to end."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    ListScheduler,
+    branch_and_bound,
+    exhaustive_optimal,
+    optimal_makespan_m1,
+)
+from repro.algorithms.priority import explicit_order
+from repro.core import ReservationInstance, RigidInstance, Schedule
+from repro.errors import InvalidInstanceError
+from repro.theory import (
+    blocked_horizon,
+    deadline_reservation_reduction,
+    proposition1_certify,
+    random_no_3partition,
+    random_yes_3partition,
+    reduction_yes_makespan,
+    reservations_to_head_jobs,
+    schedule_solves_3partition,
+    solve_3partition,
+    three_partition_reduction,
+    truncate_availability,
+)
+from repro.workloads import nonincreasing_staircase, uniform_instance
+
+
+class TestThreePartitionReduction:
+    def test_structure(self):
+        vals, B = random_yes_3partition(2, 40, seed=0)
+        inst = three_partition_reduction(vals, B, rho=3)
+        assert inst.m == 1
+        assert inst.n == 6
+        assert inst.n_reservations == 2
+        # gaps of exactly B between reservations
+        r1, r2 = sorted(inst.reservations, key=lambda r: r.start)
+        assert r1.start == B
+        assert r2.start == r1.end + B
+        # last reservation ends at (rho+1) k (B+1)
+        assert r2.end == blocked_horizon(2, B, 3)
+
+    def test_yes_instance_achieves_target(self):
+        """Yes 3-PARTITION <=> schedule with Cmax = k(B+1) - 1 (forward)."""
+        for seed in range(4):
+            vals, B = random_yes_3partition(2, 40, seed=seed)
+            inst = three_partition_reduction(vals, B)
+            target = reduction_yes_makespan(2, B)
+            assert optimal_makespan_m1(inst) == target
+
+    def test_no_instance_overflows_past_blocker(self):
+        """No 3-PARTITION => every schedule crosses the huge reservation."""
+        vals, B = random_no_3partition(2, 40, seed=1)
+        rho = 2
+        inst = three_partition_reduction(vals, B, rho=rho)
+        opt = optimal_makespan_m1(inst)
+        assert opt > reduction_yes_makespan(2, B)
+        # the overflow lands beyond the blocker's end => ratio >= rho-ish
+        assert opt > blocked_horizon(2, B, rho)
+
+    def test_certificate_extraction(self):
+        """The converse direction: a target-makespan schedule encodes a
+        3-PARTITION solution."""
+        vals, B = random_yes_3partition(2, 40, seed=3)
+        inst = three_partition_reduction(vals, B)
+        # build the schedule from the known partition
+        groups = solve_3partition(vals, B)
+        remaining = {i: v for i, v in enumerate(vals)}
+        starts = {}
+        cursor_base = 0
+        for g_idx, group in enumerate(groups):
+            cursor = g_idx * (B + 1)
+            for value in group:
+                jid = next(i for i, v in remaining.items() if v == value)
+                del remaining[jid]
+                starts[jid] = cursor
+                cursor += value
+        sched = Schedule(inst, starts)
+        sched.verify()
+        assert sched.makespan == reduction_yes_makespan(2, B)
+        extracted = schedule_solves_3partition(sched, vals, B)
+        assert extracted is not None
+        for triple in extracted:
+            assert sum(triple) == B
+
+    def test_extraction_rejects_bad_schedule(self):
+        vals, B = random_yes_3partition(2, 40, seed=5)
+        inst = three_partition_reduction(vals, B)
+        # conservative sequential placement in input order generally misses
+        # the target; extraction must then return None
+        s = ListScheduler().schedule(inst)
+        if s.makespan > reduction_yes_makespan(2, B):
+            assert schedule_solves_3partition(s, vals, B) is None
+
+    def test_input_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            three_partition_reduction([1, 2], 3)
+        with pytest.raises(InvalidInstanceError):
+            three_partition_reduction([1, 1, 1], 5)  # sum mismatch
+        with pytest.raises(InvalidInstanceError):
+            three_partition_reduction([1, 1, 1], 3, rho=0)
+
+
+class TestDeadlineReduction:
+    def test_harmless_when_deadline_feasible(self):
+        rigid = RigidInstance.from_specs(2, [(2, 1), (2, 1), (2, 2)])
+        cstar = exhaustive_optimal(rigid).makespan  # = 4
+        inst = deadline_reservation_reduction(rigid, cstar, rho=2)
+        assert branch_and_bound(inst).makespan == cstar
+
+    def test_overflow_when_deadline_infeasible(self):
+        rigid = RigidInstance.from_specs(2, [(2, 1), (2, 1), (2, 2)])
+        cstar = exhaustive_optimal(rigid).makespan
+        deadline = cstar - 1
+        inst = deadline_reservation_reduction(rigid, deadline, rho=2)
+        opt = branch_and_bound(inst).makespan
+        # pushed past the blocker: (rho+1)*deadline + 1 at least
+        assert opt > (2 + 1) * deadline
+
+    def test_validation(self):
+        rigid = RigidInstance.from_specs(2, [(1, 1)])
+        with pytest.raises(InvalidInstanceError):
+            deadline_reservation_reduction(rigid, 0)
+
+
+class TestNonincreasingTransform:
+    def _staircase_instance(self, seed):
+        jobs = uniform_instance(6, 8, p_range=(1, 6), q_range=(1, 4), seed=seed).jobs
+        stairs = nonincreasing_staircase(8, 3, horizon=12, seed=seed)
+        return ReservationInstance(m=8, jobs=jobs, reservations=stairs)
+
+    def test_truncate_preserves_prefix(self):
+        inst = self._staircase_instance(2)
+        horizon = 5
+        trunc = truncate_availability(inst, horizon)
+        orig = inst.availability_profile()
+        new = trunc.availability_profile()
+        for t in [0, 1, 2, 3, 4, 4.5]:
+            assert new.capacity_at(t) == orig.capacity_at(t)
+        # beyond the horizon: frozen at the horizon's capacity
+        assert new.capacity_at(100) == orig.capacity_at(horizon)
+
+    def test_truncate_requires_nonincreasing(self):
+        inst = ReservationInstance.from_specs(4, [(1, 1)], [(3, 2, 1)])
+        with pytest.raises(InvalidInstanceError):
+            truncate_availability(inst, 5)
+
+    def test_head_jobs_rebuild_staircase(self):
+        inst = self._staircase_instance(4)
+        profile = inst.availability_profile()
+        horizon = max(6, profile.earliest_fit(inst.qmax, 1))
+        transform = reservations_to_head_jobs(inst, horizon)
+        rigid = transform.rigid
+        # machine size is m(horizon)
+        m_prime = inst.availability_profile().truncated_after(horizon).final_capacity()
+        assert rigid.m == m_prime
+        # scheduling the head jobs first at time 0 leaves exactly the
+        # truncated availability for the real jobs
+        order = transform.list_order()
+        sched = ListScheduler(explicit_order(order)).schedule(rigid)
+        for hid in transform.head_ids:
+            assert sched.starts[hid] == 0
+
+    def test_lsrc_identical_on_i_prime_and_i_double_prime(self):
+        """The structural heart of Proposition 1's proof."""
+        for seed in range(6):
+            inst = self._staircase_instance(seed)
+            # pick a horizon at which the widest job fits (in the proof the
+            # horizon is C*max, which always satisfies this)
+            profile = inst.availability_profile()
+            horizon = max(5, profile.earliest_fit(inst.qmax, 1))
+            i_prime = truncate_availability(inst, horizon)
+            s1 = ListScheduler().schedule(i_prime)
+            transform = reservations_to_head_jobs(inst, horizon)
+            s2 = ListScheduler(
+                explicit_order(transform.list_order())
+            ).schedule(transform.rigid)
+            for job in inst.jobs:
+                assert s2.starts[job.id] == s1.starts[job.id], (
+                    f"seed {seed}, job {job.id}"
+                )
+
+    def test_proposition1_certificate(self):
+        """Full Proposition 1 check against the exact optimum."""
+        for seed in (0, 3):
+            jobs = uniform_instance(
+                5, 8, p_range=(1, 5), q_range=(1, 4), seed=seed
+            ).jobs
+            stairs = nonincreasing_staircase(8, 2, horizon=10, seed=seed)
+            inst = ReservationInstance(m=8, jobs=jobs, reservations=stairs)
+            cstar = branch_and_bound(inst).makespan
+            cert = proposition1_certify(inst, cstar)
+            assert cert.holds, f"seed {seed}: {cert}"
+            assert cert.ratio <= cert.guarantee

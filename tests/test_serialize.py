@@ -1,0 +1,166 @@
+"""Tests for JSON serialisation of instances and schedules."""
+
+import json
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import list_schedule
+from repro.core import (
+    Job,
+    ReservationInstance,
+    RigidInstance,
+    Schedule,
+    dumps_instance,
+    dumps_schedule,
+    load_instance,
+    load_schedule,
+    loads_instance,
+    loads_schedule,
+    save_instance,
+    save_schedule,
+)
+from repro.errors import TraceFormatError
+from repro.theory import proposition2_instance
+
+from conftest import random_resa
+
+
+class TestInstanceRoundtrip:
+    def test_basic(self, tiny_resa):
+        text = dumps_instance(tiny_resa)
+        again = loads_instance(text)
+        assert again.m == tiny_resa.m
+        assert again.n == tiny_resa.n
+        assert again.n_reservations == 1
+        assert [(j.id, j.p, j.q) for j in again.jobs] == [
+            (j.id, j.p, j.q) for j in tiny_resa.jobs
+        ]
+
+    def test_rigid_instance_accepted(self, tiny_rigid):
+        again = loads_instance(dumps_instance(tiny_rigid))
+        assert again.n_reservations == 0
+        assert again.n == tiny_rigid.n
+
+    def test_fraction_times_roundtrip_exactly(self):
+        inst = ReservationInstance(
+            m=2,
+            jobs=(Job(id=0, p=Fraction(1, 3), q=1),),
+            reservations=(),
+        )
+        again = loads_instance(dumps_instance(inst))
+        assert again.jobs[0].p == Fraction(1, 3)
+        assert isinstance(again.jobs[0].p, Fraction)
+
+    def test_adversarial_instance_roundtrips(self):
+        inst = proposition2_instance(5).instance
+        again = loads_instance(dumps_instance(inst))
+        assert again.m == inst.m
+        assert {j.id for j in again.jobs} == {j.id for j in inst.jobs}
+        assert again.reservations[0].q == inst.reservations[0].q
+
+    def test_file_roundtrip(self, tmp_path, tiny_resa):
+        path = save_instance(tiny_resa, str(tmp_path / "inst.json"))
+        again = load_instance(path)
+        assert again.n == tiny_resa.n
+
+    def test_releases_preserved(self):
+        inst = RigidInstance.from_specs(2, [(1, 1, 7)])
+        again = loads_instance(dumps_instance(inst))
+        assert again.jobs[0].release == 7
+
+    def test_name_preserved(self, tiny_resa):
+        again = loads_instance(dumps_instance(tiny_resa))
+        assert again.name == tiny_resa.name
+
+
+class TestInstanceValidationOnLoad:
+    def test_bad_json(self):
+        with pytest.raises(TraceFormatError):
+            loads_instance("{not json")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(TraceFormatError):
+            loads_instance(json.dumps({"format": "other/9", "m": 1, "jobs": []}))
+
+    def test_missing_fields(self):
+        with pytest.raises(TraceFormatError):
+            loads_instance(
+                json.dumps({"format": "repro-instance/1", "jobs": [{}]})
+            )
+
+    def test_model_violations_still_caught(self):
+        doc = {
+            "format": "repro-instance/1",
+            "m": 2,
+            "jobs": [{"id": 0, "p": 1, "q": 5, "release": 0}],
+            "reservations": [],
+        }
+        with pytest.raises(Exception):
+            loads_instance(json.dumps(doc))
+
+    def test_malformed_fraction(self):
+        doc = {
+            "format": "repro-instance/1",
+            "m": 2,
+            "jobs": [{"id": 0, "p": {"num": 1}, "q": 1}],
+            "reservations": [],
+        }
+        with pytest.raises(TraceFormatError):
+            loads_instance(json.dumps(doc))
+
+    def test_not_an_object(self):
+        with pytest.raises(TraceFormatError):
+            loads_instance("[1, 2, 3]")
+
+
+class TestScheduleRoundtrip:
+    def test_basic(self, tiny_resa):
+        schedule = list_schedule(tiny_resa)
+        again = loads_schedule(dumps_schedule(schedule))
+        assert again.starts == schedule.starts
+        assert again.makespan == schedule.makespan
+        assert again.algorithm == schedule.algorithm
+        again.verify()
+
+    def test_file_roundtrip(self, tmp_path, tiny_resa):
+        schedule = list_schedule(tiny_resa)
+        path = save_schedule(schedule, str(tmp_path / "sched.json"))
+        again = load_schedule(path)
+        assert again.starts == schedule.starts
+
+    def test_tampered_makespan_rejected(self, tiny_resa):
+        schedule = list_schedule(tiny_resa)
+        doc = json.loads(dumps_schedule(schedule))
+        doc["makespan"] = 999
+        with pytest.raises(TraceFormatError):
+            loads_schedule(json.dumps(doc))
+
+    def test_wrong_format(self):
+        with pytest.raises(TraceFormatError):
+            loads_schedule(json.dumps({"format": "nope"}))
+
+    def test_self_contained(self, tiny_resa):
+        """A schedule document embeds its instance completely."""
+        schedule = list_schedule(tiny_resa)
+        doc = json.loads(dumps_schedule(schedule))
+        assert doc["instance"]["m"] == tiny_resa.m
+        assert len(doc["instance"]["jobs"]) == tiny_resa.n
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_roundtrip_property(seed):
+    """Any schedulable instance and its LSRC schedule survive the trip."""
+    inst = random_resa(seed)
+    text = dumps_instance(inst)
+    again = loads_instance(text)
+    assert again.m == inst.m
+    assert sorted(str(j.id) for j in again.jobs) == sorted(
+        str(j.id) for j in inst.jobs
+    )
+    schedule = list_schedule(again)
+    round2 = loads_schedule(dumps_schedule(schedule))
+    round2.verify()
+    assert round2.makespan == schedule.makespan

@@ -1,0 +1,93 @@
+"""Tests for shelf-based schedulers (the conclusion's packing heuristics)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    FirstFitShelfScheduler,
+    ListScheduler,
+    NextFitShelfScheduler,
+    shelf_schedule,
+)
+from repro.algorithms.shelf import _build_shelves_ff, _build_shelves_nf
+from repro.core import ReservationInstance, RigidInstance
+from repro.errors import SchedulingError
+
+from conftest import random_resa, random_rigid
+
+
+class TestShelfConstruction:
+    def test_nf_shelves_respect_width(self):
+        inst = random_rigid(5, n=12, m=8)
+        shelves = _build_shelves_nf(list(inst.jobs), inst.m)
+        for shelf in shelves:
+            assert shelf.width <= inst.m
+            assert shelf.width == sum(j.q for j in shelf.jobs)
+
+    def test_ff_shelves_respect_width(self):
+        inst = random_rigid(6, n=12, m=8)
+        shelves = _build_shelves_ff(list(inst.jobs), inst.m)
+        for shelf in shelves:
+            assert shelf.width <= inst.m
+
+    def test_ff_no_more_shelves_than_nf(self):
+        """First-fit can only merge shelves relative to next-fit."""
+        for seed in range(15):
+            inst = random_rigid(seed, n=10, m=8)
+            nf = _build_shelves_nf(list(inst.jobs), inst.m)
+            ff = _build_shelves_ff(list(inst.jobs), inst.m)
+            assert len(ff) <= len(nf)
+
+    def test_shelf_height_is_first_job(self):
+        # decreasing-p order means the first job of each shelf is tallest
+        inst = random_rigid(9, n=10, m=8)
+        shelves = _build_shelves_ff(list(inst.jobs), inst.m)
+        for shelf in shelves:
+            assert shelf.height == max(j.p for j in shelf.jobs)
+
+
+class TestShelfScheduling:
+    def test_jobs_in_same_shelf_start_together(self):
+        inst = RigidInstance.from_specs(4, [(3, 2), (3, 2), (1, 4)])
+        s = NextFitShelfScheduler().schedule(inst)
+        s.verify()
+        assert s.starts[0] == s.starts[1]  # same shelf (2+2 = m)
+
+    def test_feasible_with_reservations(self):
+        inst = ReservationInstance.from_specs(
+            4, [(3, 2), (2, 2), (1, 1)], [(1, 3, 2)]
+        )
+        for variant in ("nf", "ff"):
+            s = shelf_schedule(inst, variant)
+            s.verify()
+
+    def test_rejects_release_times(self):
+        inst = RigidInstance.from_specs(2, [(1, 1, 5)])
+        with pytest.raises(SchedulingError):
+            shelf_schedule(inst)
+
+    def test_unknown_variant(self):
+        inst = RigidInstance.from_specs(2, [(1, 1)])
+        with pytest.raises(SchedulingError):
+            shelf_schedule(inst, "zzz")
+
+    def test_empty(self):
+        inst = RigidInstance(m=2, jobs=())
+        assert shelf_schedule(inst).makespan == 0
+
+    def test_shelf_never_beats_lsrc_by_construction_gap(self):
+        """Shelves are more rigid; on average LSRC should win or tie."""
+        total_shelf = total_lsrc = 0
+        for seed in range(20):
+            inst = random_rigid(seed, n=10)
+            total_shelf += FirstFitShelfScheduler().schedule(inst).makespan
+            total_lsrc += ListScheduler("lpt").schedule(inst).makespan
+        assert total_lsrc <= total_shelf
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_shelf_feasible_on_random(seed):
+    inst = random_resa(seed)
+    FirstFitShelfScheduler().schedule(inst).verify()
+    NextFitShelfScheduler().schedule(inst).verify()

@@ -1,0 +1,101 @@
+"""Tests for simulation timeline analytics and the profile renderer."""
+
+import pytest
+
+from repro.core import ResourceProfile
+from repro.errors import InvalidInstanceError
+from repro.simulation import (
+    queue_length_timeline,
+    running_count_timeline,
+    simulate,
+    summarize_timeline,
+    utilization_timeline,
+)
+from repro.viz import render_profile
+from repro.workloads import uniform_instance, with_poisson_releases
+
+
+@pytest.fixture
+def arrival_run():
+    base = uniform_instance(15, 8, seed=2)
+    timed = with_poisson_releases(base, rate=0.2, seed=3)
+    return simulate(timed, "fcfs")
+
+
+class TestQueueTimeline:
+    def test_starts_and_ends_at_zero(self, arrival_run):
+        steps = queue_length_timeline(arrival_run)
+        assert steps[-1][1] == 0
+        assert all(length >= 0 for _, length in steps)
+
+    def test_monotone_times(self, arrival_run):
+        steps = queue_length_timeline(arrival_run)
+        times = [t for t, _ in steps]
+        assert times == sorted(times)
+        assert len(times) == len(set(times))  # coalesced per instant
+
+    def test_offline_instance_queue_drains_at_zero(self):
+        inst = uniform_instance(10, 8, seed=1)
+        result = simulate(inst, "greedy")
+        steps = queue_length_timeline(result)
+        # everything arrives and many start at t=0
+        assert steps[0][0] == 0
+
+    def test_inconsistent_trace_detected(self, arrival_run):
+        from repro.simulation.online_sim import SimulationResult, TraceEvent
+
+        broken = SimulationResult(
+            schedule=arrival_run.schedule,
+            trace=[TraceEvent(0, "arrive", "x", 1)],
+            policy="fcfs",
+        )
+        with pytest.raises(InvalidInstanceError):
+            queue_length_timeline(broken)
+
+
+class TestRunningTimeline:
+    def test_running_counts_balance(self, arrival_run):
+        steps = running_count_timeline(arrival_run)
+        assert steps[-1][1] == 0
+        assert max(c for _, c in steps) >= 1
+
+    def test_utilization_profile_consistent(self, arrival_run):
+        usage = utilization_timeline(arrival_run)
+        m = arrival_run.schedule.instance.m
+        assert usage.max_capacity() <= m
+
+
+class TestSummary:
+    def test_summary_fields(self, arrival_run):
+        summary = summarize_timeline(arrival_run)
+        assert summary.horizon == arrival_run.schedule.makespan or (
+            summary.horizon >= arrival_run.schedule.makespan
+        )
+        assert summary.max_queue_length >= 1
+        assert 0 <= summary.mean_queue_length <= summary.max_queue_length
+        assert summary.total_queue_time >= 0
+        assert summary.n_events == len(arrival_run.trace)
+
+    def test_fcfs_queues_more_than_greedy(self):
+        base = uniform_instance(20, 8, seed=5)
+        timed = with_poisson_releases(base, rate=0.3, seed=6)
+        fcfs = summarize_timeline(simulate(timed, "fcfs"))
+        greedy = summarize_timeline(simulate(timed, "greedy"))
+        assert greedy.total_queue_time <= fcfs.total_queue_time + 1e-9
+
+
+class TestProfileRenderer:
+    def test_renders_staircase(self):
+        profile = ResourceProfile.from_segments([(0, 2), (5, 5), (9, 8)])
+        text = render_profile(profile, width=40)
+        assert "#" in text
+        assert "availability" in text
+
+    def test_custom_title_and_horizon(self):
+        profile = ResourceProfile.constant(4)
+        text = render_profile(profile, width=30, horizon=10, title="flat")
+        assert text.startswith("flat")
+
+    def test_bad_horizon(self):
+        with pytest.raises(InvalidInstanceError):
+            render_profile(ResourceProfile.constant(1), horizon=0)

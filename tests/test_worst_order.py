@@ -1,0 +1,92 @@
+"""Tests for the empirical worst-order analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import RigidInstance
+from repro.errors import InvalidInstanceError
+from repro.theory import (
+    graham_ratio,
+    worst_order_exhaustive,
+    worst_order_sample,
+)
+from repro.workloads import uniform_instance
+
+from conftest import random_resa
+
+
+class TestExhaustive:
+    def test_single_job_trivial(self):
+        inst = RigidInstance.from_specs(2, [(3, 1)])
+        result = worst_order_exhaustive(inst)
+        assert result.worst_makespan == result.best_makespan == 3
+        assert result.optimal_makespan == 3
+        assert result.orders_explored == 1
+        assert result.exhaustive
+
+    def test_order_sensitive_instance(self):
+        """The Graham-style trap in miniature: unit jobs + one long job."""
+        inst = RigidInstance.from_specs(
+            2, [(1, 1), (1, 1), (2, 1)]
+        )
+        result = worst_order_exhaustive(inst)
+        # best: long job first -> 2; worst: units first -> 3
+        assert result.best_makespan == 2
+        assert result.worst_makespan == 3
+        assert result.optimal_makespan == 2
+        assert result.order_spread == 1.5
+
+    def test_worst_ratio_within_graham(self):
+        """max over orders still obeys Theorem 2 (it is a list schedule)."""
+        for seed in range(6):
+            inst = uniform_instance(5, 4, p_range=(1, 5), seed=seed)
+            result = worst_order_exhaustive(inst)
+            assert result.worst_ratio <= float(graham_ratio(4)) + 1e-9
+            assert result.best_ratio >= 1.0 - 1e-9
+
+    def test_with_reservations(self):
+        inst = random_resa(5, n=5)
+        result = worst_order_exhaustive(inst)
+        assert result.worst_makespan >= result.best_makespan
+        assert result.best_makespan >= result.optimal_makespan - 1e-9
+
+    def test_too_many_jobs(self):
+        inst = uniform_instance(9, 4, seed=1)
+        with pytest.raises(InvalidInstanceError):
+            worst_order_exhaustive(inst)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            worst_order_exhaustive(RigidInstance(m=2, jobs=()))
+
+
+class TestSampled:
+    def test_sample_bounds_exhaustive(self):
+        """Sampled worst <= true worst; sampled best >= true best can
+        fail... no: sampling explores a subset, so sampled worst <= true
+        worst and sampled best >= true best."""
+        inst = uniform_instance(5, 4, p_range=(1, 5), seed=3)
+        exact = worst_order_exhaustive(inst)
+        sampled = worst_order_sample(inst, samples=80, seed=0)
+        assert sampled.worst_makespan <= exact.worst_makespan
+        assert sampled.best_makespan >= exact.best_makespan
+        assert not sampled.exhaustive
+
+    def test_sample_includes_rule_orders(self):
+        inst = uniform_instance(10, 8, seed=4)
+        result = worst_order_sample(
+            inst, samples=20, seed=1, compute_optimal=False
+        )
+        # 7 rules x 2 directions + 20 random
+        assert result.orders_explored == 34
+        assert result.optimal_makespan is None
+        with pytest.raises(InvalidInstanceError):
+            result.worst_ratio
+
+    def test_sample_deterministic(self):
+        inst = uniform_instance(8, 4, seed=5)
+        a = worst_order_sample(inst, samples=30, seed=2)
+        b = worst_order_sample(inst, samples=30, seed=2)
+        assert a.worst_makespan == b.worst_makespan
+        assert a.worst_order == b.worst_order
