@@ -34,20 +34,28 @@ Quickstart::
 
 from .core import (
     Job,
+    ListProfile,
+    ProfileBackend,
     Reservation,
     ReservationInstance,
     ResourceProfile,
     RigidInstance,
     Schedule,
     ScheduleMetrics,
+    TreeProfile,
     area_bound,
     as_reservation_instance,
+    available_backends,
+    get_default_backend,
     left_shifted,
     lower_bound,
     make_jobs,
+    make_profile,
     make_reservations,
     pmax_bound,
     ratio_to_lower_bound,
+    register_backend,
+    set_default_backend,
     summarize,
     work_bound,
 )
@@ -73,6 +81,14 @@ __all__ = [
     "RigidInstance",
     "ReservationInstance",
     "ResourceProfile",
+    "ListProfile",
+    "TreeProfile",
+    "ProfileBackend",
+    "available_backends",
+    "register_backend",
+    "set_default_backend",
+    "get_default_backend",
+    "make_profile",
     "Schedule",
     "ScheduleMetrics",
     "as_reservation_instance",

@@ -41,13 +41,18 @@ class ConservativeBackfillScheduler(Scheduler):
     not present").
     """
 
-    def __init__(self, priority: Optional[PriorityRule | str] = None):
+    def __init__(
+        self,
+        priority: Optional[PriorityRule | str] = None,
+        profile_backend=None,
+    ):
         if isinstance(priority, str):
             self._priority = get_rule(priority)
             self.name = f"backfill-cons[{priority}]"
         else:
             self._priority = priority
             self.name = "backfill-cons" if priority is None else "backfill-cons[custom]"
+        self.profile_backend = profile_backend
 
     def _run(self, instance: ReservationInstance) -> Schedule:
         jobs = (
@@ -55,7 +60,7 @@ class ConservativeBackfillScheduler(Scheduler):
             if self._priority is not None
             else sorted(instance.jobs, key=lambda j: j.release)
         )
-        profile = instance.availability_profile()
+        profile = instance.availability_profile(self.profile_backend)
         starts: Dict = {}
         for job in jobs:
             s = profile.earliest_fit(job.q, job.p, after=job.release)
@@ -81,9 +86,12 @@ class EasyBackfillScheduler(Scheduler):
 
     name = "backfill-easy"
 
+    def __init__(self, profile_backend=None):
+        self.profile_backend = profile_backend
+
     def _run(self, instance: ReservationInstance) -> Schedule:
         jobs = sorted(instance.jobs, key=lambda j: j.release)
-        profile = instance.availability_profile()
+        profile = instance.availability_profile(self.profile_backend)
         starts: Dict = {}
         pending: List = list(jobs)
 
@@ -145,14 +153,16 @@ class EasyBackfillScheduler(Scheduler):
         return Schedule(instance, starts)
 
 
-def conservative_backfill(instance, priority=None) -> Schedule:
+def conservative_backfill(instance, priority=None, profile_backend=None) -> Schedule:
     """Convenience wrapper: conservative backfilling."""
-    return ConservativeBackfillScheduler(priority).schedule(instance)
+    return ConservativeBackfillScheduler(
+        priority, profile_backend=profile_backend
+    ).schedule(instance)
 
 
-def easy_backfill(instance) -> Schedule:
+def easy_backfill(instance, profile_backend=None) -> Schedule:
     """Convenience wrapper: EASY backfilling."""
-    return EasyBackfillScheduler().schedule(instance)
+    return EasyBackfillScheduler(profile_backend=profile_backend).schedule(instance)
 
 
 register("backfill-cons", ConservativeBackfillScheduler)

@@ -37,15 +37,23 @@ class FCFSScheduler(Scheduler):
         Optional re-ordering of the queue before the FCFS pass (by default
         the instance order / release order, which is what "first come"
         means).  Exposed so experiments can study e.g. FCFS-LPT.
+    profile_backend:
+        Availability-profile backend (``"list"``/``"tree"``/class); ``None``
+        uses the :mod:`repro.core.profiles` default.
     """
 
-    def __init__(self, priority: Optional[PriorityRule | str] = None):
+    def __init__(
+        self,
+        priority: Optional[PriorityRule | str] = None,
+        profile_backend=None,
+    ):
         if isinstance(priority, str):
             self._priority = get_rule(priority)
             self.name = f"fcfs[{priority}]"
         else:
             self._priority = priority
             self.name = "fcfs" if priority is None else "fcfs[custom]"
+        self.profile_backend = profile_backend
 
     def _run(self, instance: ReservationInstance) -> Schedule:
         jobs = (
@@ -53,7 +61,7 @@ class FCFSScheduler(Scheduler):
             if self._priority is not None
             else sorted(instance.jobs, key=lambda j: j.release)
         )
-        profile = instance.availability_profile()
+        profile = instance.availability_profile(self.profile_backend)
         starts: Dict = {}
         gate = 0  # start of the previous job: FCFS forbids overtaking
         for job in jobs:
@@ -69,9 +77,11 @@ class FCFSScheduler(Scheduler):
         return Schedule(instance, starts)
 
 
-def fcfs_schedule(instance, priority=None) -> Schedule:
+def fcfs_schedule(instance, priority=None, profile_backend=None) -> Schedule:
     """Convenience wrapper: run pure FCFS on ``instance``."""
-    return FCFSScheduler(priority).schedule(instance)
+    return FCFSScheduler(priority, profile_backend=profile_backend).schedule(
+        instance
+    )
 
 
 register("fcfs", FCFSScheduler)

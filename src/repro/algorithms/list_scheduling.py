@@ -56,9 +56,16 @@ class ListScheduler(Scheduler):
         ``None`` (keep instance order), a rule name from
         :mod:`repro.algorithms.priority` (for example ``"lpt"``), or a
         callable ``jobs -> ordered jobs``.
+    profile_backend:
+        Availability-profile backend (``"list"``/``"tree"``/class); ``None``
+        uses the :mod:`repro.core.profiles` default.
     """
 
-    def __init__(self, priority: Optional[PriorityRule | str] = None):
+    def __init__(
+        self,
+        priority: Optional[PriorityRule | str] = None,
+        profile_backend=None,
+    ):
         if isinstance(priority, str):
             self._rule_label = priority
             self._priority = get_rule(priority)
@@ -71,6 +78,7 @@ class ListScheduler(Scheduler):
         self.name = (
             "lsrc" if self._priority is None else f"lsrc[{self._rule_label}]"
         )
+        self.profile_backend = profile_backend
 
     def _run(self, instance: ReservationInstance) -> Schedule:
         jobs = (
@@ -78,7 +86,7 @@ class ListScheduler(Scheduler):
             if self._priority is not None
             else list(instance.jobs)
         )
-        profile = instance.availability_profile()
+        profile = instance.availability_profile(self.profile_backend)
         starts: Dict = {}
         pending: List = list(jobs)
 
@@ -132,7 +140,11 @@ class SequentialPlacementScheduler(Scheduler):
     later-listed job could have filled at an earlier time.
     """
 
-    def __init__(self, priority: Optional[PriorityRule | str] = None):
+    def __init__(
+        self,
+        priority: Optional[PriorityRule | str] = None,
+        profile_backend=None,
+    ):
         if isinstance(priority, str):
             self._rule_label = priority
             self._priority = get_rule(priority)
@@ -145,6 +157,7 @@ class SequentialPlacementScheduler(Scheduler):
         self.name = (
             "seq" if self._priority is None else f"seq[{self._rule_label}]"
         )
+        self.profile_backend = profile_backend
 
     def _run(self, instance: ReservationInstance) -> Schedule:
         jobs = (
@@ -152,7 +165,7 @@ class SequentialPlacementScheduler(Scheduler):
             if self._priority is not None
             else list(instance.jobs)
         )
-        profile = instance.availability_profile()
+        profile = instance.availability_profile(self.profile_backend)
         starts: Dict = {}
         for job in jobs:
             s = profile.earliest_fit(job.q, job.p, after=job.release)
@@ -169,6 +182,7 @@ def list_schedule(
     instance,
     priority: Optional[PriorityRule | str] = None,
     order: Optional[Sequence] = None,
+    profile_backend=None,
 ) -> Schedule:
     """Run LSRC on ``instance``.
 
@@ -180,7 +194,9 @@ def list_schedule(
         if priority is not None:
             raise SchedulingError("pass either priority or order, not both")
         priority = explicit_order(order)
-    return ListScheduler(priority).schedule(instance)
+    return ListScheduler(priority, profile_backend=profile_backend).schedule(
+        instance
+    )
 
 
 register("lsrc", ListScheduler)

@@ -71,6 +71,7 @@ def branch_and_bound(
     instance,
     node_limit: int = 2_000_000,
     upper_bound_hint=None,
+    profile_backend=None,
 ) -> OptimalResult:
     """Exact branch-and-bound for (RESA)SCHEDULING makespan.
 
@@ -84,6 +85,8 @@ def branch_and_bound(
     upper_bound_hint:
         Optional known-feasible makespan used to seed pruning (for example
         an LSRC makespan); correctness does not depend on it.
+    profile_backend:
+        Availability-profile backend; ``None`` uses the module default.
     """
     inst = as_reservation_instance(instance)
     if not inst.jobs:
@@ -94,7 +97,7 @@ def branch_and_bound(
     global_lb = lower_bound(inst)
 
     # Seed the incumbent with a greedy sequence so pruning bites early.
-    profile0 = inst.availability_profile()
+    profile0 = inst.availability_profile(profile_backend)
     greedy_starts: Dict = {}
     for job in jobs:
         s = profile0.earliest_fit(job.q, job.p, after=job.release)
@@ -112,7 +115,7 @@ def branch_and_bound(
         best_starts = None  # type: ignore[assignment]
 
     nodes = 0
-    profile = inst.availability_profile()
+    profile = inst.availability_profile(profile_backend)
     starts: Dict = {}
 
     def remaining_lb(remaining: List, cur_cmax) -> object:
@@ -178,7 +181,7 @@ def branch_and_bound(
     return OptimalResult(schedule, best_cmax, nodes, True)
 
 
-def exhaustive_optimal(instance) -> OptimalResult:
+def exhaustive_optimal(instance, profile_backend=None) -> OptimalResult:
     """All-permutations reference solver (use only for ``n <= 7``).
 
     Shares no code with :func:`branch_and_bound`; the tests compare the
@@ -195,7 +198,7 @@ def exhaustive_optimal(instance) -> OptimalResult:
     count = 0
     for perm in itertools.permutations(jobs):
         count += 1
-        profile = inst.availability_profile()
+        profile = inst.availability_profile(profile_backend)
         starts: Dict = {}
         cmax = 0
         ok = True
@@ -218,7 +221,7 @@ def exhaustive_optimal(instance) -> OptimalResult:
     return OptimalResult(schedule, best_cmax, count, True)
 
 
-def optimal_makespan_m1(instance):
+def optimal_makespan_m1(instance, profile_backend=None):
     """Exact optimal makespan for single-machine instances via bitmask DP.
 
     ``dp[mask]`` is the earliest completion time of the job subset
@@ -243,7 +246,7 @@ def optimal_makespan_m1(instance):
         raise SchedulingError(f"bitmask DP over {n} jobs is too large")
     if any(job.release != 0 for job in jobs):
         raise SchedulingError("optimal_makespan_m1 assumes offline jobs")
-    profile = inst.availability_profile()
+    profile = inst.availability_profile(profile_backend)
     size = 1 << n
     dp = [None] * size
     dp[0] = 0
@@ -269,9 +272,13 @@ def optimal_makespan_m1(instance):
     return full
 
 
-def optimal_schedule(instance, node_limit: int = 2_000_000) -> Schedule:
+def optimal_schedule(
+    instance, node_limit: int = 2_000_000, profile_backend=None
+) -> Schedule:
     """Convenience wrapper returning just the optimal schedule."""
-    return branch_and_bound(instance, node_limit=node_limit).schedule
+    return branch_and_bound(
+        instance, node_limit=node_limit, profile_backend=profile_backend
+    ).schedule
 
 
 class OptimalScheduler(Scheduler):
@@ -279,11 +286,16 @@ class OptimalScheduler(Scheduler):
 
     name = "optimal"
 
-    def __init__(self, node_limit: int = 2_000_000):
+    def __init__(self, node_limit: int = 2_000_000, profile_backend=None):
         self.node_limit = node_limit
+        self.profile_backend = profile_backend
 
     def _run(self, instance: ReservationInstance) -> Schedule:
-        return branch_and_bound(instance, node_limit=self.node_limit).schedule
+        return branch_and_bound(
+            instance,
+            node_limit=self.node_limit,
+            profile_backend=self.profile_backend,
+        ).schedule
 
 
 register("optimal", OptimalScheduler)

@@ -93,6 +93,9 @@ class _ShelfSchedulerBase(Scheduler):
 
     _builder = staticmethod(_build_shelves_nf)
 
+    def __init__(self, profile_backend=None):
+        self.profile_backend = profile_backend
+
     def _run(self, instance: ReservationInstance) -> Schedule:
         if any(job.release > 0 for job in instance.jobs):
             raise SchedulingError(
@@ -102,7 +105,7 @@ class _ShelfSchedulerBase(Scheduler):
         if not instance.jobs:
             return Schedule(instance, {})
         shelves = self._builder(list(instance.jobs), instance.m)
-        profile = instance.availability_profile()
+        profile = instance.availability_profile(self.profile_backend)
         starts: Dict = {}
         for shelf in shelves:
             s = profile.earliest_fit(shelf.width, shelf.height, after=0)
@@ -130,12 +133,12 @@ class FirstFitShelfScheduler(_ShelfSchedulerBase):
     _builder = staticmethod(_build_shelves_ff)
 
 
-def shelf_schedule(instance, variant: str = "ff") -> Schedule:
+def shelf_schedule(instance, variant: str = "ff", profile_backend=None) -> Schedule:
     """Convenience wrapper: run a shelf heuristic (``"ff"`` or ``"nf"``)."""
     if variant == "ff":
-        return FirstFitShelfScheduler().schedule(instance)
+        return FirstFitShelfScheduler(profile_backend).schedule(instance)
     if variant == "nf":
-        return NextFitShelfScheduler().schedule(instance)
+        return NextFitShelfScheduler(profile_backend).schedule(instance)
     raise SchedulingError(f"unknown shelf variant {variant!r}; use 'ff' or 'nf'")
 
 

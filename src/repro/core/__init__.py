@@ -37,7 +37,20 @@ from .metrics import (
     utilization,
     waiting_times,
 )
-from .profile import ResourceProfile
+from .profiles import (
+    ListProfile,
+    ProfileBackend,
+    ResourceProfile,
+    TreeProfile,
+    available_backends,
+    convert_profile,
+    get_default_backend,
+    get_default_backend_name,
+    make_profile,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from .schedule import Schedule, ScheduledJob, left_shifted
 from .serialize import (
     dumps_instance,
@@ -60,6 +73,17 @@ __all__ = [
     "ReservationInstance",
     "as_reservation_instance",
     "ResourceProfile",
+    "ListProfile",
+    "TreeProfile",
+    "ProfileBackend",
+    "register_backend",
+    "available_backends",
+    "resolve_backend",
+    "set_default_backend",
+    "get_default_backend",
+    "get_default_backend_name",
+    "make_profile",
+    "convert_profile",
     "Schedule",
     "ScheduledJob",
     "left_shifted",

@@ -37,7 +37,7 @@ def work_bound(instance) -> object:
     return inst.total_work / inst.m
 
 
-def area_bound(instance):
+def area_bound(instance, profile_backend=None):
     """Earliest ``T`` such that the machine offers ``W`` area in ``[0, T]``.
 
     With no reservations this equals ``W / m``.  With reservations it is
@@ -49,12 +49,12 @@ def area_bound(instance):
     inst = as_reservation_instance(instance)
     if not inst.jobs:
         return 0
-    profile = inst.availability_profile()
+    profile = inst.availability_profile(profile_backend)
     t = profile.first_time_area_reaches(inst.total_work)
     return t if t is not None else 0
 
 
-def pmax_bound(instance):
+def pmax_bound(instance, profile_backend=None):
     """Max over jobs of the earliest completion the job could achieve alone.
 
     Without reservations this is the appendix's ``C*max >= pmax``.  With
@@ -66,7 +66,7 @@ def pmax_bound(instance):
     inst = as_reservation_instance(instance)
     if not inst.jobs:
         return 0
-    profile = inst.availability_profile()
+    profile = inst.availability_profile(profile_backend)
     best = 0
     for job in inst.jobs:
         start = profile.earliest_fit(job.q, job.p, after=job.release)
@@ -81,7 +81,7 @@ def pmax_bound(instance):
     return best
 
 
-def squashed_area_bound(instance):
+def squashed_area_bound(instance, profile_backend=None):
     """Area bound restricted to jobs wider than half the machine.
 
     Jobs with ``q > m / 2`` can never run concurrently with one another, so
@@ -96,7 +96,7 @@ def squashed_area_bound(instance):
         return 0
     qmin = min(job.q for job in wide)
     need = sum(job.p for job in wide)
-    profile = inst.availability_profile()
+    profile = inst.availability_profile(profile_backend)
     # Accumulate time (not area) over segments with capacity >= qmin.
     acc = 0
     for seg_start, seg_end, cap in profile.segments():
@@ -119,15 +119,15 @@ def release_bound(instance):
     return max(job.release + job.p for job in inst.jobs)
 
 
-def lower_bound(instance):
+def lower_bound(instance, profile_backend=None):
     """Best available lower bound: max of all bounds in this module."""
     inst = as_reservation_instance(instance)
     if not inst.jobs:
         return 0
     return max(
-        area_bound(inst),
-        pmax_bound(inst),
-        squashed_area_bound(inst),
+        area_bound(inst, profile_backend),
+        pmax_bound(inst, profile_backend),
+        squashed_area_bound(inst, profile_backend),
         release_bound(inst),
     )
 

@@ -30,7 +30,7 @@ from ..errors import (
     InvalidInstanceError,
 )
 from .job import Job, Reservation, make_jobs, make_reservations
-from .profile import ResourceProfile
+from .profiles import BackendSpec, ProfileBackend, ResourceProfile, convert_profile
 
 
 def _check_machine_count(m) -> None:
@@ -252,13 +252,21 @@ class ReservationInstance:
         return max((res.end for res in self.reservations), default=0)
 
     # -- availability -----------------------------------------------------
-    def availability_profile(self) -> ResourceProfile:
+    def availability_profile(
+        self, profile_backend: BackendSpec = None
+    ) -> ProfileBackend:
         """Fresh mutable copy of ``m(t) = m - U(t)``.
 
         Each call returns an independent copy so schedulers can commit
-        placements without corrupting the instance.
+        placements without corrupting the instance.  ``profile_backend``
+        selects the availability structure (a name such as ``"list"`` or
+        ``"tree"``, or a :class:`~repro.core.profiles.ProfileBackend`
+        subclass); ``None`` uses the module default
+        (:func:`repro.core.profiles.set_default_backend`).
         """
-        return self._master_profile.copy()  # type: ignore[attr-defined]
+        return convert_profile(
+            self._master_profile, profile_backend  # type: ignore[attr-defined]
+        )
 
     def unavailability_at(self, t) -> int:
         """The paper's ``U(t)``: processors blocked by reservations at ``t``."""

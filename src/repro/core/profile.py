@@ -1,390 +1,40 @@
-"""Piecewise-constant resource availability profiles.
+"""Backward-compatibility shim: the profile moved to :mod:`repro.core.profiles`.
 
-This is the central data structure of the library.  The paper models the
-reservations of an instance as an *unavailability function* ``U(t)``
-(Section 3.1); schedulers instead work with the complementary *availability
-profile* ``m(t) = m - U(t)``: how many processors are free at every time.
-
-A :class:`ResourceProfile` stores a sorted sequence of breakpoints
-``times[0] = 0 < times[1] < ...`` and integer capacities ``caps[i]`` on the
-half-open segments ``[times[i], times[i+1])``; the last segment extends to
-infinity.  Capacities are maintained as non-negative integers (processor
-counts) while times may be any real type (``int``, ``float``,
-:class:`fractions.Fraction`), so the exact worst-case constructions of
-:mod:`repro.theory` stay exact.
-
-Supported operations (all used by the schedulers in
-:mod:`repro.algorithms`):
-
-* point query :meth:`capacity_at`,
-* window queries :meth:`min_capacity` and :meth:`area`,
-* :meth:`earliest_fit` — earliest start of a ``q``-wide, ``p``-long block,
-* :meth:`reserve` / :meth:`add` — subtract or restore capacity,
-* :meth:`first_time_area_reaches` — support for the area lower bound.
-
-The structure is mutable (schedulers commit placements into their private
-copy); use :meth:`copy` to branch, as the exact solver does.
+``ResourceProfile`` (the historical flat-list implementation) is now
+:class:`repro.core.profiles.ListProfile`; the O(log n) tree variant lives
+beside it as :class:`repro.core.profiles.TreeProfile`, both behind the
+:class:`repro.core.profiles.ProfileBackend` protocol.  Import from
+:mod:`repro.core.profiles` in new code.
 """
 
-from __future__ import annotations
+from .profiles import (  # noqa: F401
+    ListProfile,
+    ProfileBackend,
+    ResourceProfile,
+    Segment,
+    TreeProfile,
+    available_backends,
+    convert_profile,
+    get_default_backend,
+    get_default_backend_name,
+    make_profile,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
 
-import math
-import numbers
-from bisect import bisect_right, insort
-from typing import Iterable, Iterator, List, Optional, Tuple
-
-from ..errors import CapacityError, InvalidInstanceError
-
-Segment = Tuple[object, object, int]  # (start, end, capacity); end may be math.inf
-
-
-class ResourceProfile:
-    """Integer capacity as a piecewise-constant function of time on ``[0, inf)``."""
-
-    __slots__ = ("_times", "_caps")
-
-    def __init__(self, times: List, caps: List[int], _validate: bool = True):
-        if _validate:
-            if not times or times[0] != 0:
-                raise InvalidInstanceError("profile must start at time 0")
-            if len(times) != len(caps):
-                raise InvalidInstanceError("times and caps must have equal length")
-            for i in range(1, len(times)):
-                if not times[i - 1] < times[i]:
-                    raise InvalidInstanceError(
-                        f"profile breakpoints must be strictly increasing, got "
-                        f"{times[i - 1]!r} then {times[i]!r}"
-                    )
-            for c in caps:
-                if not isinstance(c, numbers.Integral) or c < 0:
-                    raise InvalidInstanceError(
-                        f"profile capacities must be non-negative integers, got {c!r}"
-                    )
-        self._times = list(times)
-        self._caps = [int(c) for c in caps]
-        self._merge_equal()
-
-    # ------------------------------------------------------------------
-    # constructors
-    # ------------------------------------------------------------------
-    @classmethod
-    def constant(cls, capacity: int) -> "ResourceProfile":
-        """A machine with ``capacity`` processors free at every time."""
-        return cls([0], [capacity])
-
-    @classmethod
-    def from_reservations(cls, m: int, reservations: Iterable) -> "ResourceProfile":
-        """Availability of an ``m``-processor machine minus its reservations.
-
-        Raises :class:`~repro.errors.CapacityError` when the reservations
-        overlap beyond ``m`` processors (the instance is then infeasible in
-        the sense of Section 3.1).
-        """
-        profile = cls.constant(m)
-        for res in reservations:
-            profile.reserve(res.start, res.p, res.q)
-        return profile
-
-    @classmethod
-    def from_segments(cls, segments: Iterable[Tuple]) -> "ResourceProfile":
-        """Build from ``(start, capacity)`` pairs; last extends to infinity."""
-        times, caps = [], []
-        for start, cap in segments:
-            times.append(start)
-            caps.append(cap)
-        return cls(times, caps)
-
-    def copy(self) -> "ResourceProfile":
-        """Independent mutable copy."""
-        clone = ResourceProfile.__new__(ResourceProfile)
-        clone._times = list(self._times)
-        clone._caps = list(self._caps)
-        return clone
-
-    # ------------------------------------------------------------------
-    # internal helpers
-    # ------------------------------------------------------------------
-    def _merge_equal(self) -> None:
-        """Restore the invariant that adjacent segments differ in capacity."""
-        times, caps = self._times, self._caps
-        merged_t, merged_c = [times[0]], [caps[0]]
-        for t, c in zip(times[1:], caps[1:]):
-            if c != merged_c[-1]:
-                merged_t.append(t)
-                merged_c.append(c)
-        self._times, self._caps = merged_t, merged_c
-
-    def _index_at(self, t) -> int:
-        """Index of the segment containing time ``t >= 0``."""
-        if t < 0:
-            raise InvalidInstanceError(f"profile queried at negative time {t!r}")
-        return bisect_right(self._times, t) - 1
-
-    def _ensure_breakpoint(self, t) -> int:
-        """Split the segment containing ``t`` so ``t`` is a breakpoint.
-
-        Returns the index whose segment now starts at ``t``.
-        """
-        i = self._index_at(t)
-        if self._times[i] == t:
-            return i
-        self._times.insert(i + 1, t)
-        self._caps.insert(i + 1, self._caps[i])
-        return i + 1
-
-    # ------------------------------------------------------------------
-    # queries
-    # ------------------------------------------------------------------
-    @property
-    def breakpoints(self) -> Tuple:
-        """The times at which capacity changes (first is always 0)."""
-        return tuple(self._times)
-
-    def capacity_at(self, t) -> int:
-        """Number of free processors at time ``t``."""
-        return self._caps[self._index_at(t)]
-
-    def final_capacity(self) -> int:
-        """Capacity on the unbounded last segment (after every reservation)."""
-        return self._caps[-1]
-
-    def max_capacity(self) -> int:
-        """Largest capacity reached anywhere."""
-        return max(self._caps)
-
-    def min_capacity_overall(self) -> int:
-        """Smallest capacity reached anywhere."""
-        return min(self._caps)
-
-    def segments(self, horizon=None) -> Iterator[Segment]:
-        """Yield ``(start, end, capacity)``; the last ``end`` is ``horizon``
-        (if given) or ``math.inf``."""
-        n = len(self._times)
-        for i in range(n):
-            start = self._times[i]
-            end = self._times[i + 1] if i + 1 < n else (
-                horizon if horizon is not None else math.inf
-            )
-            if horizon is not None:
-                if start >= horizon:
-                    return
-                end = min(end, horizon)
-            yield (start, end, self._caps[i])
-
-    def min_capacity(self, start, end) -> int:
-        """Minimum capacity over the window ``[start, end)``."""
-        if end <= start:
-            raise InvalidInstanceError("window must have positive length")
-        i = self._index_at(start)
-        lo = self._caps[i]
-        j = i + 1
-        while j < len(self._times) and self._times[j] < end:
-            lo = min(lo, self._caps[j])
-            j += 1
-        return lo
-
-    def fits(self, q: int, start, duration) -> bool:
-        """True when a ``q``-wide block of length ``duration`` fits at ``start``."""
-        return self.min_capacity(start, start + duration) >= q
-
-    def area(self, start, end):
-        """Integral of the capacity over ``[start, end)`` (available work area)."""
-        if end < start:
-            raise InvalidInstanceError("area window must be ordered")
-        if end == start:
-            return 0
-        total = 0
-        for seg_start, seg_end, cap in self.segments():
-            if seg_end <= start:
-                continue
-            if seg_start >= end:
-                break
-            lo = max(seg_start, start)
-            hi = min(seg_end, end)
-            total += cap * (hi - lo)
-        return total
-
-    def next_breakpoint_after(self, t):
-        """Smallest breakpoint strictly greater than ``t``, or ``None``."""
-        i = bisect_right(self._times, t)
-        return self._times[i] if i < len(self._times) else None
-
-    def earliest_fit(self, q: int, duration, after=0) -> Optional[object]:
-        """Earliest ``s >= after`` such that capacity is ``>= q`` throughout
-        ``[s, s + duration)``.
-
-        Returns ``None`` when no such time exists, which happens exactly when
-        the final (infinite) segment has capacity below ``q``.
-
-        This single primitive implements: conservative backfilling placement,
-        the FCFS head-of-queue start rule, and the "fit now" test of LSRC
-        (by checking whether the returned time equals ``after``).
-        """
-        if duration <= 0:
-            raise InvalidInstanceError("duration must be positive")
-        if q < 0:
-            raise InvalidInstanceError("width must be non-negative")
-        n = len(self._times)
-        i = self._index_at(after) if after > 0 else 0
-        candidate = None
-        while i < n:
-            seg_start = self._times[i]
-            seg_end = self._times[i + 1] if i + 1 < n else math.inf
-            if self._caps[i] >= q:
-                if candidate is None:
-                    candidate = seg_start if seg_start > after else after
-                if seg_end == math.inf or seg_end - candidate >= duration:
-                    return candidate
-            else:
-                candidate = None
-            i += 1
-        return None
-
-    # ------------------------------------------------------------------
-    # mutation
-    # ------------------------------------------------------------------
-    def reserve(self, start, duration, amount: int) -> None:
-        """Subtract ``amount`` processors over ``[start, start + duration)``.
-
-        Raises :class:`~repro.errors.CapacityError` when any covered segment
-        would drop below zero; the profile is left unchanged in that case.
-        """
-        if duration <= 0:
-            raise InvalidInstanceError("duration must be positive")
-        if not isinstance(amount, numbers.Integral) or amount < 0:
-            raise InvalidInstanceError(
-                f"reserved amount must be a non-negative integer, got {amount!r}"
-            )
-        if start < 0:
-            raise InvalidInstanceError("reservation cannot start before time 0")
-        if amount == 0:
-            return
-        end = start + duration
-        if self.min_capacity(start, end) < amount:
-            raise CapacityError(
-                f"cannot reserve {amount} processors on [{start}, {end}): "
-                f"minimum available is {self.min_capacity(start, end)}"
-            )
-        i = self._ensure_breakpoint(start)
-        j = self._ensure_breakpoint(end)
-        for k in range(i, j):
-            self._caps[k] -= int(amount)
-        self._merge_equal()
-
-    def add(self, start, duration, amount: int) -> None:
-        """Add ``amount`` processors over ``[start, start + duration)``.
-
-        Inverse of :meth:`reserve`; used for what-if probing (EASY
-        backfilling) and by tests.
-        """
-        if duration <= 0:
-            raise InvalidInstanceError("duration must be positive")
-        if not isinstance(amount, numbers.Integral) or amount < 0:
-            raise InvalidInstanceError(
-                f"added amount must be a non-negative integer, got {amount!r}"
-            )
-        if start < 0:
-            raise InvalidInstanceError("cannot add capacity before time 0")
-        if amount == 0:
-            return
-        end = start + duration
-        i = self._ensure_breakpoint(start)
-        j = self._ensure_breakpoint(end)
-        for k in range(i, j):
-            self._caps[k] += int(amount)
-        self._merge_equal()
-
-    # ------------------------------------------------------------------
-    # derived quantities
-    # ------------------------------------------------------------------
-    def first_time_area_reaches(self, work, start=0):
-        """Smallest ``T`` with ``area(start, T) >= work``.
-
-        Supports the reservation-aware area lower bound
-        (:func:`repro.core.bounds.area_bound`): no schedule can finish
-        ``work`` units of processing before the machine has offered that
-        much capacity.  Returns ``None`` if the profile's tail capacity is 0
-        and the work cannot be accumulated (only possible on degenerate
-        profiles).
-        """
-        if work <= 0:
-            return start
-        acc = 0
-        for seg_start, seg_end, cap in self.segments():
-            if seg_end <= start:
-                continue
-            lo = max(seg_start, start)
-            if seg_end == math.inf:
-                if cap == 0:
-                    return None
-                return lo + (work - acc) / cap
-            gain = cap * (seg_end - lo)
-            if acc + gain >= work:
-                if cap == 0:
-                    # gain is 0, cannot happen when acc + gain >= work > acc
-                    return seg_end
-                return lo + (work - acc) / cap
-            acc += gain
-        return None  # pragma: no cover - segments() always ends with inf
-
-    def inverted(self, m: int) -> "ResourceProfile":
-        """The unavailability profile ``U(t) = m - capacity(t)``.
-
-        Raises when capacity exceeds ``m`` anywhere.
-        """
-        caps = []
-        for c in self._caps:
-            if c > m:
-                raise InvalidInstanceError(
-                    f"capacity {c} exceeds machine size {m}; cannot invert"
-                )
-            caps.append(m - c)
-        return ResourceProfile(list(self._times), caps, _validate=False)
-
-    def is_nondecreasing(self) -> bool:
-        """True when capacity never decreases over time.
-
-        This is the availability-side phrasing of the paper's
-        *non-increasing reservations* restriction (Section 4.1):
-        ``U`` non-increasing  ⇔  ``m(t)`` non-decreasing.
-        """
-        return all(a <= b for a, b in zip(self._caps, self._caps[1:]))
-
-    def truncated_after(self, horizon) -> "ResourceProfile":
-        """Profile equal to this one before ``horizon`` and constant after.
-
-        The constant is the capacity at ``horizon``.  This is the ``I'``
-        transformation in the proof of Proposition 1.
-        """
-        if horizon < 0:
-            raise InvalidInstanceError("horizon must be >= 0")
-        times, caps = [], []
-        cap_at_h = self.capacity_at(horizon)
-        for t, c in zip(self._times, self._caps):
-            if t >= horizon:
-                break
-            times.append(t)
-            caps.append(c)
-        if not times:
-            return ResourceProfile([0], [cap_at_h], _validate=False)
-        if caps[-1] != cap_at_h:
-            times.append(horizon)
-            caps.append(cap_at_h)
-        return ResourceProfile(times, caps, _validate=False)
-
-    # ------------------------------------------------------------------
-    # dunder
-    # ------------------------------------------------------------------
-    def __eq__(self, other) -> bool:
-        if not isinstance(other, ResourceProfile):
-            return NotImplemented
-        return self._times == other._times and self._caps == other._caps
-
-    def __hash__(self):
-        return hash((tuple(self._times), tuple(self._caps)))
-
-    def __repr__(self) -> str:
-        parts = ", ".join(
-            f"[{t}:{c}]" for t, c in zip(self._times, self._caps)
-        )
-        return f"ResourceProfile({parts})"
+__all__ = [
+    "ResourceProfile",
+    "ListProfile",
+    "TreeProfile",
+    "ProfileBackend",
+    "Segment",
+    "register_backend",
+    "available_backends",
+    "resolve_backend",
+    "set_default_backend",
+    "get_default_backend",
+    "get_default_backend_name",
+    "make_profile",
+    "convert_profile",
+]

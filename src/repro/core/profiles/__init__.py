@@ -1,0 +1,154 @@
+"""Pluggable availability-profile backends.
+
+The availability profile ``m(t) = m - U(t)`` (Section 3.1) is the data
+structure every scheduler layer queries and mutates.  This package keeps
+the *protocol* (:class:`~repro.core.profiles.base.ProfileBackend`)
+separate from its implementations so the library can trade constants for
+asymptotics per use case:
+
+``"list"`` — :class:`ListProfile`
+    Flat sorted breakpoint arrays, O(n) mutation, tiny constants, fully
+    transparent.  The default, and the reference the theory modules'
+    Fraction-exact constructions run on.
+
+``"tree"`` — :class:`TreeProfile`
+    Augmented treap with subtree min/max/area aggregates and lazy range
+    updates: O(log n) ``capacity_at`` / ``min_capacity`` / ``area`` /
+    ``reserve`` / ``add`` and run-skipping ``earliest_fit``.  The backend
+    for large traces (see ``benchmarks/bench_profile_backends.py``).
+
+Both backends implement identical semantics — exact integer capacities,
+times of any ordered numeric type, canonical merged segments — and
+compare equal whenever they represent the same function, which the
+differential tests exploit to prove schedulers produce byte-identical
+schedules under either backend.
+
+Selecting a backend
+-------------------
+Call sites accept a ``profile_backend`` argument (a registry name or a
+backend class); ``None`` defers to the module default:
+
+>>> from repro.core.profiles import set_default_backend
+>>> inst.availability_profile(profile_backend="tree")   # one call site
+>>> set_default_backend("tree")                          # whole process
+
+Third-party backends can join via :func:`register_backend` as long as
+they subclass :class:`ProfileBackend`.
+
+For backward compatibility :data:`ResourceProfile` remains an alias of
+:class:`ListProfile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type, Union
+
+from ...errors import InvalidInstanceError
+from .base import ProfileBackend, Segment
+from .list_backend import ListProfile
+from .tree_backend import TreeProfile
+
+#: Backward-compatible name for the historical flat-list implementation.
+ResourceProfile = ListProfile
+
+BackendSpec = Union[None, str, Type[ProfileBackend]]
+
+_BACKENDS: Dict[str, Type[ProfileBackend]] = {
+    "list": ListProfile,
+    "tree": TreeProfile,
+}
+
+_default_backend: str = "list"
+
+
+def register_backend(name: str, backend: Type[ProfileBackend]) -> None:
+    """Add a backend class to the registry (overwrites silently, like the
+    scheduler registry, so notebook reloads do not error)."""
+    if not (isinstance(backend, type) and issubclass(backend, ProfileBackend)):
+        raise InvalidInstanceError(
+            f"profile backend must subclass ProfileBackend, got {backend!r}"
+        )
+    _BACKENDS[name] = backend
+
+
+def available_backends() -> list:
+    """Sorted registry names."""
+    return sorted(_BACKENDS)
+
+
+def resolve_backend(spec: BackendSpec = None) -> Type[ProfileBackend]:
+    """Map a ``profile_backend`` argument to a backend class.
+
+    ``None`` resolves to the module default; a string is looked up in the
+    registry; a :class:`ProfileBackend` subclass passes through.
+    """
+    if spec is None:
+        return _BACKENDS[_default_backend]
+    if isinstance(spec, str):
+        try:
+            return _BACKENDS[spec]
+        except KeyError:
+            known = ", ".join(available_backends())
+            raise InvalidInstanceError(
+                f"unknown profile backend {spec!r}; known backends: {known}"
+            ) from None
+    if isinstance(spec, type) and issubclass(spec, ProfileBackend):
+        return spec
+    raise InvalidInstanceError(
+        f"profile_backend must be None, a registry name or a ProfileBackend "
+        f"subclass, got {spec!r}"
+    )
+
+
+def set_default_backend(spec: BackendSpec) -> None:
+    """Set the process-wide default backend (name or registered class)."""
+    global _default_backend
+    cls = resolve_backend(spec if spec is not None else _default_backend)
+    for name, registered in _BACKENDS.items():
+        if registered is cls:
+            _default_backend = name
+            return
+    raise InvalidInstanceError(
+        f"backend {cls.__name__} is not registered; call register_backend first"
+    )
+
+
+def get_default_backend() -> Type[ProfileBackend]:
+    """The backend class used when ``profile_backend`` is ``None``."""
+    return _BACKENDS[_default_backend]
+
+
+def get_default_backend_name() -> str:
+    """Registry name of the default backend."""
+    return _default_backend
+
+
+def make_profile(times, caps, profile_backend: BackendSpec = None) -> ProfileBackend:
+    """Construct a profile on the selected (or default) backend."""
+    return resolve_backend(profile_backend)(times, caps)
+
+
+def convert_profile(profile: ProfileBackend, profile_backend: BackendSpec = None) -> ProfileBackend:
+    """Re-house a profile on another backend (fresh copy either way)."""
+    cls = resolve_backend(profile_backend)
+    if type(profile) is cls:
+        return profile.copy()
+    times, caps = profile.as_lists()
+    return cls(times, caps, _validate=False)
+
+
+__all__ = [
+    "ProfileBackend",
+    "Segment",
+    "ResourceProfile",
+    "ListProfile",
+    "TreeProfile",
+    "register_backend",
+    "available_backends",
+    "resolve_backend",
+    "set_default_backend",
+    "get_default_backend",
+    "get_default_backend_name",
+    "make_profile",
+    "convert_profile",
+]

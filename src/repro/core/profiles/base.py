@@ -1,0 +1,323 @@
+"""The profile-backend protocol: what every availability structure provides.
+
+A *profile backend* represents integer capacity as a piecewise-constant
+function of time on ``[0, inf)`` — the availability ``m(t) = m - U(t)`` of
+Section 3.1 — and supports the operation set every scheduler in
+:mod:`repro.algorithms` is written against:
+
+===========================  ==============================================
+point query                  :meth:`ProfileBackend.capacity_at`
+window queries               :meth:`ProfileBackend.min_capacity`,
+                             :meth:`ProfileBackend.area`
+placement query              :meth:`ProfileBackend.earliest_fit`
+mutation                     :meth:`ProfileBackend.reserve`,
+                             :meth:`ProfileBackend.add`
+batch mutation               :meth:`ProfileBackend.reserve_many`
+area inversion               :meth:`ProfileBackend.first_time_area_reaches`
+===========================  ==============================================
+
+Two invariants are part of the protocol, not of any one implementation:
+
+* **canonical form** — breakpoints are strictly increasing, start at 0,
+  and adjacent segments always differ in capacity (mutators re-establish
+  this), so ``breakpoints`` is exactly the set of instants where
+  availability changes and backends compare equal iff they represent the
+  same function;
+* **exact arithmetic** — capacities are non-negative ``int``; times may be
+  ``int``, ``float`` or :class:`fractions.Fraction` and are never coerced,
+  so the worst-case constructions of :mod:`repro.theory` stay exact in
+  every backend.
+
+Concrete backends subclass this ABC and implement the primitive set; the
+derived operations (``fits``, ``inverted``, ``truncated_after``, equality,
+hashing, the constructors) are shared here so all backends agree on their
+semantics by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ...errors import CapacityError, InvalidInstanceError
+
+Segment = Tuple[object, object, int]  # (start, end, capacity); end may be math.inf
+
+
+def validate_profile_inputs(times: List, caps: List[int]) -> None:
+    """Shared construction-time validation (raises InvalidInstanceError)."""
+    if not times or times[0] != 0:
+        raise InvalidInstanceError("profile must start at time 0")
+    if len(times) != len(caps):
+        raise InvalidInstanceError("times and caps must have equal length")
+    for i in range(1, len(times)):
+        if not times[i - 1] < times[i]:
+            raise InvalidInstanceError(
+                f"profile breakpoints must be strictly increasing, got "
+                f"{times[i - 1]!r} then {times[i]!r}"
+            )
+    for c in caps:
+        if not isinstance(c, numbers.Integral) or c < 0:
+            raise InvalidInstanceError(
+                f"profile capacities must be non-negative integers, got {c!r}"
+            )
+
+
+def merge_equal_segments(times: List, caps: List[int]) -> Tuple[List, List[int]]:
+    """Drop breakpoints where capacity does not change (canonical form)."""
+    merged_t, merged_c = [times[0]], [caps[0]]
+    for t, c in zip(times[1:], caps[1:]):
+        if c != merged_c[-1]:
+            merged_t.append(t)
+            merged_c.append(c)
+    return merged_t, merged_c
+
+
+def check_reserve_args(start, duration, amount: int, verb: str) -> None:
+    """Shared argument validation for reserve/add/reserve_many."""
+    if duration <= 0:
+        raise InvalidInstanceError("duration must be positive")
+    if not isinstance(amount, numbers.Integral) or amount < 0:
+        raise InvalidInstanceError(
+            f"{verb} amount must be a non-negative integer, got {amount!r}"
+        )
+    if start < 0:
+        if verb == "added":
+            raise InvalidInstanceError("cannot add capacity before time 0")
+        raise InvalidInstanceError("reservation cannot start before time 0")
+
+
+class ProfileBackend:
+    """Abstract piecewise-constant availability function on ``[0, inf)``.
+
+    Subclasses implement the primitives marked ``NotImplementedError``;
+    everything else is derived here so backends share exact semantics.
+    """
+
+    __slots__ = ()
+
+    # ------------------------------------------------------------------
+    # constructors (shared)
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, capacity: int):
+        """A machine with ``capacity`` processors free at every time."""
+        return cls([0], [capacity])
+
+    @classmethod
+    def from_reservations(cls, m: int, reservations: Iterable):
+        """Availability of an ``m``-processor machine minus its reservations.
+
+        Uses the batch primitive :meth:`reserve_many`, so construction
+        costs one sweep instead of one full rebuild per reservation.
+        Raises :class:`~repro.errors.CapacityError` when the reservations
+        overlap beyond ``m`` processors (the instance is then infeasible in
+        the sense of Section 3.1).
+        """
+        profile = cls.constant(m)
+        profile.reserve_many(
+            (res.start, res.p, res.q) for res in reservations
+        )
+        return profile
+
+    @classmethod
+    def from_segments(cls, segments: Iterable[Tuple]):
+        """Build from ``(start, capacity)`` pairs; last extends to infinity."""
+        times, caps = [], []
+        for start, cap in segments:
+            times.append(start)
+            caps.append(cap)
+        return cls(times, caps)
+
+    # ------------------------------------------------------------------
+    # primitives every backend implements
+    # ------------------------------------------------------------------
+    def as_lists(self) -> Tuple[List, List[int]]:
+        """Canonical ``(times, caps)`` lists (fresh copies)."""
+        raise NotImplementedError
+
+    def copy(self):
+        """Independent mutable copy."""
+        raise NotImplementedError
+
+    def capacity_at(self, t) -> int:
+        """Number of free processors at time ``t``."""
+        raise NotImplementedError
+
+    def min_capacity(self, start, end) -> int:
+        """Minimum capacity over the window ``[start, end)``."""
+        raise NotImplementedError
+
+    def area(self, start, end):
+        """Integral of the capacity over ``[start, end)`` (available work
+        area).  Implementations locate ``start``'s segment by bisection /
+        tree descent rather than scanning from time 0."""
+        raise NotImplementedError
+
+    def earliest_fit(self, q: int, duration, after=0) -> Optional[object]:
+        """Earliest ``s >= after`` such that capacity is ``>= q`` throughout
+        ``[s, s + duration)``; ``None`` exactly when the final (infinite)
+        segment has capacity below ``q``."""
+        raise NotImplementedError
+
+    def reserve(self, start, duration, amount: int) -> None:
+        """Subtract ``amount`` processors over ``[start, start + duration)``.
+
+        Raises :class:`~repro.errors.CapacityError` (leaving the profile
+        unchanged) when any covered instant would drop below zero.
+        """
+        raise NotImplementedError
+
+    def add(self, start, duration, amount: int) -> None:
+        """Add ``amount`` processors over ``[start, start + duration)``
+        (inverse of :meth:`reserve`)."""
+        raise NotImplementedError
+
+    def first_time_area_reaches(self, work, start=0):
+        """Smallest ``T`` with ``area(start, T) >= work`` (area bound
+        support); ``None`` only on degenerate zero-tail profiles."""
+        raise NotImplementedError
+
+    def segments(self, horizon=None) -> Iterator[Segment]:
+        """Yield ``(start, end, capacity)``; the last ``end`` is ``horizon``
+        (if given) or ``math.inf``."""
+        raise NotImplementedError
+
+    def next_breakpoint_after(self, t):
+        """Smallest breakpoint strictly greater than ``t``, or ``None``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # derived queries (shared; backends may override with faster variants)
+    # ------------------------------------------------------------------
+    @property
+    def breakpoints(self) -> Tuple:
+        """The times at which capacity changes (first is always 0)."""
+        return tuple(self.as_lists()[0])
+
+    def final_capacity(self) -> int:
+        """Capacity on the unbounded last segment (after every reservation)."""
+        return self.as_lists()[1][-1]
+
+    def max_capacity(self) -> int:
+        """Largest capacity reached anywhere."""
+        return max(self.as_lists()[1])
+
+    def min_capacity_overall(self) -> int:
+        """Smallest capacity reached anywhere."""
+        return min(self.as_lists()[1])
+
+    def fits(self, q: int, start, duration) -> bool:
+        """True when a ``q``-wide block of length ``duration`` fits at ``start``."""
+        return self.min_capacity(start, start + duration) >= q
+
+    # ------------------------------------------------------------------
+    # batch mutation
+    # ------------------------------------------------------------------
+    def reserve_many(self, blocks: Iterable[Tuple]) -> None:
+        """Apply many ``(start, duration, amount)`` reservations atomically.
+
+        Either every block is applied or (on :class:`CapacityError` or
+        invalid arguments) none is.  The generic implementation validates
+        every block up front, then reserves one at a time and rolls back
+        on a capacity failure; list-based backends override this with a
+        single sweep so ``k`` reservations cost one rebuild, not ``k``.
+        """
+        pending: List[Tuple] = []
+        for start, duration, amount in blocks:
+            check_reserve_args(start, duration, amount, "reserved")
+            pending.append((start, duration, amount))
+        applied: List[Tuple] = []
+        try:
+            for start, duration, amount in pending:
+                self.reserve(start, duration, amount)
+                applied.append((start, duration, amount))
+        except CapacityError:
+            for start, duration, amount in reversed(applied):
+                if amount:
+                    self.add(start, duration, amount)
+            raise
+
+    # ------------------------------------------------------------------
+    # derived transformations (shared)
+    # ------------------------------------------------------------------
+    def inverted(self, m: int):
+        """The unavailability profile ``U(t) = m - capacity(t)``.
+
+        Raises when capacity exceeds ``m`` anywhere.
+        """
+        times, caps = self.as_lists()
+        out = []
+        for c in caps:
+            if c > m:
+                raise InvalidInstanceError(
+                    f"capacity {c} exceeds machine size {m}; cannot invert"
+                )
+            out.append(m - c)
+        return type(self)(times, out, _validate=False)
+
+    def is_nondecreasing(self) -> bool:
+        """True when capacity never decreases over time.
+
+        This is the availability-side phrasing of the paper's
+        *non-increasing reservations* restriction (Section 4.1):
+        ``U`` non-increasing  ⇔  ``m(t)`` non-decreasing.
+        """
+        caps = self.as_lists()[1]
+        return all(a <= b for a, b in zip(caps, caps[1:]))
+
+    def truncated_after(self, horizon):
+        """Profile equal to this one before ``horizon`` and constant after.
+
+        The constant is the capacity at ``horizon``.  This is the ``I'``
+        transformation in the proof of Proposition 1.
+        """
+        if horizon < 0:
+            raise InvalidInstanceError("horizon must be >= 0")
+        all_times, all_caps = self.as_lists()
+        cap_at_h = self.capacity_at(horizon)
+        times, caps = [], []
+        for t, c in zip(all_times, all_caps):
+            if t >= horizon:
+                break
+            times.append(t)
+            caps.append(c)
+        if not times:
+            return type(self)([0], [cap_at_h], _validate=False)
+        if caps[-1] != cap_at_h:
+            times.append(horizon)
+            caps.append(cap_at_h)
+        return type(self)(times, caps, _validate=False)
+
+    # ------------------------------------------------------------------
+    # dunder (shared: backends compare by the function they represent)
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ProfileBackend):
+            return NotImplemented
+        return self.as_lists() == other.as_lists()
+
+    def __hash__(self):
+        times, caps = self.as_lists()
+        return hash((tuple(times), tuple(caps)))
+
+    def __repr__(self) -> str:
+        times, caps = self.as_lists()
+        parts = ", ".join(f"[{t}:{c}]" for t, c in zip(times, caps))
+        return f"{type(self).__name__}({parts})"
+
+
+def iter_segments(times: List, caps: List[int], horizon=None) -> Iterator[Segment]:
+    """Shared ``segments()`` semantics over canonical lists."""
+    n = len(times)
+    for i in range(n):
+        start = times[i]
+        end = times[i + 1] if i + 1 < n else (
+            horizon if horizon is not None else math.inf
+        )
+        if horizon is not None:
+            if start >= horizon:
+                return
+            end = min(end, horizon)
+        yield (start, end, caps[i])

@@ -1,0 +1,299 @@
+"""The exact list backend: sorted breakpoint arrays, simple and canonical.
+
+:class:`ListProfile` is the original, deliberately transparent
+implementation of the profile protocol: two parallel lists (breakpoint
+times and segment capacities) kept in canonical merged form after every
+mutation.  Point and window queries bisect into the arrays; mutations
+splice and re-merge, which is O(n) per call but with small constants and
+zero bookkeeping — the right trade-off for the exact Fraction-heavy
+constructions of :mod:`repro.theory` and for small instances.
+
+For large traces the tree backend
+(:class:`~repro.core.profiles.tree_backend.TreeProfile`) implements the
+same protocol in O(log n) per operation; ``benchmarks/
+bench_profile_backends.py`` measures the crossover.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ...errors import CapacityError, InvalidInstanceError
+from .base import (
+    ProfileBackend,
+    Segment,
+    check_reserve_args,
+    iter_segments,
+    merge_equal_segments,
+    validate_profile_inputs,
+)
+
+
+class ListProfile(ProfileBackend):
+    """Integer capacity as a piecewise-constant function of time on
+    ``[0, inf)``, stored as flat breakpoint/capacity lists."""
+
+    __slots__ = ("_times", "_caps")
+
+    def __init__(self, times: List, caps: List[int], _validate: bool = True):
+        if _validate:
+            validate_profile_inputs(times, caps)
+        self._times = list(times)
+        self._caps = [int(c) for c in caps]
+        self._merge_equal()
+
+    def copy(self) -> "ListProfile":
+        """Independent mutable copy."""
+        clone = type(self).__new__(type(self))
+        clone._times = list(self._times)
+        clone._caps = list(self._caps)
+        return clone
+
+    def as_lists(self) -> Tuple[List, List[int]]:
+        """Canonical ``(times, caps)`` lists (fresh copies)."""
+        return list(self._times), list(self._caps)
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _merge_equal(self) -> None:
+        """Restore the invariant that adjacent segments differ in capacity."""
+        self._times, self._caps = merge_equal_segments(self._times, self._caps)
+
+    def _index_at(self, t) -> int:
+        """Index of the segment containing time ``t >= 0``."""
+        if t < 0:
+            raise InvalidInstanceError(f"profile queried at negative time {t!r}")
+        return bisect_right(self._times, t) - 1
+
+    def _ensure_breakpoint(self, t) -> int:
+        """Split the segment containing ``t`` so ``t`` is a breakpoint.
+
+        Returns the index whose segment now starts at ``t``.
+        """
+        i = self._index_at(t)
+        if self._times[i] == t:
+            return i
+        self._times.insert(i + 1, t)
+        self._caps.insert(i + 1, self._caps[i])
+        return i + 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def breakpoints(self) -> Tuple:
+        """The times at which capacity changes (first is always 0)."""
+        return tuple(self._times)
+
+    def capacity_at(self, t) -> int:
+        """Number of free processors at time ``t``."""
+        return self._caps[self._index_at(t)]
+
+    def final_capacity(self) -> int:
+        """Capacity on the unbounded last segment (after every reservation)."""
+        return self._caps[-1]
+
+    def max_capacity(self) -> int:
+        """Largest capacity reached anywhere."""
+        return max(self._caps)
+
+    def min_capacity_overall(self) -> int:
+        """Smallest capacity reached anywhere."""
+        return min(self._caps)
+
+    def segments(self, horizon=None) -> Iterator[Segment]:
+        """Yield ``(start, end, capacity)``; the last ``end`` is ``horizon``
+        (if given) or ``math.inf``."""
+        return iter_segments(self._times, self._caps, horizon)
+
+    def min_capacity(self, start, end) -> int:
+        """Minimum capacity over the window ``[start, end)``."""
+        if end <= start:
+            raise InvalidInstanceError("window must have positive length")
+        i = self._index_at(start)
+        lo = self._caps[i]
+        j = i + 1
+        while j < len(self._times) and self._times[j] < end:
+            lo = min(lo, self._caps[j])
+            j += 1
+        return lo
+
+    def area(self, start, end):
+        """Integral of the capacity over ``[start, end)``.
+
+        Bisects to the segment containing ``start`` so the cost is
+        proportional to the number of breakpoints inside the window, not
+        to the profile size.
+        """
+        if end < start:
+            raise InvalidInstanceError("area window must be ordered")
+        if end == start:
+            return 0
+        times, caps = self._times, self._caps
+        n = len(times)
+        i = self._index_at(start) if start > 0 else 0
+        total = 0
+        for j in range(i, n):
+            seg_start = times[j]
+            if seg_start >= end:
+                break
+            seg_end = times[j + 1] if j + 1 < n else math.inf
+            lo = max(seg_start, start)
+            hi = min(seg_end, end)
+            if hi > lo:
+                total += caps[j] * (hi - lo)
+        return total
+
+    def next_breakpoint_after(self, t):
+        """Smallest breakpoint strictly greater than ``t``, or ``None``."""
+        i = bisect_right(self._times, t)
+        return self._times[i] if i < len(self._times) else None
+
+    def earliest_fit(self, q: int, duration, after=0) -> Optional[object]:
+        """Earliest ``s >= after`` such that capacity is ``>= q`` throughout
+        ``[s, s + duration)``.
+
+        Returns ``None`` when no such time exists, which happens exactly when
+        the final (infinite) segment has capacity below ``q``.
+
+        This single primitive implements: conservative backfilling placement,
+        the FCFS head-of-queue start rule, and the "fit now" test of LSRC
+        (by checking whether the returned time equals ``after``).
+        """
+        if duration <= 0:
+            raise InvalidInstanceError("duration must be positive")
+        if q < 0:
+            raise InvalidInstanceError("width must be non-negative")
+        n = len(self._times)
+        i = self._index_at(after) if after > 0 else 0
+        candidate = None
+        while i < n:
+            seg_start = self._times[i]
+            seg_end = self._times[i + 1] if i + 1 < n else math.inf
+            if self._caps[i] >= q:
+                if candidate is None:
+                    candidate = seg_start if seg_start > after else after
+                if seg_end == math.inf or seg_end - candidate >= duration:
+                    return candidate
+            else:
+                candidate = None
+            i += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def reserve(self, start, duration, amount: int) -> None:
+        """Subtract ``amount`` processors over ``[start, start + duration)``.
+
+        Raises :class:`~repro.errors.CapacityError` when any covered segment
+        would drop below zero; the profile is left unchanged in that case.
+        """
+        check_reserve_args(start, duration, amount, "reserved")
+        if amount == 0:
+            return
+        end = start + duration
+        if self.min_capacity(start, end) < amount:
+            raise CapacityError(
+                f"cannot reserve {amount} processors on [{start}, {end}): "
+                f"minimum available is {self.min_capacity(start, end)}"
+            )
+        i = self._ensure_breakpoint(start)
+        j = self._ensure_breakpoint(end)
+        for k in range(i, j):
+            self._caps[k] -= int(amount)
+        self._merge_equal()
+
+    def add(self, start, duration, amount: int) -> None:
+        """Add ``amount`` processors over ``[start, start + duration)``.
+
+        Inverse of :meth:`reserve`; used for what-if probing (EASY
+        backfilling) and by tests.
+        """
+        check_reserve_args(start, duration, amount, "added")
+        if amount == 0:
+            return
+        end = start + duration
+        i = self._ensure_breakpoint(start)
+        j = self._ensure_breakpoint(end)
+        for k in range(i, j):
+            self._caps[k] += int(amount)
+        self._merge_equal()
+
+    def reserve_many(self, blocks: Iterable[Tuple]) -> None:
+        """Apply many ``(start, duration, amount)`` reservations in one sweep.
+
+        All-or-nothing: the combined result is computed first and the
+        profile is only replaced when no instant would drop below zero,
+        otherwise :class:`~repro.errors.CapacityError` is raised and the
+        profile is untouched.  One sweep over ``O(n + k)`` breakpoints
+        replaces ``k`` individual O(n) rebuilds.
+        """
+        deltas = {}
+        for start, duration, amount in blocks:
+            check_reserve_args(start, duration, amount, "reserved")
+            if amount == 0:
+                continue
+            end = start + duration
+            deltas[start] = deltas.get(start, 0) - int(amount)
+            deltas[end] = deltas.get(end, 0) + int(amount)
+        if not deltas:
+            return
+        new_times = sorted(set(self._times) | set(deltas))
+        new_caps = []
+        src = 0  # index into the existing segments
+        pending = 0  # accumulated reservation depth
+        for t in new_times:
+            while src + 1 < len(self._times) and self._times[src + 1] <= t:
+                src += 1
+            pending += deltas.get(t, 0)
+            cap = self._caps[src] + pending
+            if cap < 0:
+                raise CapacityError(
+                    f"cannot reserve {-cap} processor(s) beyond availability "
+                    f"at time {t}: batch reservation overflows the profile"
+                )
+            new_caps.append(cap)
+        self._times, self._caps = merge_equal_segments(new_times, new_caps)
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def first_time_area_reaches(self, work, start=0):
+        """Smallest ``T`` with ``area(start, T) >= work``.
+
+        Supports the reservation-aware area lower bound
+        (:func:`repro.core.bounds.area_bound`): no schedule can finish
+        ``work`` units of processing before the machine has offered that
+        much capacity.  Bisects to the segment containing ``start``.
+        Returns ``None`` if the profile's tail capacity is 0 and the work
+        cannot be accumulated (only possible on degenerate profiles).
+        """
+        if work <= 0:
+            return start
+        times, caps = self._times, self._caps
+        n = len(times)
+        i = self._index_at(start) if start > 0 else 0
+        acc = 0
+        for j in range(i, n):
+            seg_start = times[j]
+            seg_end = times[j + 1] if j + 1 < n else math.inf
+            cap = caps[j]
+            if seg_end <= start:
+                continue
+            lo = max(seg_start, start)
+            if seg_end == math.inf:
+                if cap == 0:
+                    return None
+                return lo + (work - acc) / cap
+            gain = cap * (seg_end - lo)
+            if acc + gain >= work:
+                if cap == 0:
+                    # gain is 0, cannot happen when acc + gain >= work > acc
+                    return seg_end
+                return lo + (work - acc) / cap
+            acc += gain
+        return None  # pragma: no cover - the last segment is infinite

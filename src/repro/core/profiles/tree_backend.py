@@ -1,0 +1,553 @@
+"""The tree backend: an augmented balanced tree over profile segments.
+
+:class:`TreeProfile` implements the profile protocol with a treap (a
+randomized balanced BST, following the augmented-red-black-tree design of
+De Assunção's reservation-scheduling data structure) keyed by segment
+start time.  Each node stores one segment ``[key, end)`` with its integer
+capacity plus subtree aggregates:
+
+* ``mn`` / ``mx`` — minimum / maximum capacity in the subtree, driving
+  O(log n) ``min_capacity`` and the blocking-run skips of
+  ``earliest_fit``;
+* ``flen`` / ``farea`` — total finite length and capacity-area of the
+  subtree, driving O(log n) windowed ``area`` and
+  ``first_time_area_reaches``;
+* ``lazy`` — a pending capacity delta for the whole subtree, so
+  ``reserve``/``add`` are range updates (two boundary splits plus one
+  O(1) subtree delta) instead of full-list rebuilds.
+
+All times stay in their original numeric type (``int``, ``float``,
+:class:`fractions.Fraction`) and all arithmetic matches the list backend
+operation for operation, so both backends produce *identical* values on
+exact inputs — the differential tests in ``tests/test_profile_backends.py``
+assert schedule-level equality on randomized instances.
+
+Complexities (n = number of breakpoints, expected over treap priorities):
+
+=============================  =======================
+``capacity_at``                O(log n)
+``min_capacity`` / ``area``    O(log n)
+``reserve`` / ``add``          O(log n)
+``earliest_fit``               O((1 + runs skipped) log n)
+``first_time_area_reaches``    O(log n)
+``copy`` / ``as_lists``        O(n)
+=============================  =======================
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ...errors import CapacityError, InvalidInstanceError
+from .base import (
+    ProfileBackend,
+    Segment,
+    check_reserve_args,
+    merge_equal_segments,
+    validate_profile_inputs,
+)
+
+# Deterministic priority stream: treap shape (and therefore performance)
+# is reproducible run to run, while schedules never depend on it.
+_prio = random.Random(0x5EED1E55).random
+
+
+class _Node:
+    __slots__ = (
+        "key", "end", "cap", "prio", "left", "right",
+        "mn", "mx", "flen", "farea", "lazy",
+    )
+
+    def __init__(self, key, end, cap: int, prio: float):
+        self.key = key
+        self.end = end
+        self.cap = cap
+        self.prio = prio
+        self.left = None
+        self.right = None
+        self.lazy = 0
+        _pull(self)
+
+
+def _pull(node: _Node) -> None:
+    """Recompute aggregates from the node and its (up-to-date) children."""
+    mn = mx = node.cap
+    if node.end == math.inf:
+        flen = farea = 0
+    else:
+        flen = node.end - node.key
+        farea = node.cap * flen
+    left, right = node.left, node.right
+    if left is not None:
+        if left.mn < mn:
+            mn = left.mn
+        if left.mx > mx:
+            mx = left.mx
+        flen = left.flen + flen
+        farea = left.farea + farea
+    if right is not None:
+        if right.mn < mn:
+            mn = right.mn
+        if right.mx > mx:
+            mx = right.mx
+        flen = flen + right.flen
+        farea = farea + right.farea
+    node.mn = mn
+    node.mx = mx
+    node.flen = flen
+    node.farea = farea
+
+
+def _apply(node: _Node, delta: int) -> None:
+    """Add ``delta`` to every capacity in the subtree (lazily)."""
+    node.cap += delta
+    node.mn += delta
+    node.mx += delta
+    node.farea += delta * node.flen
+    node.lazy += delta
+
+
+def _push(node: _Node) -> None:
+    """Propagate the pending delta one level down."""
+    d = node.lazy
+    if d:
+        if node.left is not None:
+            _apply(node.left, d)
+        if node.right is not None:
+            _apply(node.right, d)
+        node.lazy = 0
+
+
+def _split(node: Optional[_Node], t) -> Tuple[Optional[_Node], Optional[_Node]]:
+    """Split by key: segments starting before ``t`` | starting at/after ``t``."""
+    if node is None:
+        return None, None
+    _push(node)
+    if node.key < t:
+        left, right = _split(node.right, t)
+        node.right = left
+        _pull(node)
+        return node, right
+    left, right = _split(node.left, t)
+    node.left = right
+    _pull(node)
+    return left, node
+
+
+def _merge(a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+    """Join two treaps; every key in ``a`` precedes every key in ``b``."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.prio < b.prio:
+        _push(a)
+        a.right = _merge(a.right, b)
+        _pull(a)
+        return a
+    _push(b)
+    b.left = _merge(a, b.left)
+    _pull(b)
+    return b
+
+
+def _cut_rightmost(node: _Node, t) -> Tuple[_Node, Optional[Tuple]]:
+    """Shrink the rightmost segment to end at ``t`` when it extends past it.
+
+    Returns the (re-pulled) subtree plus ``(old_end, cap)`` of the cut
+    piece, or ``None`` when the rightmost segment already ends at ``t``.
+    """
+    _push(node)
+    if node.right is not None:
+        node.right, info = _cut_rightmost(node.right, t)
+        _pull(node)
+        return node, info
+    info = None
+    if node.end > t:
+        info = (node.end, node.cap)
+        node.end = t
+    _pull(node)
+    return node, info
+
+
+def _remove_leftmost(node: _Node) -> Tuple[Optional[_Node], object]:
+    """Delete the leftmost node; returns the new subtree and its ``end``."""
+    _push(node)
+    if node.left is None:
+        return node.right, node.end
+    node.left, end = _remove_leftmost(node.left)
+    _pull(node)
+    return node, end
+
+
+def _extend_rightmost(node: _Node, new_end) -> _Node:
+    """Stretch the rightmost segment's end to ``new_end``."""
+    _push(node)
+    if node.right is None:
+        node.end = new_end
+    else:
+        node.right = _extend_rightmost(node.right, new_end)
+    _pull(node)
+    return node
+
+
+def _build(triples: List[Tuple]) -> Optional[_Node]:
+    """O(n) treap construction from sorted ``(key, end, cap)`` triples."""
+    spine: List[_Node] = []  # rightmost spine, root first
+    for key, end, cap in triples:
+        node = _Node(key, end, cap, _prio())
+        last = None
+        while spine and spine[-1].prio > node.prio:
+            last = spine.pop()
+            _pull(last)
+        node.left = last
+        if spine:
+            spine[-1].right = node
+        spine.append(node)
+    for node in reversed(spine):
+        _pull(node)
+    return spine[0] if spine else None
+
+
+class TreeProfile(ProfileBackend):
+    """Integer capacity as a piecewise-constant function of time on
+    ``[0, inf)``, stored as an augmented treap of segments."""
+
+    __slots__ = ("_root",)
+
+    def __init__(self, times: List, caps: List[int], _validate: bool = True):
+        if _validate:
+            validate_profile_inputs(times, caps)
+        times, caps = merge_equal_segments(list(times), [int(c) for c in caps])
+        n = len(times)
+        self._root = _build([
+            (times[i], times[i + 1] if i + 1 < n else math.inf, caps[i])
+            for i in range(n)
+        ])
+
+    def copy(self) -> "TreeProfile":
+        """Independent mutable copy (O(n) rebuild, resetting balance)."""
+        clone = type(self).__new__(type(self))
+        clone._root = _build(self._in_order())
+        return clone
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def _in_order(self) -> List[Tuple]:
+        """Effective ``(key, end, cap)`` triples, left to right."""
+        out: List[Tuple] = []
+        stack: List[Tuple[_Node, int]] = []
+        node, add = self._root, 0
+        while stack or node is not None:
+            while node is not None:
+                stack.append((node, add))
+                add = add + node.lazy
+                node = node.left
+            node, nadd = stack.pop()
+            out.append((node.key, node.end, node.cap + nadd))
+            add = nadd + node.lazy
+            node = node.right
+        return out
+
+    def as_lists(self) -> Tuple[List, List[int]]:
+        """Canonical ``(times, caps)`` lists (fresh copies)."""
+        triples = self._in_order()
+        return [t[0] for t in triples], [t[2] for t in triples]
+
+    def segments(self, horizon=None) -> Iterator[Segment]:
+        """Yield ``(start, end, capacity)``; the last ``end`` is ``horizon``
+        (if given) or ``math.inf``."""
+        for key, end, cap in self._in_order():
+            if horizon is not None:
+                if key >= horizon:
+                    return
+                end = min(end, horizon)
+            yield (key, end, cap)
+
+    @property
+    def breakpoints(self) -> Tuple:
+        """The times at which capacity changes (first is always 0)."""
+        return tuple(t[0] for t in self._in_order())
+
+    # ------------------------------------------------------------------
+    # point / aggregate queries
+    # ------------------------------------------------------------------
+    def capacity_at(self, t) -> int:
+        """Number of free processors at time ``t``."""
+        if t < 0:
+            raise InvalidInstanceError(f"profile queried at negative time {t!r}")
+        node, add = self._root, 0
+        while node is not None:
+            if t < node.key:
+                add += node.lazy
+                node = node.left
+            elif t >= node.end:
+                add += node.lazy
+                node = node.right
+            else:
+                return node.cap + add
+        raise InvalidInstanceError(  # pragma: no cover - [0, inf) is covered
+            f"profile has no segment containing {t!r}"
+        )
+
+    def final_capacity(self) -> int:
+        """Capacity on the unbounded last segment (after every reservation)."""
+        node, add = self._root, 0
+        while node.right is not None:
+            add += node.lazy
+            node = node.right
+        return node.cap + add
+
+    def max_capacity(self) -> int:
+        """Largest capacity reached anywhere."""
+        return self._root.mx
+
+    def min_capacity_overall(self) -> int:
+        """Smallest capacity reached anywhere."""
+        return self._root.mn
+
+    def next_breakpoint_after(self, t):
+        """Smallest breakpoint strictly greater than ``t``, or ``None``."""
+        node, best = self._root, None
+        while node is not None:
+            if node.key > t:
+                best = node.key
+                node = node.left
+            else:
+                node = node.right
+        return best
+
+    def min_capacity(self, start, end) -> int:
+        """Minimum capacity over the window ``[start, end)``."""
+        if end <= start:
+            raise InvalidInstanceError("window must have positive length")
+        if start < 0:
+            raise InvalidInstanceError(
+                f"profile queried at negative time {start!r}"
+            )
+        return _range_min(self._root, 0, 0, math.inf, start, end)
+
+    def area(self, start, end):
+        """Integral of the capacity over ``[start, end)`` (O(log n))."""
+        if end < start:
+            raise InvalidInstanceError("area window must be ordered")
+        if end == start:
+            return 0
+        return _range_area(self._root, 0, 0, math.inf, start, end)
+
+    # ------------------------------------------------------------------
+    # earliest fit
+    # ------------------------------------------------------------------
+    def _next_key(self, t, q: int, want_ge: bool):
+        """Smallest segment start ``> t`` whose capacity is ``>= q``
+        (``want_ge``) or ``< q`` (otherwise); ``None`` when none exists."""
+        return _next_key(self._root, 0, t, q, want_ge)
+
+    def earliest_fit(self, q: int, duration, after=0) -> Optional[object]:
+        """Earliest ``s >= after`` such that capacity is ``>= q`` throughout
+        ``[s, s + duration)``; ``None`` exactly when the final (infinite)
+        segment has capacity below ``q``.
+
+        Skips each maximal run of too-narrow segments with one aggregate
+        descent instead of visiting its segments one by one.
+        """
+        if duration <= 0:
+            raise InvalidInstanceError("duration must be positive")
+        if q < 0:
+            raise InvalidInstanceError("width must be non-negative")
+        cur = after if after > 0 else 0
+        while True:
+            if self.capacity_at(cur) >= q:
+                blocker = self._next_key(cur, q, want_ge=False)
+                if blocker is None or blocker - cur >= duration:
+                    return cur
+            else:
+                blocker = cur
+            cur = self._next_key(blocker, q, want_ge=True)
+            if cur is None:
+                return None
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _split_cut(self, node: Optional[_Node], t):
+        """Split so the left part covers exactly ``[.., t)``: the segment
+        straddling ``t`` (if any) is cut in two."""
+        left, right = _split(node, t)
+        if left is not None:
+            left, info = _cut_rightmost(left, t)
+            if info is not None:
+                old_end, cap = info
+                right = _merge(_Node(t, old_end, cap, _prio()), right)
+        return left, right
+
+    def _coalesce(self, t) -> None:
+        """Merge the segments meeting at ``t`` when their capacities agree,
+        restoring canonical form after a boundary update."""
+        if t == 0 or not (t < math.inf):
+            return
+        left, right = _split(self._root, t)
+        if left is None or right is None:
+            self._root = _merge(left, right)
+            return
+        node, add = right, 0
+        while node.left is not None:
+            add += node.lazy
+            node = node.left
+        right_key, right_cap = node.key, node.cap + add
+        node, add = left, 0
+        while node.right is not None:
+            add += node.lazy
+            node = node.right
+        left_cap = node.cap + add
+        if right_key == t and left_cap == right_cap:
+            right, removed_end = _remove_leftmost(right)
+            left = _extend_rightmost(left, removed_end)
+        self._root = _merge(left, right)
+
+    def _range_update(self, start, end, delta: int, require: int) -> None:
+        """Shared body of reserve/add: cut out ``[start, end)``, check its
+        minimum against ``require``, shift it by ``delta``, stitch back."""
+        left, rest = self._split_cut(self._root, start)
+        mid, right = self._split_cut(rest, end)
+        if mid is not None and mid.mn < require:
+            shortfall = mid.mn
+            self._root = _merge(_merge(left, mid), right)
+            self._coalesce(start)
+            self._coalesce(end)
+            raise CapacityError(
+                f"cannot reserve {require} processors on [{start}, {end}): "
+                f"minimum available is {shortfall}"
+            )
+        if mid is not None:
+            _apply(mid, delta)
+        self._root = _merge(_merge(left, mid), right)
+        self._coalesce(start)
+        self._coalesce(end)
+
+    def reserve(self, start, duration, amount: int) -> None:
+        """Subtract ``amount`` processors over ``[start, start + duration)``.
+
+        Raises :class:`~repro.errors.CapacityError` when any covered segment
+        would drop below zero; the profile is left unchanged in that case.
+        """
+        check_reserve_args(start, duration, amount, "reserved")
+        if amount == 0:
+            return
+        self._range_update(start, start + duration, -int(amount), int(amount))
+
+    def add(self, start, duration, amount: int) -> None:
+        """Add ``amount`` processors over ``[start, start + duration)``
+        (inverse of :meth:`reserve`)."""
+        check_reserve_args(start, duration, amount, "added")
+        if amount == 0:
+            return
+        self._range_update(start, start + duration, int(amount), 0)
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def first_time_area_reaches(self, work, start=0):
+        """Smallest ``T`` with ``area(start, T) >= work`` (O(log n) descent
+        over the area aggregates)."""
+        if work <= 0:
+            return start
+        need = work + (self.area(0, start) if start > 0 else 0)
+        node, add, acc = self._root, 0, 0
+        while node is not None:
+            child_add = add + node.lazy
+            left = node.left
+            if left is not None:
+                left_area = left.farea + child_add * left.flen
+                if acc + left_area >= need:
+                    node, add = left, child_add
+                    continue
+                acc = acc + left_area
+            cap = node.cap + add
+            if node.end == math.inf:
+                if cap == 0:
+                    return None
+                return self._crossing_time(node.key, start, work, cap)
+            gain = cap * (node.end - node.key)
+            if acc + gain >= need:
+                if cap == 0:
+                    # gain is 0, cannot happen when acc + gain >= need > acc
+                    return node.end
+                return self._crossing_time(node.key, start, work, cap)
+            acc = acc + gain
+            node, add = node.right, child_add
+        return None  # pragma: no cover - the last segment is infinite
+
+    def _crossing_time(self, key, start, work, cap):
+        """Time within the crossing segment at which the area hits ``work``.
+
+        Re-derives the accumulator relative to ``start`` with the same
+        left-to-right products the list backend uses, so the returned
+        value matches :class:`ListProfile` in numeric *type* as well as
+        value (e.g. an all-int prefix divides to the same float)."""
+        lo = max(key, start)
+        acc = self.area(start, key) if key > start else 0
+        return lo + (work - acc) / cap
+
+
+# ---------------------------------------------------------------------------
+# read-only descents (no structural mutation, lazies carried as an offset)
+# ---------------------------------------------------------------------------
+
+def _range_min(node, add, span_lo, span_hi, lo, hi):
+    """Minimum effective capacity over segments intersecting ``[lo, hi)``;
+    the subtree under ``node`` covers exactly ``[span_lo, span_hi)``."""
+    if node is None or span_hi <= lo or span_lo >= hi:
+        return None
+    if lo <= span_lo and span_hi <= hi:
+        return node.mn + add
+    child_add = add + node.lazy
+    best = _range_min(node.left, child_add, span_lo, node.key, lo, hi)
+    if node.key < hi and node.end > lo:
+        cap = node.cap + add
+        if best is None or cap < best:
+            best = cap
+    right = _range_min(node.right, child_add, node.end, span_hi, lo, hi)
+    if right is not None and (best is None or right < best):
+        best = right
+    return best
+
+
+def _range_area(node, add, span_lo, span_hi, lo, hi):
+    """Capacity-area over ``[lo, hi)`` (finite window) under ``node``."""
+    if node is None or span_hi <= lo or span_lo >= hi:
+        return 0
+    if lo <= span_lo and span_hi <= hi:
+        return node.farea + add * node.flen
+    child_add = add + node.lazy
+    total = _range_area(node.left, child_add, span_lo, node.key, lo, hi)
+    # max/min (not conditionals) so ties pick the same numeric
+    # representative (e.g. Fraction(20, 1) vs int 20) as the list backend
+    seg_lo = max(node.key, lo)
+    seg_hi = min(node.end, hi)
+    if seg_hi > seg_lo:
+        total = total + (node.cap + add) * (seg_hi - seg_lo)
+    return total + _range_area(node.right, child_add, node.end, span_hi, lo, hi)
+
+
+def _next_key(node, add, t, q, want_ge):
+    """Smallest key ``> t`` with ``cap >= q`` (``want_ge``) or ``cap < q``."""
+    if node is None:
+        return None
+    if want_ge:
+        if node.mx + add < q:
+            return None
+    elif node.mn + add >= q:
+        return None
+    child_add = add + node.lazy
+    if node.key > t:
+        found = _next_key(node.left, child_add, t, q, want_ge)
+        if found is not None:
+            return found
+        cap = node.cap + add
+        if (cap >= q) if want_ge else (cap < q):
+            return node.key
+    return _next_key(node.right, child_add, t, q, want_ge)

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 
 from ..core.instance import ReservationInstance
 from ..core.job import Job
-from ..core.profile import ResourceProfile
+from ..core.profiles import ProfileBackend
 from ..errors import SchedulingError
 
 
@@ -38,10 +38,12 @@ class RunningJob:
 class ClusterState:
     """Mutable cluster bookkeeping for one online simulation run."""
 
-    def __init__(self, instance: ReservationInstance):
+    def __init__(self, instance: ReservationInstance, profile_backend=None):
         self.instance = instance
         #: capacity left after reservations and committed jobs
-        self.profile: ResourceProfile = instance.availability_profile()
+        self.profile: ProfileBackend = instance.availability_profile(
+            profile_backend
+        )
         self.queue: List[Job] = []
         self.running: Dict[object, RunningJob] = {}
         self.finished: Dict[object, RunningJob] = {}

@@ -142,7 +142,7 @@ class OnlineSimulation:
     queued job startable).
     """
 
-    def __init__(self, instance, policy: str = "greedy"):
+    def __init__(self, instance, policy: str = "greedy", profile_backend=None):
         self.instance: ReservationInstance = as_reservation_instance(instance)
         if policy not in POLICIES:
             known = ", ".join(sorted(POLICIES))
@@ -151,9 +151,10 @@ class OnlineSimulation:
             )
         self.policy_name = policy
         self._policy = POLICIES[policy]
+        self.profile_backend = profile_backend
 
     def run(self) -> SimulationResult:
-        state = ClusterState(self.instance)
+        state = ClusterState(self.instance, self.profile_backend)
         sim = Simulator()
         trace: List[TraceEvent] = []
 
@@ -243,6 +244,6 @@ class OnlineSimulation:
         )
 
 
-def simulate(instance, policy: str = "greedy") -> SimulationResult:
+def simulate(instance, policy: str = "greedy", profile_backend=None) -> SimulationResult:
     """Convenience wrapper: run one online simulation."""
-    return OnlineSimulation(instance, policy).run()
+    return OnlineSimulation(instance, policy, profile_backend).run()

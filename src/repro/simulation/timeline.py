@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..core.profile import ResourceProfile
+from ..core.profiles import ProfileBackend
 from ..errors import InvalidInstanceError
 from .online_sim import SimulationResult, TraceEvent
 
@@ -87,7 +87,7 @@ def running_count_timeline(result: SimulationResult) -> List[Tuple]:
     return steps
 
 
-def utilization_timeline(result: SimulationResult) -> ResourceProfile:
+def utilization_timeline(result: SimulationResult) -> ProfileBackend:
     """Processors used by jobs over time (the schedule's ``r(t)``)."""
     return result.schedule.usage_profile()
 

@@ -1,0 +1,429 @@
+"""The profile-backend protocol: both implementations, one behaviour.
+
+Three layers of evidence that :class:`TreeProfile` is a drop-in for
+:class:`ListProfile`:
+
+* *property round-trips* — reserve-then-add restores the profile, queries
+  agree with brute-force references, Fraction/float breakpoints and
+  zero-capacity tails survive, all parametrized over both backends;
+* *cross-backend equivalence* — identical op sequences leave both
+  backends representing the same function, query for query;
+* *scheduler differential* — LSRC, FCFS, conservative backfilling and
+  shelf produce **identical schedules** under either backend on 50+
+  randomized instances with mixed int/Fraction times.
+"""
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    ConservativeBackfillScheduler,
+    FCFSScheduler,
+    FirstFitShelfScheduler,
+    ListScheduler,
+)
+from repro.core import ReservationInstance
+from repro.core.profiles import (
+    ListProfile,
+    ProfileBackend,
+    TreeProfile,
+    available_backends,
+    convert_profile,
+    get_default_backend,
+    get_default_backend_name,
+    make_profile,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.errors import CapacityError, InvalidInstanceError
+
+from conftest import NaiveCapacity, random_resa
+
+BACKENDS = [ListProfile, TreeProfile]
+
+
+@pytest.fixture(params=BACKENDS, ids=lambda cls: cls.__name__)
+def backend(request):
+    """Each test in this module runs once per backend."""
+    return request.param
+
+
+# ---------------------------------------------------------------------------
+# registry / selection
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert {"list", "tree"} <= set(available_backends())
+
+    def test_resolve_by_name_class_and_none(self):
+        assert resolve_backend("list") is ListProfile
+        assert resolve_backend("tree") is TreeProfile
+        assert resolve_backend(TreeProfile) is TreeProfile
+        assert resolve_backend(None) is get_default_backend()
+
+    def test_resolve_unknown_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            resolve_backend("btree")
+        with pytest.raises(InvalidInstanceError):
+            resolve_backend(42)
+
+    def test_default_backend_switch(self):
+        original = get_default_backend_name()
+        try:
+            set_default_backend("tree")
+            assert get_default_backend() is TreeProfile
+            inst = ReservationInstance.from_specs(4, [(2, 2)], [(1, 1, 1)])
+            assert isinstance(inst.availability_profile(), TreeProfile)
+        finally:
+            set_default_backend(original)
+        assert get_default_backend_name() == original
+
+    def test_make_and_convert(self):
+        p = make_profile([0, 2], [4, 1], "tree")
+        assert isinstance(p, TreeProfile)
+        q = convert_profile(p, "list")
+        assert isinstance(q, ListProfile)
+        assert p == q
+        # conversion is a copy either way
+        r = convert_profile(p, "tree")
+        r.add(0, 1, 1)
+        assert p != r
+
+    def test_availability_profile_accepts_backend(self, backend):
+        inst = ReservationInstance.from_specs(4, [(2, 2)], [(1, 2, 2)])
+        profile = inst.availability_profile(profile_backend=backend)
+        assert isinstance(profile, backend)
+        assert profile.capacity_at(1) == 2
+
+
+# ---------------------------------------------------------------------------
+# behavioural parity on hand-picked cases
+# ---------------------------------------------------------------------------
+
+class TestBackendBasics:
+    def test_constant(self, backend):
+        p = backend.constant(4)
+        assert p.capacity_at(0) == 4
+        assert p.capacity_at(10**9) == 4
+        assert p.breakpoints == (0,)
+
+    def test_validation(self, backend):
+        with pytest.raises(InvalidInstanceError):
+            backend([1, 2], [1, 2])
+        with pytest.raises(InvalidInstanceError):
+            backend([0, 2, 2], [1, 2, 3])
+        with pytest.raises(InvalidInstanceError):
+            backend([0], [-1])
+        with pytest.raises(InvalidInstanceError):
+            backend([0], [1.5])
+
+    def test_merges_equal_segments(self, backend):
+        assert backend([0, 1, 2], [3, 3, 4]).breakpoints == (0, 2)
+
+    def test_boundary_coalescing_after_mutation(self, backend):
+        p = backend.from_segments([(0, 4), (2, 2)])
+        p.add(2, 3, 2)  # [2, 5) back to 4 => equal to the left neighbour
+        assert p.breakpoints == (0, 5)
+        p2 = backend.constant(4)
+        p2.reserve(0, 2, 2)  # [0:2][2:4]
+        p2.reserve(2, 2, 2)  # now equal across the boundary at 2
+        assert p2.breakpoints == (0, 4)
+
+    def test_overflow_rejected_and_state_unchanged(self, backend):
+        p = backend.constant(2)
+        p.reserve(0, 5, 1)
+        snapshot = p.copy()
+        with pytest.raises(CapacityError):
+            p.reserve(3, 4, 2)
+        assert p == snapshot
+        assert p.breakpoints == snapshot.breakpoints
+
+    def test_zero_capacity_tail(self, backend):
+        p = backend.from_segments([(0, 3), (5, 0)])
+        assert p.final_capacity() == 0
+        assert p.earliest_fit(1, 1, after=6) is None
+        assert p.earliest_fit(1, 2, after=4) is None  # cannot straddle
+        assert p.earliest_fit(0, 7, after=2) == 2     # zero width always fits
+        assert p.first_time_area_reaches(100) is None
+        assert p.area(0, 100) == 15
+
+    def test_fraction_times(self, backend):
+        p = backend.constant(3)
+        p.reserve(Fraction(1, 3), Fraction(1, 6), 2)
+        assert p.capacity_at(Fraction(1, 3)) == 1
+        assert p.capacity_at(Fraction(1, 2)) == 3
+        assert p.earliest_fit(3, Fraction(1, 2)) == Fraction(1, 2)
+        assert p.area(0, 1) == 3 - 2 * Fraction(1, 6)
+
+    def test_float_times(self, backend):
+        p = backend.constant(2)
+        p.reserve(0.5, 1.25, 1)
+        assert p.capacity_at(0.5) == 1
+        assert p.capacity_at(1.75) == 2
+        assert p.breakpoints == (0, 0.5, 1.75)
+        assert p.min_capacity(0.0, 3.0) == 1
+
+    def test_cross_backend_equality_and_hash(self):
+        a = ListProfile.from_segments([(0, 2), (1, 3)])
+        b = TreeProfile.from_segments([(0, 2), (1, 3)])
+        assert a == b
+        assert hash(a) == hash(b)
+        b.add(5, 1, 1)
+        assert a != b
+
+    def test_protocol_subclass(self, backend):
+        assert issubclass(backend, ProfileBackend)
+
+    def test_copy_is_independent(self, backend):
+        p = backend.constant(4)
+        q = p.copy()
+        q.reserve(0, 1, 2)
+        assert p.capacity_at(0) == 4
+        assert q.capacity_at(0) == 2
+
+
+# ---------------------------------------------------------------------------
+# batch primitive
+# ---------------------------------------------------------------------------
+
+class TestReserveMany:
+    def test_matches_sequential(self, backend):
+        blocks = [(0, 4, 2), (2, 3, 1), (Fraction(7, 2), 2, 3)]
+        batch = backend.constant(8)
+        batch.reserve_many(blocks)
+        seq = backend.constant(8)
+        for s, d, a in blocks:
+            seq.reserve(s, d, a)
+        assert batch == seq
+
+    def test_atomic_on_failure(self, backend):
+        p = backend.constant(2)
+        with pytest.raises(CapacityError):
+            p.reserve_many([(0, 2, 1), (1, 2, 2)])
+        assert p == backend.constant(2)
+
+    def test_empty_and_zero_blocks(self, backend):
+        p = backend.constant(3)
+        p.reserve_many([])
+        p.reserve_many([(0, 5, 0)])
+        assert p == backend.constant(3)
+
+    def test_validation(self, backend):
+        with pytest.raises(InvalidInstanceError):
+            backend.constant(3).reserve_many([(0, 0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            backend.constant(3).reserve_many([(-1, 2, 1)])
+
+    def test_atomic_on_invalid_later_block(self, backend):
+        """A later block failing *argument validation* must also leave the
+        profile untouched, not just a capacity failure."""
+        p = backend.constant(3)
+        with pytest.raises(InvalidInstanceError):
+            p.reserve_many([(0, 2, 1), (1, 0, 1)])  # second: zero duration
+        assert p == backend.constant(3)
+
+
+# ---------------------------------------------------------------------------
+# windowed-area regression (the deep-window bisection fix)
+# ---------------------------------------------------------------------------
+
+class TestWindowedArea:
+    @pytest.fixture(params=BACKENDS, ids=lambda cls: cls.__name__)
+    def big_profile(self, request):
+        """~1k-breakpoint sawtooth profile."""
+        times = list(range(1000))
+        caps = [5 + (i % 7) for i in range(1000)]
+        return request.param(times, caps)
+
+    def test_area_deep_window(self, big_profile):
+        # brute-force reference over the window only
+        start, end = 950, 973
+        want = sum(5 + (t % 7) for t in range(start, end))
+        assert big_profile.area(start, end) == want
+
+    def test_area_partial_segments(self, big_profile):
+        got = big_profile.area(Fraction(1901, 2), 952)
+        want = (5 + (950 % 7)) * Fraction(1, 2) + (5 + (951 % 7))
+        assert got == want
+
+    def test_first_time_area_reaches_deep_start(self, big_profile):
+        start = 900
+        work = 37
+        t = big_profile.first_time_area_reaches(work, start=start)
+        assert big_profile.area(start, t) >= work
+        # minimality: any earlier breakpoint has strictly less area
+        eps = Fraction(1, 1000)
+        assert big_profile.area(start, t - eps) < work
+
+    def test_area_windows_scale_sublinearly(self, big_profile):
+        """The bisected window scan must not walk segments before start."""
+        import timeit
+        deep = timeit.timeit(
+            lambda: big_profile.area(990, 995), number=200
+        )
+        # sanity only: completes fast and returns the right value; the
+        # benchmark quantifies the speedup properly.
+        assert big_profile.area(990, 995) == sum(
+            5 + (t % 7) for t in range(990, 995)
+        )
+        assert deep < 5.0
+
+
+# ---------------------------------------------------------------------------
+# property tests (both backends, naive references)
+# ---------------------------------------------------------------------------
+
+hold_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=20),   # start
+        st.integers(min_value=1, max_value=10),   # duration
+        st.integers(min_value=1, max_value=3),    # amount
+    ),
+    max_size=6,
+)
+
+time_kinds = st.sampled_from(["int", "fraction", "float"])
+
+
+def _cast(value: int, kind: str):
+    if kind == "fraction":
+        return Fraction(value, 2)
+    if kind == "float":
+        return value / 2.0
+    return value
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cls=st.sampled_from(BACKENDS),
+    m=st.integers(min_value=2, max_value=12),
+    holds=hold_lists,
+    kind=time_kinds,
+)
+def test_reserve_add_roundtrip(cls, m, holds, kind):
+    """reserve-then-add (in reverse) restores the original profile."""
+    p = cls.constant(m)
+    applied = []
+    for start, dur, amount in holds:
+        start, dur = _cast(start, kind), _cast(dur, kind)
+        if p.min_capacity(start, start + dur) >= amount:
+            p.reserve(start, dur, amount)
+            applied.append((start, dur, amount))
+    for start, dur, amount in reversed(applied):
+        p.add(start, dur, amount)
+    assert p == cls.constant(m)
+    assert p.breakpoints == (0,)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cls=st.sampled_from(BACKENDS),
+    m=st.integers(min_value=3, max_value=12),
+    holds=hold_lists,
+)
+def test_backend_matches_naive_capacity(cls, m, holds):
+    profile = cls.constant(m)
+    naive = NaiveCapacity(m)
+    for start, dur, amount in holds:
+        if profile.min_capacity(start, start + dur) >= amount:
+            profile.reserve(start, dur, amount)
+            naive.reserve(start, dur, amount)
+    for t in range(0, 35):
+        assert profile.capacity_at(t) == naive.capacity_at(t), f"t={t}"
+    for a in range(0, 30, 3):
+        for b in (a + 1, a + 5):
+            assert profile.min_capacity(a, b) == naive.min_capacity(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cls=st.sampled_from(BACKENDS),
+    m=st.integers(min_value=2, max_value=10),
+    holds=hold_lists,
+    q=st.integers(min_value=0, max_value=4),
+    duration=st.integers(min_value=1, max_value=8),
+    after=st.integers(min_value=0, max_value=15),
+)
+def test_backend_earliest_fit_matches_naive(cls, m, holds, q, duration, after):
+    profile = cls.constant(m)
+    naive = NaiveCapacity(m)
+    for start, dur, amount in holds:
+        if profile.min_capacity(start, start + dur) >= amount:
+            profile.reserve(start, dur, amount)
+            naive.reserve(start, dur, amount)
+    assert profile.earliest_fit(q, duration, after=after) == naive.earliest_fit(
+        q, duration, after=after
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=12),
+    holds=hold_lists,
+    kind=time_kinds,
+)
+def test_backends_agree_segmentwise(m, holds, kind):
+    """Identical op sequences leave both backends representing the same
+    function — segments, aggregates, areas and fits included."""
+    lp, tp = ListProfile.constant(m), TreeProfile.constant(m)
+    for start, dur, amount in holds:
+        start, dur = _cast(start, kind), _cast(dur, kind)
+        if lp.min_capacity(start, start + dur) >= amount:
+            lp.reserve(start, dur, amount)
+            tp.reserve(start, dur, amount)
+    assert list(lp.segments()) == list(tp.segments())
+    assert lp.breakpoints == tp.breakpoints
+    assert lp.min_capacity_overall() == tp.min_capacity_overall()
+    assert lp.max_capacity() == tp.max_capacity()
+    assert lp.final_capacity() == tp.final_capacity()
+    for a in range(0, 24, 5):
+        assert lp.area(a, a + 7) == tp.area(a, a + 7)
+        assert lp.first_time_area_reaches(11, start=a) == tp.first_time_area_reaches(11, start=a)
+    assert lp.is_nondecreasing() == tp.is_nondecreasing()
+
+
+# ---------------------------------------------------------------------------
+# scheduler differential: identical schedules under either backend
+# ---------------------------------------------------------------------------
+
+def _fractionalized(inst: ReservationInstance, seed: int) -> ReservationInstance:
+    """Scale an instance by a Fraction so times mix int and Fraction."""
+    factor = Fraction(random.Random(seed).choice([3, 5, 7]), 2)
+    return inst.scaled(factor)
+
+
+DIFFERENTIAL_SCHEDULERS = [
+    ("lsrc", lambda b: ListScheduler(profile_backend=b)),
+    ("lsrc-lpt", lambda b: ListScheduler("lpt", profile_backend=b)),
+    ("fcfs", lambda b: FCFSScheduler(profile_backend=b)),
+    ("backfill-cons", lambda b: ConservativeBackfillScheduler(profile_backend=b)),
+    ("shelf-ff", lambda b: FirstFitShelfScheduler(profile_backend=b)),
+]
+
+
+@pytest.mark.parametrize("name,factory", DIFFERENTIAL_SCHEDULERS,
+                         ids=[n for n, _ in DIFFERENTIAL_SCHEDULERS])
+def test_schedulers_identical_across_backends(name, factory):
+    """>= 50 randomized instances per scheduler, mixed int/Fraction times:
+    the schedule (start time of every job) must be identical."""
+    checked = 0
+    seed = 0
+    while checked < 55:
+        seed += 1
+        inst = random_resa(seed)
+        if seed % 2 == 0:
+            inst = _fractionalized(inst, seed)
+        if name == "shelf-ff" and any(j.release > 0 for j in inst.jobs):
+            continue
+        a = factory("list").schedule(inst)
+        b = factory("tree").schedule(inst)
+        a.verify()
+        b.verify()
+        assert a.starts == b.starts, f"{name} diverged on seed {seed}"
+        assert a.makespan == b.makespan
+        checked += 1
