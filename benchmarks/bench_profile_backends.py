@@ -7,8 +7,10 @@ asserts *identical* scheduling results across backends while timing them:
 * ``scheduling`` — an ``earliest_fit`` + ``reserve`` placement loop
   (conservative backfilling's engine) over an SWF-style trace of rigid
   jobs with release times, on a machine carrying periodic-maintenance
-  reservations.  This is the headline number: the tree backend turns the
-  list backend's O(n) per-placement rebuild into O(log n).
+  reservations, executed through the :mod:`repro.run` experiment layer
+  (the trace is a registered workload, the differential check a
+  registered metric).  This is the headline number: the tree backend
+  turns the list backend's O(n) per-placement rebuild into O(log n).
 * ``mutation churn`` — interleaved ``reserve``/``add`` pairs (EASY
   backfilling's shadow probing pattern) on an already-fragmented profile.
 * ``windowed queries`` — ``area`` / ``min_capacity`` /
@@ -28,6 +30,7 @@ different schedule.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import math
 import pathlib
@@ -39,7 +42,10 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core.instance import ReservationInstance  # noqa: E402
 from repro.core.job import Job  # noqa: E402
+from repro.core.metrics import register_metric  # noqa: E402
 from repro.core.profiles import ListProfile, TreeProfile, resolve_backend  # noqa: E402
+from repro.run import ExperimentSpec, Runner, WorkloadSpec  # noqa: E402
+from repro.workloads.registry import register_workload  # noqa: E402
 from repro.workloads.reservations import periodic_maintenance  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -79,34 +85,47 @@ def make_trace(n_jobs: int, n_reservations: int, m: int, seed: int):
 # scenarios
 # ---------------------------------------------------------------------------
 
-def scheduling_pass(instance: ReservationInstance, backend_name: str):
-    """Conservative-backfilling placement engine over the whole trace."""
-    profile = instance.availability_profile(profile_backend=backend_name)
-    starts = {}
-    for job in sorted(instance.jobs, key=lambda j: (j.release, j.id)):
-        s = profile.earliest_fit(job.q, job.p, after=job.release)
-        profile.reserve(s, job.p, job.q)
-        starts[job.id] = s
-    return starts
+def _starts_checksum(schedule) -> int:
+    """Order-independent digest of every (job, start) pair — the
+    differential guarantee as a registered metric extractor."""
+    blob = repr(sorted(schedule.starts.items(), key=lambda kv: str(kv[0])))
+    return int(hashlib.sha256(blob.encode()).hexdigest()[:12], 16)
 
 
 def bench_scheduling(instance, repeats: int):
+    """Conservative-backfilling pass over the whole trace, executed per
+    backend through the experiment layer (:mod:`repro.run`): the trace
+    and the differential check are registered as a workload / a metric,
+    and one single-point spec per backend drives the grid Runner."""
+    register_workload(
+        "bench-swf-trace", lambda seed=0, **_: instance, overwrite=True
+    )
+    register_metric("bench-starts-checksum", _starts_checksum, overwrite=True)
     result = {}
-    baseline = None
+    rows = {}
     for name in BACKENDS:
+        spec = ExperimentSpec(
+            name=f"bench-profile-{name}",
+            algorithms=("backfill-cons",),
+            workloads=(WorkloadSpec("bench-swf-trace"),),
+            seeds=(0,),
+            metrics=("makespan", "bench-starts-checksum"),
+            profile_backends=(name,),
+        )
         best = math.inf
-        starts = None
         for _ in range(repeats):
             t0 = time.perf_counter()
-            starts = scheduling_pass(instance, name)
+            run = Runner(jobs=1).run(spec)
             best = min(best, time.perf_counter() - t0)
         result[name] = best
-        if baseline is None:
-            baseline = starts
-        else:
-            assert starts == baseline, (
-                "backends disagree on the schedule — differential check failed"
-            )
+        rows[name] = run.rows[0]
+    reference = next(iter(BACKENDS))
+    for name in BACKENDS:
+        assert (
+            rows[name]["makespan"] == rows[reference]["makespan"]
+            and rows[name]["bench-starts-checksum"]
+            == rows[reference]["bench-starts-checksum"]
+        ), "backends disagree on the schedule — differential check failed"
     return result
 
 

@@ -15,7 +15,9 @@ the presence of advance reservations:
 * workload and reservation generators plus SWF trace I/O —
   :mod:`repro.workloads`;
 * a discrete-event online cluster simulator — :mod:`repro.simulation`;
-* experiment running, statistics and reporting — :mod:`repro.analysis`;
+* the experiment layer: declarative JSON specs, a parallel resumable
+  runner and name-addressable registries — :mod:`repro.run`;
+* statistics and reporting — :mod:`repro.analysis`;
 * Gantt/SVG rendering — :mod:`repro.viz`.
 
 Quickstart::
@@ -118,6 +120,12 @@ __all__ = [
     "conservative_backfill",
     "easy_backfill",
     "optimal_schedule",
+    # experiment layer (lazily resolved)
+    "ExperimentSpec",
+    "WorkloadSpec",
+    "Runner",
+    "RunResult",
+    "run_experiment",
 ]
 
 
@@ -133,4 +141,14 @@ def __getattr__(name):
         from . import algorithms
 
         return getattr(algorithms, name)
+    if name in {
+        "ExperimentSpec",
+        "WorkloadSpec",
+        "Runner",
+        "RunResult",
+        "run_experiment",
+    }:
+        from . import run
+
+        return getattr(run, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -10,9 +10,10 @@ benchmarks use to iterate over algorithm sets.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core.instance import ReservationInstance, as_reservation_instance
+from ..core.registry import Registry
 from ..core.schedule import Schedule
 from ..errors import SchedulingError
 
@@ -47,14 +48,25 @@ class Scheduler(abc.ABC):
         return f"<{type(self).__name__} {self.name!r}>"
 
 
-#: Global name -> factory registry.
-_REGISTRY: Dict[str, Callable[[], Scheduler]] = {}
+#: Global name -> factory registry (a shared :class:`~repro.core.registry.Registry`).
+SCHEDULERS: Registry[Callable[[], Scheduler]] = Registry(
+    "scheduler", error=SchedulingError
+)
 
 
-def register(name: str, factory: Callable[[], Scheduler]) -> None:
-    """Register a scheduler factory under ``name`` (overwrites silently so
-    reloading modules in notebooks does not error)."""
-    _REGISTRY[name] = factory
+def register(
+    name: str,
+    factory: Callable[[], Scheduler],
+    overwrite: Optional[bool] = None,
+) -> None:
+    """Register a scheduler factory under ``name``.
+
+    ``overwrite=True`` replaces silently (so reloading modules in
+    notebooks does not error); leaving it implicit warns on collision,
+    and ``overwrite=False`` raises — accidental clashes used to be
+    invisible.
+    """
+    SCHEDULERS.register(name, factory, overwrite=overwrite)
 
 
 def get_scheduler(name: str) -> Scheduler:
@@ -63,19 +75,12 @@ def get_scheduler(name: str) -> Scheduler:
     Raises :class:`~repro.errors.SchedulingError` for unknown names, listing
     the available ones.
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise SchedulingError(
-            f"unknown scheduler {name!r}; known schedulers: {known}"
-        ) from None
-    return factory()
+    return SCHEDULERS.get(name)()
 
 
 def available_schedulers() -> List[str]:
     """Sorted names of all registered schedulers."""
-    return sorted(_REGISTRY)
+    return SCHEDULERS.names()
 
 
 def schedule_with(names: Iterable[str], instance) -> Dict[str, Schedule]:

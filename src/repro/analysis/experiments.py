@@ -1,15 +1,20 @@
-"""Parameter-sweep experiment runner.
+"""DEPRECATED parameter-sweep runner — superseded by :mod:`repro.run`.
 
-A light harness for the benchmarks: declare factors (named value lists),
-give a ``runner(point) -> dict`` callback, and get one merged result row
-per factor combination.  Deterministic iteration order and an explicit
-per-point derived seed keep every experiment reproducible.
+This closure-based harness predates the declarative experiment layer.
+New code should build an :class:`repro.run.ExperimentSpec` (factors by
+registry name, JSON-serializable) and execute it with
+:class:`repro.run.Runner`, which adds process-parallel execution,
+derived per-point seeds that survive process boundaries, JSONL
+persistence and resume-on-rerun.  :func:`run_sweep` remains as a thin
+shim over the same grid expansion (:func:`repro.run.iter_grid`) for
+callers that genuinely need an arbitrary in-process callback; it emits a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import itertools
 import time as _time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -60,24 +65,32 @@ def run_sweep(
 ) -> SweepResult:
     """Run ``runner`` on the cartesian product of factors.
 
+    .. deprecated::
+        Use :class:`repro.run.ExperimentSpec` + :class:`repro.run.Runner`
+        for registry-named factors, parallelism and persistence.
+
     Each produced row contains the factor values, the repeat index and
     whatever the runner returned (runner keys win on collision so runners
     can override e.g. a derived label).
     """
+    from ..run.spec import iter_grid
+
+    warnings.warn(
+        "repro.analysis.run_sweep is deprecated; declare an "
+        "ExperimentSpec and execute it with repro.run.Runner",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if repeats < 1:
         raise InvalidInstanceError("repeats must be >= 1")
-    names = list(factors)
-    if not names:
+    if not list(factors):
         raise InvalidInstanceError("sweep needs at least one factor")
     started = _time.perf_counter()
     result = SweepResult(factors={k: list(v) for k, v in factors.items()})
     index = 0
-    for combo in itertools.product(*(factors[name] for name in names)):
+    for combo in iter_grid(factors):
         for rep in range(repeats):
-            point = SweepPoint(
-                values={**dict(zip(names, combo)), "repeat": rep},
-                index=index,
-            )
+            point = SweepPoint(values={**combo, "repeat": rep}, index=index)
             index += 1
             row = dict(point.values)
             row.update(runner(point))

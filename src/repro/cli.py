@@ -14,16 +14,20 @@ gantt       render a schedule JSON as an ASCII Gantt chart
 simulate    online simulation of an instance with a policy
 swf         convert an SWF trace to instance JSON
 info        characterize a workload instance
-list        list registered algorithms
+run         execute an experiment-spec JSON through the grid Runner
+list        list registered algorithms/workloads/policies/metrics
 ========== =========================================================
 
 Every command reads/writes the JSON formats of
-:mod:`repro.core.serialize`, so outputs chain into inputs.
+:mod:`repro.core.serialize`, so outputs chain into inputs; ``run``
+consumes ``repro-spec/1`` documents (see :mod:`repro.run`) and appends
+result rows to a resumable JSONL store.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from fractions import Fraction
 from typing import List, Optional
@@ -103,6 +107,9 @@ def _cmd_bounds(args) -> int:
 def _cmd_figure(args) -> int:
     from .viz import render_gantt
 
+    if args.empirical and args.number != 4:
+        print("error: --empirical applies to figure 4 only", file=sys.stderr)
+        return 2
     if args.number == 1:
         from .algorithms import optimal_makespan_m1
         from .theory import (
@@ -149,13 +156,28 @@ def _cmd_figure(args) -> int:
         from .theory import default_alpha_grid, figure4_series
 
         rows = figure4_series(default_alpha_grid(160, lo=0.2))
+        series = {
+            "upper 2/a": [(r.alpha, r.upper) for r in rows],
+            "B1": [(r.alpha, r.b1) for r in rows],
+            "B2": [(r.alpha, r.b2) for r in rows],
+        }
+        if args.empirical:
+            # measured companion grid, executed through the experiment
+            # layer: mean LSRC ratio against the certified lower bound
+            from .run import Runner, mean_metric_series, paper_grid_spec
+
+            spec = paper_grid_spec(
+                alphas=[0.25, 0.4, 0.5, 0.65, 0.8],
+                algorithms=["lsrc"],
+                seeds=range(3),
+            )
+            result = Runner(jobs=args.jobs).run(spec)
+            series["LSRC measured"] = mean_metric_series(
+                result, "ratio_lb", algorithm="lsrc"
+            )
         print(
             ascii_plot(
-                {
-                    "upper 2/a": [(r.alpha, r.upper) for r in rows],
-                    "B1": [(r.alpha, r.b1) for r in rows],
-                    "B2": [(r.alpha, r.b2) for r in rows],
-                },
+                series,
                 width=72, height=20, y_max=10.0, y_min=0.0,
                 x_label="alpha", y_label="guarantee",
             )
@@ -264,8 +286,83 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    from .core.serialize import load_spec
+    from .run import Runner, summary_rows
+
+    spec = load_spec(args.spec)
+    store = args.out
+    if store is None:
+        store = os.path.splitext(args.spec)[0] + ".results.jsonl"
+
+    def progress(done, total, row):
+        if not args.quiet:
+            print(f"\r  {done}/{total} points", end="", flush=True)
+
+    runner = Runner(jobs=args.jobs, store=store, progress=progress)
+    result = runner.run(spec, resume=not args.fresh)
+    if not args.quiet and result.computed:
+        print()
+    print(
+        f"{spec.name}: {len(result.rows)} rows "
+        f"({result.computed} computed, {result.skipped} resumed) "
+        f"in {result.elapsed_seconds:.2f}s with jobs={args.jobs}"
+    )
+    print(f"rows stored in {store}")
+    table = summary_rows(result, metric=args.summary_metric)
+    if table:
+        print(format_table(table, title=f"experiment {spec.name}"))
+    return 0
+
+
+def _workload_names() -> List[str]:
+    from .workloads import available_workloads
+
+    return available_workloads()
+
+
+def _policy_names() -> List[str]:
+    from .simulation import available_policies
+
+    return available_policies()
+
+
+def _metric_names() -> List[str]:
+    from .core import available_metrics
+
+    return available_metrics()
+
+
+def _backend_names() -> List[str]:
+    from .core.profiles import available_backends
+
+    return available_backends()
+
+
+#: ``repro list --kind`` dispatch; the argparse choices derive from this.
+_LIST_LOADERS = {
+    "algorithms": available_schedulers,
+    "workloads": _workload_names,
+    "policies": _policy_names,
+    "metrics": _metric_names,
+    "backends": _backend_names,
+}
+
+_LIST_KINDS = tuple(_LIST_LOADERS)
+
+
+def _list_names(kind: str) -> List[str]:
+    return _LIST_LOADERS[kind]()
+
+
 def _cmd_list(args) -> int:
-    for name in available_schedulers():
+    if args.kind == "all":
+        for kind in _LIST_KINDS:
+            print(f"{kind}:")
+            for name in _list_names(kind):
+                print(f"  {name}")
+        return 0
+    for name in _list_names(args.kind):
         print(name)
     return 0
 
@@ -301,6 +398,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int)
     p.add_argument("--k", type=int, default=3, help="family parameter")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--empirical", action="store_true",
+                   help="overlay measured ratios (figure 4) via the Runner")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for --empirical")
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("generate", help="generate a workload instance")
@@ -325,7 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("instance")
     p.add_argument(
         "-p", "--policy", default="greedy",
-        choices=["fcfs", "easy", "conservative", "greedy"],
+        help="registered policy name (see 'repro list --kind policies')",
     )
     p.add_argument("-o", "--output")
     p.set_defaults(func=_cmd_simulate)
@@ -343,7 +444,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("instance")
     p.set_defaults(func=_cmd_info)
 
-    p = sub.add_parser("list", help="list registered algorithms")
+    p = sub.add_parser("run", help="execute an experiment spec JSON")
+    p.add_argument("spec", help="spec JSON file (format repro-spec/1)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes (1 = in-process)")
+    p.add_argument("-o", "--out",
+                   help="JSONL row store (default: <spec>.results.jsonl)")
+    p.add_argument("--fresh", action="store_true",
+                   help="delete the store first instead of resuming")
+    p.add_argument("--summary-metric", default="ratio_lb",
+                   help="metric aggregated in the printed table")
+    p.add_argument("-q", "--quiet", action="store_true",
+                   help="no progress counter")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "list",
+        help="list registered algorithms, workloads, policies, metrics",
+    )
+    p.add_argument(
+        "--kind", choices=_LIST_KINDS + ("all",), default="algorithms",
+        help="which registry to list (default: algorithms)",
+    )
     p.set_defaults(func=_cmd_list)
 
     return parser

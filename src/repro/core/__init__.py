@@ -30,13 +30,19 @@ from .instance import (
 )
 from .job import Job, Reservation, Time, make_jobs, make_reservations
 from .metrics import (
+    METRICS,
     ScheduleMetrics,
     available_area,
+    available_metrics,
+    evaluate_metrics,
+    get_metric,
+    register_metric,
     slowdowns,
     summarize,
     utilization,
     waiting_times,
 )
+from .registry import Registry, RegistryCollisionWarning
 from .profiles import (
     ListProfile,
     ProfileBackend,
@@ -100,6 +106,13 @@ __all__ = [
     "waiting_times",
     "slowdowns",
     "available_area",
+    "METRICS",
+    "register_metric",
+    "get_metric",
+    "available_metrics",
+    "evaluate_metrics",
+    "Registry",
+    "RegistryCollisionWarning",
     "dumps_instance",
     "loads_instance",
     "save_instance",

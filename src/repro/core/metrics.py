@@ -5,13 +5,21 @@ The paper's criterion is the makespan, but production batch schedulers
 waiting time and slowdown; the examples and the online simulator report
 these.  All metrics are exact sums/maxima over the schedule's event
 structure — no sampling.
+
+Metrics are also *name-addressable* through the :data:`METRICS`
+registry: a metric extractor is any ``schedule -> number`` callable, and
+the experiment layer (:mod:`repro.run`) selects extractors by name so a
+JSON spec can say ``"metrics": ["makespan", "ratio_lb"]``.  Third-party
+extractors join via :func:`register_metric`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Callable, Dict, Iterable, List, Optional
 
+from ..errors import InvalidInstanceError
+from .registry import Registry
 from .schedule import Schedule
 
 
@@ -125,3 +133,115 @@ def summarize(schedule: Schedule) -> ScheduleMetrics:
         idle_area=avail - work,
         n_jobs=n,
     )
+
+
+# ---------------------------------------------------------------------------
+# name-addressable metric extractors
+# ---------------------------------------------------------------------------
+
+#: Metric extractor registry: name -> ``schedule -> number``.
+METRICS: Registry[Callable[[Schedule], float]] = Registry(
+    "metric", error=InvalidInstanceError
+)
+
+
+def register_metric(
+    name: str,
+    extractor: Optional[Callable[[Schedule], float]] = None,
+    *,
+    overwrite: Optional[bool] = None,
+):
+    """Register a ``schedule -> number`` extractor (usable as decorator)."""
+    return METRICS.register(name, extractor, overwrite=overwrite)
+
+
+def get_metric(name: str) -> Callable[[Schedule], float]:
+    """The extractor registered under ``name`` (loud error otherwise)."""
+    return METRICS.get(name)
+
+
+def available_metrics() -> List[str]:
+    """Sorted names of all registered metric extractors."""
+    return METRICS.names()
+
+
+_SUMMARY_FIELDS = frozenset(ScheduleMetrics.__dataclass_fields__)
+
+
+def evaluate_metrics(schedule: Schedule, names: Iterable[str]) -> Dict[str, float]:
+    """Evaluate the named extractors on one schedule, as ``{name: value}``.
+
+    Built-in extractors share their intermediates: ``summarize`` runs at
+    most once however many of its fields are requested, and the certified
+    lower bound is computed once for ``lower_bound`` and ``ratio_lb``
+    together — a grid run evaluates metrics on every point, so the
+    duplicate work would multiply across the whole sweep.
+    """
+    summary = None
+    reference = None
+    out: Dict[str, float] = {}
+    for name in names:
+        extractor = METRICS.get(name)
+        if extractor is not _BUILTIN_EXTRACTORS.get(name):
+            # a user override replaced the built-in — honour it
+            out[name] = extractor(schedule)
+        elif name in _SUMMARY_FIELDS:
+            if summary is None:
+                summary = summarize(schedule)
+            out[name] = getattr(summary, name)
+        elif name in ("lower_bound", "ratio_lb"):
+            if reference is None:
+                from .bounds import lower_bound
+
+                reference = lower_bound(schedule.instance)
+            out[name] = (
+                reference if name == "lower_bound"
+                else _checked_ratio(schedule, reference)
+            )
+        else:
+            out[name] = extractor(schedule)
+    return out
+
+
+def _checked_ratio(schedule: Schedule, reference) -> float:
+    if reference <= 0:
+        raise InvalidInstanceError(
+            f"degenerate lower bound {reference!r}; ratio_lb is undefined"
+        )
+    return float(schedule.makespan) / float(reference)
+
+
+#: The stock extractor objects; :func:`evaluate_metrics` only takes its
+#: shared-intermediate fast path while these are still the registered ones.
+_BUILTIN_EXTRACTORS: Dict[str, Callable[[Schedule], float]] = {}
+
+
+def _register_builtin_metrics() -> None:
+    # every ScheduleMetrics field, addressable individually so experiment
+    # specs can ask for exactly the columns they need
+    for field_name in ScheduleMetrics.__dataclass_fields__:
+        _BUILTIN_EXTRACTORS[field_name] = METRICS.register(
+            field_name,
+            (lambda f: lambda schedule: getattr(summarize(schedule), f))(
+                field_name
+            ),
+            overwrite=True,
+        )
+
+    def _lower_bound(schedule: Schedule):
+        from .bounds import lower_bound
+
+        return lower_bound(schedule.instance)
+
+    def _ratio_lb(schedule: Schedule) -> float:
+        return _checked_ratio(schedule, _lower_bound(schedule))
+
+    _BUILTIN_EXTRACTORS["lower_bound"] = METRICS.register(
+        "lower_bound", _lower_bound, overwrite=True
+    )
+    _BUILTIN_EXTRACTORS["ratio_lb"] = METRICS.register(
+        "ratio_lb", _ratio_lb, overwrite=True
+    )
+
+
+_register_builtin_metrics()

@@ -1,0 +1,141 @@
+"""Shared name → object registry.
+
+Promoted from the private dict in :mod:`repro.algorithms.base` so every
+name-addressable surface of the library — schedulers, workload
+generators, online simulation policies, metric extractors — shares one
+behaviour: deterministic sorted listings, unknown-name errors that list
+what *is* known, decorator-style registration, and collision handling
+that is silent for explicit overwrites (reloading modules in notebooks
+must not error) but *warns* on accidental ones.
+
+>>> from repro.core.registry import Registry
+>>> PARSERS = Registry("parser")
+>>> @PARSERS.register("csv")
+... def parse_csv(text): ...
+>>> PARSERS.get("csv") is parse_csv
+True
+>>> sorted(PARSERS)
+['csv']
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from ..errors import SchedulingError
+
+T = TypeVar("T")
+
+
+class RegistryCollisionWarning(UserWarning):
+    """A registered name was silently replaced without ``overwrite=True``."""
+
+
+class Registry(Generic[T]):
+    """A name → object mapping with explicit collision semantics.
+
+    Parameters
+    ----------
+    kind:
+        Singular noun for error messages (``"scheduler"``, ``"policy"``).
+    plural:
+        Plural form; defaults to ``kind + "s"``.
+    error:
+        Exception class raised for unknown names (and for collisions when
+        ``overwrite=False``).
+
+    The mapping protocol is implemented (``in``, ``len``, iteration in
+    sorted name order, ``registry[name]``) so a registry can stand in for
+    the plain dicts it replaced.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        plural: Optional[str] = None,
+        error: type = SchedulingError,
+    ):
+        self.kind = kind
+        self.plural = plural or f"{kind}s"
+        self.error = error
+        self._items: Dict[str, T] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str, obj: Optional[T] = None, *,
+                 overwrite: Optional[bool] = None):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        ``overwrite`` keeps the historical overwrite-by-default semantics
+        (an explicit ``True`` replaces silently, so notebook reloads do
+        not error) but when it is *left implicit* a collision emits a
+        :class:`RegistryCollisionWarning` — accidental name clashes were
+        previously invisible.  ``overwrite=False`` turns a collision into
+        an error of the registry's ``error`` class.
+        """
+        if obj is None:
+            def decorate(fn: T) -> T:
+                self.register(name, fn, overwrite=overwrite)
+                return fn
+            return decorate
+        if name in self._items and self._items[name] is not obj:
+            if overwrite is False:
+                raise self.error(
+                    f"{self.kind} {name!r} is already registered; pass "
+                    f"overwrite=True to replace it"
+                )
+            if overwrite is None:
+                warnings.warn(
+                    f"{self.kind} {name!r} was already registered and has "
+                    f"been replaced; pass overwrite=True to silence this",
+                    RegistryCollisionWarning,
+                    stacklevel=2,
+                )
+        self._items[name] = obj
+        return obj
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` if present (no error when absent)."""
+        self._items.pop(name, None)
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, name: str) -> T:
+        """The object registered under ``name``.
+
+        Raises the registry's ``error`` class for unknown names, listing
+        the available ones.
+        """
+        try:
+            return self._items[name]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise self.error(
+                f"unknown {self.kind} {name!r}; known {self.plural}: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Sorted registered names."""
+        return sorted(self._items)
+
+    def items(self) -> List[Tuple[str, T]]:
+        """``(name, object)`` pairs in sorted name order."""
+        return sorted(self._items.items())
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> T:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._items
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"<Registry of {len(self._items)} {self.plural}>"

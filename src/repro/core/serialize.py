@@ -27,6 +27,11 @@ from .schedule import Schedule
 
 INSTANCE_FORMAT = "repro-instance/1"
 SCHEDULE_FORMAT = "repro-schedule/1"
+#: Experiment-spec documents share these serialization conventions; the
+#: loader/dumper live in :mod:`repro.run.spec` (which imports this
+#: constant) and are re-exported below so this module stays the one-stop
+#: shop for every on-disk format.
+SPEC_FORMAT = "repro-spec/1"
 
 
 # ---------------------------------------------------------------------------
@@ -239,3 +244,35 @@ def load_schedule(path: str) -> Schedule:
     """Read a schedule JSON file."""
     with open(path) as fh:
         return loads_schedule(fh.read())
+
+
+# ---------------------------------------------------------------------------
+# experiment specs (lazy delegation — repro.run sits above repro.core)
+# ---------------------------------------------------------------------------
+
+def dumps_spec(spec, indent: int = 2) -> str:
+    """Experiment spec → JSON text (see :mod:`repro.run.spec`)."""
+    from ..run.spec import dumps_spec as _dumps
+
+    return _dumps(spec, indent=indent)
+
+
+def loads_spec(text: str):
+    """JSON text → :class:`repro.run.ExperimentSpec`."""
+    from ..run.spec import loads_spec as _loads
+
+    return _loads(text)
+
+
+def save_spec(spec, path: str) -> str:
+    """Write a spec JSON file; returns the path."""
+    from ..run.spec import save_spec as _save
+
+    return _save(spec, path)
+
+
+def load_spec(path: str):
+    """Read a spec JSON file."""
+    from ..run.spec import load_spec as _load
+
+    return _load(path)

@@ -1,0 +1,292 @@
+"""Grid execution: serial or process-parallel, resumable, deterministic.
+
+The runner expands an :class:`~repro.run.spec.ExperimentSpec` into
+:class:`ExperimentPoint` s in a fixed order (workload → grid combo →
+profile backend → algorithm → seed), executes each point, and streams
+one JSON-safe row per point to an optional
+:class:`~repro.run.store.JsonlStore`.
+
+Determinism
+-----------
+Every point carries a *derived seed* — a SHA-256 digest of its factor
+values and base seed — so workload generation never depends on process
+identity, execution order, or Python's per-process string-hash salt.
+Rows are emitted in point order under both execution modes, which makes
+serial and parallel runs of the same spec produce byte-identical JSONL
+files (a test asserts this).
+
+Resume
+------
+A point's ``key`` is a digest of its factor values.  When a store is
+given, rows whose keys are already present are *skipped*, so re-running
+a spec after a crash (or after appending new factor values) computes
+only the missing points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import InvalidInstanceError
+from .spec import ONLINE_PREFIX, ExperimentSpec, canonical_json, encode_value
+from .store import JsonlStore
+
+
+# ---------------------------------------------------------------------------
+# points
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One fully-resolved grid cell."""
+
+    index: int
+    workload: str
+    params: Mapping
+    algorithm: str
+    profile_backend: str
+    seed: int
+    metrics: Tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def factors(self) -> Dict:
+        """The identity of the point — everything but index and metrics."""
+        return {
+            "workload": self.workload,
+            "params": self.params,
+            "algorithm": self.algorithm,
+            "profile_backend": self.profile_backend,
+            "seed": self.seed,
+        }
+
+    @property
+    def key(self) -> str:
+        """Stable digest of the factor values: the resume/store key."""
+        digest = hashlib.sha256(canonical_json(self.factors).encode())
+        return digest.hexdigest()[:16]
+
+    @property
+    def derived_seed(self) -> int:
+        """Per-point RNG seed: stable across processes and spec edits that
+        do not touch this point (unlike ``hash()``, which is salted)."""
+        basis = canonical_json(
+            {"workload": self.workload, "params": self.params,
+             "seed": self.seed}
+        )
+        digest = hashlib.sha256(basis.encode()).digest()
+        return int.from_bytes(digest[:4], "big") % (2**31)
+
+
+def expand_points(spec: ExperimentSpec) -> Iterator[ExperimentPoint]:
+    """The spec's grid cells, in the canonical deterministic order."""
+    index = 0
+    for workload in spec.workloads:
+        for params in workload.expand():
+            for backend in spec.profile_backends:
+                for algorithm in spec.algorithms:
+                    for seed in spec.seeds:
+                        yield ExperimentPoint(
+                            index=index,
+                            workload=workload.name,
+                            params=params,
+                            algorithm=algorithm,
+                            profile_backend=backend,
+                            seed=seed,
+                            metrics=spec.metrics,
+                        )
+                        index += 1
+
+
+def execute_point(point: ExperimentPoint) -> Dict:
+    """Run one grid cell and return its JSON-safe result row.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can
+    pickle it; workers re-import the registries, so only workloads,
+    algorithms and metrics registered at import time are addressable in
+    parallel mode.
+    """
+    from ..algorithms.base import get_scheduler
+    from ..core.metrics import evaluate_metrics
+    from ..core.profiles import get_default_backend_name, set_default_backend
+    from ..simulation.online_sim import simulate
+    from ..workloads.registry import make_workload
+
+    instance = make_workload(
+        point.workload, seed=point.derived_seed, **point.params
+    )
+    previous_backend = get_default_backend_name()
+    set_default_backend(point.profile_backend)
+    try:
+        if point.algorithm.startswith(ONLINE_PREFIX):
+            policy = point.algorithm[len(ONLINE_PREFIX):]
+            schedule = simulate(
+                instance, policy, profile_backend=point.profile_backend
+            ).schedule
+        else:
+            schedule = get_scheduler(point.algorithm).schedule(instance)
+        values = evaluate_metrics(schedule, point.metrics)
+    finally:
+        set_default_backend(previous_backend)
+    row = {
+        "key": point.key,
+        "workload": point.workload,
+        "params": encode_value(point.params),
+        "algorithm": point.algorithm,
+        "profile_backend": point.profile_backend,
+        "seed": point.seed,
+        "derived_seed": point.derived_seed,
+    }
+    for name, value in values.items():
+        row[name] = encode_value(value)
+    return row
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunResult:
+    """All rows of one grid execution, with provenance."""
+
+    spec: ExperimentSpec
+    rows: List[Dict] = field(default_factory=list)
+    computed: int = 0       #: points executed this run
+    skipped: int = 0        #: points resumed from the store
+    elapsed_seconds: float = 0.0
+    store_path: Optional[str] = None
+
+    def column(self, name: str) -> List:
+        return [row[name] for row in self.rows]
+
+    def filtered(self, **conditions) -> List[Dict]:
+        """Rows matching all ``column=value`` conditions (params included:
+        a condition key absent from the row is looked up in ``params``).
+        Values are decoded before comparison, so Fraction-valued grid
+        parameters match ``filtered(alpha=Fraction(1, 2))`` — and, since
+        Fractions equal their float value, ``filtered(alpha=0.5)``."""
+        from .spec import decode_value
+
+        out = []
+        for row in self.rows:
+            params = row.get("params", {})
+            if all(
+                decode_value(row[k] if k in row else params.get(k)) == v
+                for k, v in conditions.items()
+            ):
+                out.append(row)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# runner
+# ---------------------------------------------------------------------------
+
+class Runner:
+    """Executes specs serially or on a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) runs in-process, which is
+        also the mode that can address workloads/metrics registered at
+        runtime (worker processes only see import-time registrations).
+    store:
+        Optional JSONL path.  Rows stream to it as they are computed and
+        existing rows are *skipped by key* on re-runs (resume).
+    progress:
+        Optional ``callable(done, total, row)`` invoked after every
+        computed point — the CLI uses it for a live counter.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store=None,
+        progress: Optional[Callable[[int, int, Dict], None]] = None,
+    ):
+        if jobs < 1:
+            raise InvalidInstanceError("jobs must be >= 1")
+        self.jobs = jobs
+        self.store = JsonlStore(store) if store is not None else None
+        self.progress = progress
+
+    def run(self, spec: ExperimentSpec, resume: bool = True) -> RunResult:
+        """Execute the spec's grid; returns every row of the grid (both
+        freshly computed and resumed), in canonical point order.
+
+        ``resume=False`` truncates the store first, so the file never
+        accumulates duplicate rows per key."""
+        spec.validate()
+        started = _time.perf_counter()
+        points = list(expand_points(spec))
+
+        rows_by_key: Dict[str, Dict] = {}
+        if self.store is not None:
+            if resume:
+                for row in self.store.load():
+                    if "key" in row:
+                        rows_by_key[row["key"]] = row
+            else:
+                self.store.delete()
+
+        def satisfies(point: ExperimentPoint) -> bool:
+            # a stored row only stands in for the point if it carries every
+            # requested metric — a spec that grew a metric recomputes
+            row = rows_by_key.get(point.key)
+            return row is not None and all(m in row for m in point.metrics)
+
+        skipped = sum(1 for point in points if satisfies(point))
+        todo: List[ExperimentPoint] = []
+        seen = set()
+        for point in points:
+            if not satisfies(point) and point.key not in seen:
+                seen.add(point.key)
+                todo.append(point)
+
+        done = 0
+        for row in self._execute(todo):
+            rows_by_key[row["key"]] = row
+            if self.store is not None:
+                self.store.append(row)
+            done += 1
+            if self.progress is not None:
+                self.progress(done, len(todo), row)
+
+        return RunResult(
+            spec=spec,
+            rows=[rows_by_key[p.key] for p in points],
+            computed=len(todo),
+            skipped=skipped,
+            elapsed_seconds=_time.perf_counter() - started,
+            store_path=self.store.path if self.store is not None else None,
+        )
+
+    def _execute(self, todo: List[ExperimentPoint]) -> Iterator[Dict]:
+        if not todo:
+            return
+        if self.jobs == 1:
+            for point in todo:
+                yield execute_point(point)
+            return
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(todo))) as pool:
+            # map() preserves submission order, so rows stream to the
+            # store in canonical point order — identical to a serial run.
+            yield from pool.map(execute_point, todo)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    jobs: int = 1,
+    store=None,
+    resume: bool = True,
+) -> RunResult:
+    """Convenience one-call façade over :class:`Runner`."""
+    return Runner(jobs=jobs, store=store).run(spec, resume=resume)

@@ -1,0 +1,75 @@
+"""Append-only JSONL result store with resume support.
+
+One line per result row, written with sorted keys and compact floats so
+that two runs computing the same grid produce byte-identical files —
+the property the serial-vs-parallel determinism test pins down.
+
+A store survives killed runs: rows are flushed per line, and a torn
+final line (the signature of a mid-write crash) is skipped with a
+warning on load instead of poisoning the resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from typing import Dict, Iterator, List, Optional, Set
+
+
+class JsonlStore:
+    """A ``.jsonl`` file of result rows keyed by ``row["key"]``."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> List[Dict]:
+        """All parseable rows, in file order.
+
+        Lines that fail to parse are skipped with a warning: a torn tail
+        line is expected after a killed run, and one bad line must not
+        discard an otherwise resumable store.
+        """
+        if not self.exists():
+            return []
+        rows: List[Dict] = []
+        with open(self.path) as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    warnings.warn(
+                        f"{self.path}:{lineno}: skipping unparseable row "
+                        f"(torn write from an interrupted run?)"
+                    )
+                    continue
+                if isinstance(row, dict):
+                    rows.append(row)
+        return rows
+
+    def keys(self) -> Set[str]:
+        """The ``key`` values present in the store."""
+        return {row["key"] for row in self.load() if "key" in row}
+
+    def append(self, row: Dict) -> None:
+        """Append one row (sorted keys, one line) and flush."""
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+            fh.flush()
+
+    def delete(self) -> None:
+        """Remove the backing file if present."""
+        if self.exists():
+            os.remove(self.path)
+
+    def __repr__(self) -> str:
+        return f"<JsonlStore {self.path!r}>"

@@ -15,6 +15,13 @@ from .online_sim import (
     OnlineSimulation,
     SimulationResult,
     TraceEvent,
+    available_policies,
+    get_policy,
+    policy_conservative,
+    policy_easy,
+    policy_fcfs,
+    policy_greedy,
+    register_policy,
     simulate,
 )
 from .timeline import (
@@ -35,6 +42,13 @@ __all__ = [
     "TraceEvent",
     "simulate",
     "POLICIES",
+    "register_policy",
+    "get_policy",
+    "available_policies",
+    "policy_fcfs",
+    "policy_greedy",
+    "policy_easy",
+    "policy_conservative",
     "TimelineSummary",
     "queue_length_timeline",
     "running_count_timeline",

@@ -19,6 +19,12 @@ Policies (Section 2.2's spectrum, online versions):
 
 For offline instances (all releases 0) ``"greedy"`` reproduces the
 offline LSRC schedule exactly — an integration test asserts this.
+
+Policies are public, name-addressable functions registered in
+:data:`POLICIES` (a shared :class:`~repro.core.registry.Registry`), so
+the experiment layer (:mod:`repro.run`) and the CLI address them by name
+(``"online:easy"``) and third-party policies join via
+:func:`register_policy`.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..core.instance import ReservationInstance, as_reservation_instance
+from ..core.registry import Registry
 from ..core.schedule import Schedule
 from ..errors import SchedulingError
 from .cluster import ClusterState
@@ -59,8 +66,31 @@ class SimulationResult:
 PolicyFn = Callable[[ClusterState, object], List]
 # A policy inspects the cluster at `now` and returns the jobs to start now.
 
+#: Online policy registry: name -> :data:`PolicyFn`.  Mapping-compatible
+#: with the plain dict it replaced (``in``, ``[]``, sorted iteration).
+POLICIES: Registry[PolicyFn] = Registry(
+    "policy", plural="policies", error=SchedulingError
+)
 
-def _policy_fcfs(state: ClusterState, now) -> List:
+
+def register_policy(name: str, policy: Optional[PolicyFn] = None, *,
+                    overwrite: Optional[bool] = None):
+    """Register an online policy under ``name`` (usable as decorator)."""
+    return POLICIES.register(name, policy, overwrite=overwrite)
+
+
+def get_policy(name: str) -> PolicyFn:
+    """The policy registered under ``name`` (loud error otherwise)."""
+    return POLICIES.get(name)
+
+
+def available_policies() -> List[str]:
+    """Sorted names of all registered online policies."""
+    return POLICIES.names()
+
+
+@register_policy("fcfs", overwrite=True)
+def policy_fcfs(state: ClusterState, now) -> List:
     started = []
     for job in state.queue_in_order():
         if state.can_start_now(job, now):
@@ -71,7 +101,8 @@ def _policy_fcfs(state: ClusterState, now) -> List:
     return started
 
 
-def _policy_greedy(state: ClusterState, now) -> List:
+@register_policy("greedy", overwrite=True)
+def policy_greedy(state: ClusterState, now) -> List:
     started = []
     for job in state.queue_in_order():
         if state.can_start_now(job, now):
@@ -80,7 +111,8 @@ def _policy_greedy(state: ClusterState, now) -> List:
     return started
 
 
-def _policy_easy(state: ClusterState, now) -> List:
+@register_policy("easy", overwrite=True)
+def policy_easy(state: ClusterState, now) -> List:
     started = []
     # phase 1: heads
     while state.queue:
@@ -107,7 +139,8 @@ def _policy_easy(state: ClusterState, now) -> List:
     return started
 
 
-def _policy_conservative(state: ClusterState, now) -> List:
+@register_policy("conservative", overwrite=True)
+def policy_conservative(state: ClusterState, now) -> List:
     # re-plan every queued job in order on a scratch copy, then start the
     # ones whose planned start is now
     plan: Dict[object, object] = {}
@@ -126,14 +159,6 @@ def _policy_conservative(state: ClusterState, now) -> List:
     return started
 
 
-POLICIES: Dict[str, PolicyFn] = {
-    "fcfs": _policy_fcfs,
-    "greedy": _policy_greedy,
-    "easy": _policy_easy,
-    "conservative": _policy_conservative,
-}
-
-
 class OnlineSimulation:
     """Event-driven online run of a policy over an instance.
 
@@ -144,13 +169,8 @@ class OnlineSimulation:
 
     def __init__(self, instance, policy: str = "greedy", profile_backend=None):
         self.instance: ReservationInstance = as_reservation_instance(instance)
-        if policy not in POLICIES:
-            known = ", ".join(sorted(POLICIES))
-            raise SchedulingError(
-                f"unknown policy {policy!r}; known policies: {known}"
-            )
         self.policy_name = policy
-        self._policy = POLICIES[policy]
+        self._policy = POLICIES.get(policy)
         self.profile_backend = profile_backend
 
     def run(self) -> SimulationResult:

@@ -6,7 +6,9 @@
   model (power-of-two widths, hyper-exponential correlated runtimes);
 * :mod:`repro.workloads.reservations` — reservation calendars (periodic
   maintenance, α-budgeted random, non-increasing staircases);
-* :mod:`repro.workloads.swf` — Standard Workload Format reader/writer.
+* :mod:`repro.workloads.swf` — Standard Workload Format reader/writer;
+* :mod:`repro.workloads.registry` — name-addressable generators for the
+  experiment layer (``make_workload("alpha-uniform", n=30, m=64, ...)``).
 """
 
 from .characterize import WorkloadProfile, characterize, characterize_many
@@ -16,6 +18,13 @@ from .reservations import (
     periodic_maintenance,
     random_alpha_reservations,
     reservation_load,
+)
+from .registry import (
+    WORKLOADS,
+    available_workloads,
+    get_workload,
+    make_workload,
+    register_workload,
 )
 from .swf import SAMPLE_SWF, SWFReadReport, read_swf, write_swf
 from .synthetic import (
@@ -45,4 +54,9 @@ __all__ = [
     "WorkloadProfile",
     "characterize",
     "characterize_many",
+    "WORKLOADS",
+    "register_workload",
+    "get_workload",
+    "available_workloads",
+    "make_workload",
 ]

@@ -1,0 +1,141 @@
+"""Name-addressable workload generators.
+
+The experiment layer (:mod:`repro.run`) addresses workloads by name so a
+JSON spec can say ``{"name": "alpha-uniform", "params": {...}}``.  Every
+registered generator is a callable taking a ``seed`` keyword plus its
+own parameters and returning an instance (either flavour); composite
+generators pair a job model with a reservation calendar, mirroring how
+the paper's experiments combine the α-restricted job mix with an
+α-budgeted reservation load (Section 4.2).
+
+Third-party generators join via :func:`register_workload`; parameters
+must be JSON-encodable (numbers, strings, lists, ``Fraction`` — see
+:mod:`repro.core.serialize`) so specs round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.instance import ReservationInstance, as_reservation_instance
+from ..core.registry import Registry
+from ..errors import InvalidInstanceError
+from .feitelson import feitelson_instance
+from .reservations import (
+    nonincreasing_staircase,
+    periodic_maintenance,
+    random_alpha_reservations,
+)
+from .synthetic import (
+    alpha_constrained_instance,
+    loguniform_instance,
+    uniform_instance,
+    with_poisson_releases,
+)
+
+#: Workload generator registry: name -> ``(seed=..., **params) -> instance``.
+WORKLOADS: Registry[Callable] = Registry("workload", error=InvalidInstanceError)
+
+
+def register_workload(name: str, generator: Optional[Callable] = None, *,
+                      overwrite: Optional[bool] = None):
+    """Register a workload generator under ``name`` (usable as decorator)."""
+    return WORKLOADS.register(name, generator, overwrite=overwrite)
+
+
+def get_workload(name: str) -> Callable:
+    """The generator registered under ``name`` (loud error otherwise)."""
+    return WORKLOADS.get(name)
+
+
+def available_workloads() -> List[str]:
+    """Sorted names of all registered workload generators."""
+    return WORKLOADS.names()
+
+
+def make_workload(name: str, seed: int = 0, **params) -> ReservationInstance:
+    """Build the named workload, coerced to a :class:`ReservationInstance`."""
+    try:
+        instance = WORKLOADS.get(name)(seed=seed, **params)
+    except TypeError as exc:
+        raise InvalidInstanceError(
+            f"workload {name!r} rejected parameters {sorted(params)}: {exc}"
+        ) from None
+    return as_reservation_instance(instance)
+
+
+# ---------------------------------------------------------------------------
+# built-in generators
+# ---------------------------------------------------------------------------
+
+@register_workload("uniform", overwrite=True)
+def _uniform(n=20, m=16, p_range=(1, 100), q_range=(1, None), seed=0):
+    return uniform_instance(
+        n, m, p_range=tuple(p_range), q_range=tuple(q_range), seed=seed
+    )
+
+
+@register_workload("loguniform", overwrite=True)
+def _loguniform(n=20, m=16, p_max=1000.0, seed=0):
+    return loguniform_instance(n, m, p_max=p_max, seed=seed)
+
+
+@register_workload("feitelson", overwrite=True)
+def _feitelson(n=20, m=16, seed=0, **model_params):
+    return feitelson_instance(n, m, seed=seed, **model_params)
+
+
+@register_workload("alpha-uniform", overwrite=True)
+def _alpha_uniform(n=20, m=16, alpha=0.5, reservations=4, horizon=200.0,
+                   p_range=(1, 100), seed=0):
+    """α-restricted jobs plus an α-budgeted reservation calendar — the
+    full α-RESASCHEDULING workload of the paper's Section 4.2 grids."""
+    rigid = alpha_constrained_instance(
+        n, m, alpha, p_range=tuple(p_range), seed=seed
+    )
+    calendar = random_alpha_reservations(
+        m, alpha, horizon=horizon, count=reservations, seed=seed + 1
+    )
+    return ReservationInstance(
+        m=m, jobs=rigid.jobs, reservations=calendar,
+        name=f"alpha-uniform(n={n},m={m},alpha={alpha},seed={seed})",
+    )
+
+
+@register_workload("staircase", overwrite=True)
+def _staircase(n=20, m=16, steps=3, horizon=100.0, p_range=(1, 20),
+               q_range=(1, None), seed=0):
+    """Uniform jobs over the non-increasing reservation staircase of
+    Section 4.1 (Figure 2's shape)."""
+    rigid = uniform_instance(
+        n, m, p_range=tuple(p_range), q_range=tuple(q_range), seed=seed
+    )
+    stairs = nonincreasing_staircase(m, steps, horizon=horizon, seed=seed + 1)
+    return ReservationInstance(
+        m=m, jobs=rigid.jobs, reservations=stairs,
+        name=f"staircase(n={n},m={m},steps={steps},seed={seed})",
+    )
+
+
+@register_workload("maintenance", overwrite=True)
+def _maintenance(n=20, m=16, q=None, period=50, duration=10, count=4,
+                 p_range=(1, 100), seed=0):
+    """Uniform jobs around a periodic-maintenance calendar (Section 1.2's
+    standing-reservation scenario)."""
+    rigid = uniform_instance(n, m, p_range=tuple(p_range), seed=seed)
+    calendar = periodic_maintenance(
+        m=m, q=q if q is not None else max(1, m // 8),
+        period=period, duration=duration, count=count,
+    )
+    return ReservationInstance(
+        m=m, jobs=rigid.jobs, reservations=calendar,
+        name=f"maintenance(n={n},m={m},count={count},seed={seed})",
+    )
+
+
+@register_workload("poisson-online", overwrite=True)
+def _poisson_online(n=20, m=16, rate=0.5, p_range=(1, 100), seed=0):
+    """Uniform jobs with Poisson release times — the online-policy grid
+    workload (empty reservation calendar, arrivals drive the dynamics)."""
+    rigid = uniform_instance(n, m, p_range=tuple(p_range), seed=seed)
+    return with_poisson_releases(rigid, rate, seed=seed + 1)

@@ -87,6 +87,10 @@ class TestFigures:
     def test_unknown_figure(self, capsys):
         assert main(["figure", "9"]) == 2
 
+    def test_empirical_rejected_outside_figure_4(self, capsys):
+        assert main(["figure", "2", "--empirical"]) == 2
+        assert "figure 4 only" in capsys.readouterr().err
+
 
 class TestGanttAndSimulate:
     def test_gantt(self, instance_file, tmp_path, capsys):
@@ -103,6 +107,12 @@ class TestGanttAndSimulate:
     def test_simulate(self, instance_file, policy, capsys):
         assert main(["simulate", instance_file, "-p", policy]) == 0
         assert "Cmax" in capsys.readouterr().out
+
+    def test_simulate_unknown_policy_is_loud(self, instance_file, capsys):
+        # no argparse choices: the policy registry owns the name check, so
+        # runtime-registered policies stay addressable
+        assert main(["simulate", instance_file, "-p", "psychic"]) == 1
+        assert "known policies" in capsys.readouterr().err
 
 
 class TestSWFAndInfo:
@@ -124,3 +134,70 @@ class TestSWFAndInfo:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "lsrc" in out and "fcfs" in out
+
+
+class TestRunAndList:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        from repro.run import ExperimentSpec, WorkloadSpec, save_spec
+
+        spec = ExperimentSpec(
+            name="cli-smoke",
+            algorithms=("lsrc", "online:easy"),
+            workloads=(
+                WorkloadSpec("alpha-uniform", params={"n": 5, "m": 8},
+                             grid={"alpha": [0.5]}),
+            ),
+            seeds=(0, 1),
+            metrics=("makespan", "ratio_lb"),
+        )
+        path = str(tmp_path / "spec.json")
+        save_spec(spec, path)
+        return path
+
+    def test_run_and_resume(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "rows.jsonl")
+        assert main(["run", spec_file, "-o", store, "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "4 rows (4 computed, 0 resumed)" in out
+        assert "cli-smoke" in out
+        # second invocation resumes every point
+        assert main(["run", spec_file, "-o", store, "-q"]) == 0
+        assert "(0 computed, 4 resumed)" in capsys.readouterr().out
+        assert len(open(store).read().splitlines()) == 4
+
+    def test_run_fresh_recomputes(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "rows.jsonl")
+        main(["run", spec_file, "-o", store, "-q"])
+        capsys.readouterr()
+        assert main(["run", spec_file, "-o", store, "-q", "--fresh"]) == 0
+        assert "(4 computed, 0 resumed)" in capsys.readouterr().out
+
+    def test_run_default_store_next_to_spec(self, spec_file, capsys):
+        assert main(["run", spec_file, "-q"]) == 0
+        assert spec_file.replace(".json", ".results.jsonl") in \
+            capsys.readouterr().out
+
+    def test_run_rejects_bad_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"format\": \"nope\"}")
+        assert main(["run", str(bad)]) == 1
+        assert "unsupported spec format" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("kind,expected", [
+        ("algorithms", "lsrc"),
+        ("workloads", "alpha-uniform"),
+        ("policies", "conservative"),
+        ("metrics", "ratio_lb"),
+        ("backends", "tree"),
+    ])
+    def test_list_kinds(self, kind, expected, capsys):
+        assert main(["list", "--kind", kind]) == 0
+        assert expected in capsys.readouterr().out.split()
+
+    def test_list_all_sections(self, capsys):
+        assert main(["list", "--kind", "all"]) == 0
+        out = capsys.readouterr().out
+        for section in ("algorithms:", "workloads:", "policies:",
+                        "metrics:", "backends:"):
+            assert section in out

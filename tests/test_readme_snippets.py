@@ -42,6 +42,21 @@ class TestReadmeQuickstart:
         sched.verify()
         assert sched.makespan > 0
 
+    def test_running_experiments_snippet(self, tmp_path):
+        """The snippet in README 'Running experiments' (shrunk sizes)."""
+        from repro.run import ExperimentSpec, WorkloadSpec, Runner
+
+        spec = ExperimentSpec(
+            name="alpha-sweep",
+            algorithms=["lsrc", "online:easy"],
+            workloads=[WorkloadSpec("alpha-uniform",
+                                    params={"n": 6, "m": 8},
+                                    grid={"alpha": [0.25, 0.5, 0.75]})],
+            seeds=range(2),
+        )
+        result = Runner(jobs=1, store=str(tmp_path / "sweep.jsonl")).run(spec)
+        assert len(result.filtered(algorithm="lsrc", alpha=0.5)) == 2
+
     def test_verify_paper_claims_snippet(self):
         from repro.analysis import verify_paper_claims
 
