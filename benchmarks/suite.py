@@ -1,0 +1,473 @@
+#!/usr/bin/env python3
+"""The registered benchmark suite: every benchmark behind one front door.
+
+The repo grew 17 ad-hoc ``bench_*.py`` entry points — 15 pytest-benchmark
+figure/engineering suites plus the standalone profile-backend harness.
+This module consolidates them behind a single registry so one command
+runs any of them, quick or full, and the JSON-producing harnesses feed a
+*perf trajectory* that is tracked PR-over-PR:
+
+* ``python benchmarks/suite.py --list`` — what exists;
+* ``python benchmarks/suite.py core-throughput --quick`` — one bench
+  (also reachable as ``repro bench core-throughput --quick``);
+* ``python benchmarks/suite.py all`` — everything, pytest suites
+  included;
+* ``python benchmarks/suite.py --check`` — run the JSON harnesses and
+  fail when any scenario's speedup ratio regresses more than
+  ``REGRESSION_TOLERANCE`` against the scale-matched baseline checked
+  into the repo (machine-independent: ratios, not wall-clock, are
+  compared).
+
+``core-throughput`` is the headline harness of the integer-timebase fast
+path: it schedules the 10k-job maintenance trace with the exact
+reference engines and with the incremental integer sweep
+(:mod:`repro.core.timebase`), asserts the schedules are *identical*, and
+appends an entry to ``BENCH_core_throughput.json`` — the acceptance gate
+is >= 5x end-to-end LSRC speedup over the tree-backend number recorded
+in ``BENCH_profile_backends.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(BENCH_DIR))
+
+#: A scenario "regresses" when its measured speedup ratio falls below
+#: baseline / tolerance (1.5x headroom absorbs machine noise).
+REGRESSION_TOLERANCE = 1.5
+
+#: Baseline ratios are clamped to this before the floor is computed: the
+#: gate's job is catching a fast path that *lost its advantage* (ratio
+#: collapsing toward 1x), and very large ratios (50-150x) wobble with
+#: hardware constants and sub-10ms denominators — min(baseline, cap) /
+#: tolerance keeps the check meaningful without being flaky.  Quick runs
+#: are constant-dominated (sub-10ms int-path timings), so their cap is
+#: lower still: the floor degrades to "the fast path is still clearly
+#: faster", which is the only claim a quick run can support.
+RATIO_CHECK_CAP = 10.0
+QUICK_RATIO_CHECK_CAP = 4.0
+
+CORE_THROUGHPUT_JSON = REPO_ROOT / "BENCH_core_throughput.json"
+PROFILE_BACKENDS_JSON = REPO_ROOT / "BENCH_profile_backends.json"
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark.
+
+    ``runner(quick, repeats, out_dir)`` returns a JSON-safe report (or
+    ``None`` for pass/fail-only suites).  ``baseline`` names the
+    checked-in JSON whose scale-matched entry ``--check`` compares
+    speedup ratios against.
+    """
+
+    name: str
+    description: str
+    runner: Callable[[bool, int, Optional[pathlib.Path]], Optional[Dict]]
+    baseline: Optional[pathlib.Path] = None
+    tags: tuple = field(default_factory=tuple)
+
+
+SUITE: Dict[str, Benchmark] = {}
+
+
+def register_bench(bench: Benchmark) -> Benchmark:
+    SUITE[bench.name] = bench
+    return bench
+
+
+def available_benchmarks() -> List[str]:
+    return sorted(SUITE)
+
+
+# ---------------------------------------------------------------------------
+# core-throughput harness (the integer-timebase headline numbers)
+# ---------------------------------------------------------------------------
+
+def _best_of(repeats: int, fn):
+    """(best seconds, last result) over ``repeats`` timed calls."""
+    best = None
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _speedup_scenario(label, exact_fn, fast_fn, repeats, extra=None):
+    """Time exact vs fast engines and *assert identical schedules*."""
+    exact_s, exact_schedule = _best_of(repeats, exact_fn)
+    fast_s, fast_schedule = _best_of(repeats, fast_fn)
+    identical = exact_schedule.starts == fast_schedule.starts
+    assert identical, (
+        f"{label}: integer-timebase schedule diverged from the exact path "
+        "— differential guarantee violated"
+    )
+    scenario = {
+        "exact_s": round(exact_s, 4),
+        "int_s": round(fast_s, 4),
+        "speedup": round(exact_s / fast_s, 2) if fast_s > 0 else float("inf"),
+        "identical_schedules": True,
+    }
+    if extra:
+        scenario.update(extra)
+    return scenario
+
+
+def bench_core_throughput(
+    quick: bool, repeats: int, out_dir: Optional[pathlib.Path]
+) -> Dict:
+    """Exact engines vs the incremental integer sweep, end to end."""
+    from bench_profile_backends import make_trace
+
+    from repro.algorithms import ConservativeBackfillScheduler, ListScheduler
+
+    n_jobs = 800 if quick else 10_000
+    n_res = 80 if quick else 1_000
+    m, seed = 256, 7
+    print(f"building trace: {n_jobs} jobs, {n_res} reservations, m={m}")
+    instance = make_trace(n_jobs, n_res, m, seed)
+
+    scenarios: Dict[str, Dict] = {}
+
+    print("scenario 1/3: LSRC, exact tree-backend sweep vs integer sweep ...")
+    scenarios["lsrc_scheduling"] = _speedup_scenario(
+        "lsrc_scheduling",
+        lambda: ListScheduler(
+            profile_backend="tree", timebase="exact"
+        ).schedule(instance),
+        lambda: ListScheduler(timebase="auto").schedule(instance),
+        repeats,
+    )
+    # The acceptance gate: the int path vs the *checked-in* tree-backend
+    # scheduling number of BENCH_profile_backends.json (same trace).
+    baseline_tree = _profile_backends_tree_baseline(quick)
+    if baseline_tree is not None:
+        scenarios["lsrc_scheduling"]["baseline_tree_s"] = baseline_tree
+        scenarios["lsrc_scheduling"]["speedup_vs_baseline_tree"] = round(
+            baseline_tree / scenarios["lsrc_scheduling"]["int_s"], 2
+        )
+
+    print("scenario 2/3: conservative backfilling, exact tree vs integer ...")
+    scenarios["backfill_cons"] = _speedup_scenario(
+        "backfill_cons",
+        lambda: ConservativeBackfillScheduler(
+            profile_backend="tree", timebase="exact"
+        ).schedule(instance),
+        lambda: ConservativeBackfillScheduler(timebase="auto").schedule(
+            instance
+        ),
+        repeats,
+    )
+
+    # Fraction-timed twin of the trace: this is where the timebase earns
+    # its name — the exact path pays a gcd per arithmetic op, the fast
+    # path normalises once (scale lcm(3)=3) and runs on machine ints.
+    frac_jobs = 200 if quick else 2_000
+    frac_res = 30 if quick else 200
+    print(f"scenario 3/3: Fraction-timed trace ({frac_jobs} jobs), "
+          "exact vs integer ...")
+    frac_instance = make_trace(frac_jobs, frac_res, m, seed).scaled(
+        Fraction(1, 3)
+    )
+    scenarios["lsrc_fraction_times"] = _speedup_scenario(
+        "lsrc_fraction_times",
+        lambda: ListScheduler(
+            profile_backend="tree", timebase="exact"
+        ).schedule(frac_instance),
+        lambda: ListScheduler(timebase="auto").schedule(frac_instance),
+        repeats,
+        extra={"time_scale_lcm": 3},
+    )
+
+    for name, scenario in scenarios.items():
+        line = (f"  {name}: exact {scenario['exact_s']:.3f}s  "
+                f"int {scenario['int_s']:.3f}s  "
+                f"speedup {scenario['speedup']:.1f}x (schedules identical)")
+        if "speedup_vs_baseline_tree" in scenario:
+            line += (f"  [{scenario['speedup_vs_baseline_tree']:.1f}x vs "
+                     "checked-in tree baseline]")
+        print(line)
+
+    entry = {
+        "quick": quick,
+        "config": {
+            "jobs": n_jobs,
+            "reservations": n_res,
+            "fraction_jobs": frac_jobs,
+            "machines": m,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "scenarios": scenarios,
+    }
+    _append_history(entry, out_dir)
+
+    gate = scenarios["lsrc_scheduling"].get("speedup_vs_baseline_tree")
+    if not quick and gate is not None and gate < 5:
+        print(
+            f"WARNING: LSRC int-path speedup {gate}x is below the 5x "
+            "acceptance target vs BENCH_profile_backends.json",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    return entry
+
+
+def _profile_backends_tree_baseline(quick: bool) -> Optional[float]:
+    """The checked-in tree-backend scheduling seconds, scale-matched."""
+    if quick or not PROFILE_BACKENDS_JSON.exists():
+        return None  # the checked-in file records the full-scale run only
+    data = json.loads(PROFILE_BACKENDS_JSON.read_text())
+    if data.get("config", {}).get("quick"):
+        return None
+    return data.get("scenarios", {}).get("scheduling", {}).get("tree")
+
+
+def _append_history(entry: Dict, out_dir: Optional[pathlib.Path]) -> None:
+    """Append one run to the perf-trajectory file.
+
+    Runs append to the checked-in ``BENCH_core_throughput.json`` (the
+    PR-over-PR trajectory) unless ``--out`` redirects them — CI passes
+    ``--out`` so checkout state stays pristine.  Entries carry their
+    ``quick`` flag, and the regression check only ever compares
+    scale-matched entries.
+    """
+    path = (pathlib.Path(out_dir) / CORE_THROUGHPUT_JSON.name
+            if out_dir is not None else CORE_THROUGHPUT_JSON)
+    report = {"history": []}
+    if path.exists():
+        try:
+            report = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            pass
+    report.setdefault("history", []).append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"appended run to {path}")
+
+
+# ---------------------------------------------------------------------------
+# wrappers for the pre-existing harness + pytest suites
+# ---------------------------------------------------------------------------
+
+def _run_profile_backends(
+    quick: bool, repeats: int, out_dir: Optional[pathlib.Path]
+) -> Dict:
+    import bench_profile_backends
+
+    argv = ["--repeats", str(repeats)]
+    if quick:
+        argv.append("--quick")
+        # quick numbers are constant-dominated; never clobber the
+        # checked-in full-scale baseline with them
+        out = (pathlib.Path(out_dir) if out_dir is not None
+               else pathlib.Path("/tmp")) / PROFILE_BACKENDS_JSON.name
+        argv += ["--out", str(out)]
+    elif out_dir is not None:
+        out = pathlib.Path(out_dir) / PROFILE_BACKENDS_JSON.name
+        argv += ["--out", str(out)]
+    else:
+        out = PROFILE_BACKENDS_JSON
+    rc = bench_profile_backends.main(argv)
+    if rc != 0:
+        raise SystemExit(rc)
+    return json.loads(pathlib.Path(out).read_text())
+
+
+def _make_pytest_runner(path: pathlib.Path):
+    def run(quick: bool, repeats: int, out_dir: Optional[pathlib.Path]):
+        cmd = [sys.executable, "-m", "pytest", str(path), "-q"]
+        if quick:
+            cmd.append("--benchmark-disable")  # assertions only, no timing
+        print("$", " ".join(cmd))
+        proc = subprocess.run(cmd, cwd=str(REPO_ROOT))
+        if proc.returncode != 0:
+            raise SystemExit(proc.returncode)
+        return {"passed": True, "pytest": path.name}
+
+    return run
+
+
+register_bench(Benchmark(
+    name="core-throughput",
+    description="exact engines vs the incremental integer sweep "
+                "(LSRC + conservative backfilling + Fraction trace); "
+                "appends to BENCH_core_throughput.json",
+    runner=bench_core_throughput,
+    baseline=CORE_THROUGHPUT_JSON,
+    tags=("json",),
+))
+
+register_bench(Benchmark(
+    name="profile-backends",
+    description="ListProfile vs TreeProfile on large traces; writes "
+                "BENCH_profile_backends.json",
+    runner=_run_profile_backends,
+    baseline=PROFILE_BACKENDS_JSON,
+    tags=("json",),
+))
+
+for _path in sorted(BENCH_DIR.glob("bench_*.py")):
+    if _path.name == "bench_profile_backends.py":
+        continue  # registered above as a first-class harness
+    _name = _path.stem.replace("bench_", "").replace("_", "-")
+    register_bench(Benchmark(
+        name=_name,
+        description=f"pytest-benchmark suite {_path.name}",
+        runner=_make_pytest_runner(_path),
+        tags=("pytest",),
+    ))
+
+
+# ---------------------------------------------------------------------------
+# regression check
+# ---------------------------------------------------------------------------
+
+def _scenario_ratios(scenarios: Dict) -> Dict[str, float]:
+    """The machine-independent speedup ratio per scenario."""
+    out = {}
+    for name, scenario in scenarios.items():
+        if isinstance(scenario, dict) and "speedup" in scenario:
+            out[name] = float(scenario["speedup"])
+    return out
+
+
+def _baseline_scenarios(bench: Benchmark, quick: bool) -> Optional[Dict]:
+    """The checked-in, scale-matched scenario block for ``bench``."""
+    if bench.baseline is None or not bench.baseline.exists():
+        return None
+    data = json.loads(bench.baseline.read_text())
+    if "history" in data:  # trajectory file: latest scale-matched entry
+        matched = [e for e in data["history"] if e.get("quick") == quick]
+        return matched[-1]["scenarios"] if matched else None
+    if data.get("config", {}).get("quick") != quick:
+        return None
+    return data.get("scenarios")
+
+
+def check_regressions(
+    bench: Benchmark, report: Dict, baseline: Optional[Dict],
+    quick: bool = False,
+) -> List[str]:
+    """Speedup ratios that fell below baseline / tolerance.
+
+    ``baseline`` must be captured *before* the bench ran (a run without
+    ``--out`` appends itself to the trajectory file — reading the file
+    afterwards would compare the run against itself).
+    """
+    if baseline is None:
+        print(f"  {bench.name}: no scale-matched checked-in baseline; "
+              "regression check skipped")
+        return []
+    cap = QUICK_RATIO_CHECK_CAP if quick else RATIO_CHECK_CAP
+    measured = _scenario_ratios(report.get("scenarios", {}))
+    expected = _scenario_ratios(baseline)
+    problems = []
+    for name in sorted(set(measured) & set(expected)):
+        floor = min(expected[name], cap) / REGRESSION_TOLERANCE
+        status = "ok" if measured[name] >= floor else "REGRESSED"
+        print(f"  {bench.name}/{name}: speedup {measured[name]:.2f}x "
+              f"(baseline {expected[name]:.2f}x, floor {floor:.2f}x) "
+              f"{status}")
+        if measured[name] < floor:
+            problems.append(
+                f"{bench.name}/{name}: {measured[name]:.2f}x < "
+                f"{floor:.2f}x (baseline {expected[name]:.2f}x capped at "
+                f"{cap} / {REGRESSION_TOLERANCE})"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="name",
+        help="benchmarks to run; 'all' runs everything, default runs the "
+             "JSON harnesses (core-throughput + profile-backends)",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / assertions-only for CI smoke")
+    parser.add_argument("--check", action="store_true",
+                        help="compare speedup ratios against the checked-in "
+                             f"baselines (fail on >{REGRESSION_TOLERANCE}x "
+                             "regression)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="best-of-N timing for the JSON harnesses")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory for result JSONs (default: repo "
+                             "root for full runs; quick runs write only "
+                             "here)")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered benchmarks and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        width = max(len(n) for n in SUITE)
+        for name in available_benchmarks():
+            bench = SUITE[name]
+            kind = "json" if "json" in bench.tags else "pytest"
+            print(f"{name:<{width}}  [{kind}]  {bench.description}")
+        return 0
+
+    if not args.names:
+        names = [n for n in available_benchmarks() if "json" in SUITE[n].tags]
+    elif args.names == ["all"]:
+        names = available_benchmarks()
+    else:
+        names = args.names
+        unknown = [n for n in names if n not in SUITE]
+        if unknown:
+            print(f"unknown benchmark(s) {unknown}; try --list",
+                  file=sys.stderr)
+            return 2
+
+    problems: List[str] = []
+    for name in names:
+        bench = SUITE[name]
+        print(f"=== {name} ===")
+        # snapshot the baseline BEFORE the run: a run without --out
+        # appends itself to the trajectory file it is checked against
+        baseline = (_baseline_scenarios(bench, args.quick)
+                    if args.check else None)
+        report = bench.runner(args.quick, args.repeats, args.out)
+        if args.check and report is not None:
+            problems.extend(
+                check_regressions(bench, report, baseline, args.quick)
+            )
+
+    if problems:
+        print("\nperformance regressions detected:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,9 +25,10 @@ from typing import Dict, List, Optional
 
 from ..core.instance import ReservationInstance
 from ..core.schedule import Schedule
+from ..core.timebase import check_timebase_policy, int_sweep_profile, timebase_for
 from ..errors import SchedulingError
 from .base import Scheduler, register
-from .list_scheduling import ListScheduler
+from .list_scheduling import ListScheduler, sequential_placement
 from .priority import PriorityRule, get_rule
 
 
@@ -45,6 +46,7 @@ class ConservativeBackfillScheduler(Scheduler):
         self,
         priority: Optional[PriorityRule | str] = None,
         profile_backend=None,
+        timebase: str = "auto",
     ):
         if isinstance(priority, str):
             self._priority = get_rule(priority)
@@ -53,6 +55,7 @@ class ConservativeBackfillScheduler(Scheduler):
             self._priority = priority
             self.name = "backfill-cons" if priority is None else "backfill-cons[custom]"
         self.profile_backend = profile_backend
+        self.timebase = check_timebase_policy(timebase)
 
     def _run(self, instance: ReservationInstance) -> Schedule:
         jobs = (
@@ -60,6 +63,14 @@ class ConservativeBackfillScheduler(Scheduler):
             if self._priority is not None
             else sorted(instance.jobs, key=lambda j: j.release)
         )
+        tb = timebase_for(instance, self.timebase)
+        if tb is not None:
+            grid_starts = sequential_placement(
+                [(tb.scale_time(j.release), tb.scale_time(j.p), j.q, j.id)
+                 for j in jobs],
+                int_sweep_profile(instance, tb),
+            )
+            return Schedule(instance, tb.denormalize_starts(grid_starts))
         profile = instance.availability_profile(self.profile_backend)
         starts: Dict = {}
         for job in jobs:
@@ -86,10 +97,25 @@ class EasyBackfillScheduler(Scheduler):
 
     name = "backfill-easy"
 
-    def __init__(self, profile_backend=None):
+    def __init__(self, profile_backend=None, timebase: str = "auto"):
         self.profile_backend = profile_backend
+        self.timebase = check_timebase_policy(timebase)
 
     def _run(self, instance: ReservationInstance) -> Schedule:
+        # EASY's shadow-probing loop has no specialised integer core, so
+        # the fast path is the generic one: run this same sweep on the
+        # integer twin (machine-int arithmetic) and denormalise.
+        tb = timebase_for(instance, self.timebase)
+        if tb is not None:
+            twin = tb.normalize_instance(instance)
+            if twin is not instance:
+                placed = self._sweep(twin)
+                return Schedule(
+                    instance, tb.denormalize_starts(placed.starts)
+                )
+        return self._sweep(instance)
+
+    def _sweep(self, instance: ReservationInstance) -> Schedule:
         jobs = sorted(instance.jobs, key=lambda j: j.release)
         profile = instance.availability_profile(self.profile_backend)
         starts: Dict = {}
@@ -153,16 +179,20 @@ class EasyBackfillScheduler(Scheduler):
         return Schedule(instance, starts)
 
 
-def conservative_backfill(instance, priority=None, profile_backend=None) -> Schedule:
+def conservative_backfill(
+    instance, priority=None, profile_backend=None, timebase: str = "auto"
+) -> Schedule:
     """Convenience wrapper: conservative backfilling."""
     return ConservativeBackfillScheduler(
-        priority, profile_backend=profile_backend
+        priority, profile_backend=profile_backend, timebase=timebase
     ).schedule(instance)
 
 
-def easy_backfill(instance, profile_backend=None) -> Schedule:
+def easy_backfill(instance, profile_backend=None, timebase: str = "auto") -> Schedule:
     """Convenience wrapper: EASY backfilling."""
-    return EasyBackfillScheduler(profile_backend=profile_backend).schedule(instance)
+    return EasyBackfillScheduler(
+        profile_backend=profile_backend, timebase=timebase
+    ).schedule(instance)
 
 
 register("backfill-cons", ConservativeBackfillScheduler)

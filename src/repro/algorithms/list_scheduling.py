@@ -27,12 +27,39 @@ then it did not fit at ``t`` against the jobs and reservations present.
 
 Implementation
 --------------
-Event-driven sweep.  Decision points are: time 0, every distinct release
-time, every availability-profile breakpoint, and every job completion.
-Capacity between consecutive decision points is constant and the feasible
-window of any job only ever *opens* at such a point, so scanning the list
-once per decision point (in list order, with the profile updated as jobs
-start) implements LSRC exactly.
+Two interchangeable engines compute the *same* schedule:
+
+* the **exact reference sweep** (``timebase="exact"``): decision points
+  are time 0, every distinct release time, every availability-profile
+  breakpoint, and every job completion.  Capacity between consecutive
+  decision points is constant and the feasible window of any job only
+  ever *opens* at such a point, so scanning the list once per decision
+  point (in list order, with the profile updated as jobs start)
+  implements LSRC exactly.  Runs on any profile backend and any exact
+  time type — the transparent implementation the theory modules cite.
+
+* the **incremental integer sweep** (``timebase="auto"``/``"int"``, via
+  :mod:`repro.core.timebase`): times are normalised onto the instance's
+  integer grid and the sweep becomes *incremental* —
+
+  - pending jobs live in a due-heap keyed by a cached lower bound on
+    their earliest feasible start (an ``earliest_fit`` miss is
+    remembered: the profile only ever loses capacity as jobs start, so
+    the bound never needs invalidating and the job is not reconsidered
+    before it);
+  - released pending jobs are bucketed by ``q_i``, and a whole decision
+    point is skipped with one ``max_capacity_between`` query when even
+    the narrowest pending job cannot fit before the next event;
+  - profile breakpoints are *not* decision points at all: the cached
+    ``earliest_fit`` wake-ups subsume them (an exchange argument in
+    ``tests/test_timebase.py`` checks the schedules stay identical);
+  - the profile is an
+    :class:`~repro.core.timebase.IntSweepProfile` whose history is
+    pruned behind the sweep front.
+
+  Per placed job the incremental sweep does O(1) profile operations on
+  the *active* window instead of rescanning the entire pending list at
+  every one of O(n + breakpoints) decision points.
 """
 
 from __future__ import annotations
@@ -42,9 +69,97 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.instance import ReservationInstance
 from ..core.schedule import Schedule
+from ..core.timebase import (
+    IntSweepProfile,
+    check_timebase_policy,
+    int_sweep_profile,
+    timebase_for,
+)
 from ..errors import SchedulingError
 from .base import Scheduler, register
 from .priority import PriorityRule, explicit_order, get_rule
+
+
+def incremental_sweep(job_rows: List, profile: IntSweepProfile) -> Dict:
+    """LSRC by incremental sweep on an integer-grid profile.
+
+    ``job_rows`` is the priority-ordered list ``[(release, p, q, id)]``
+    (all times on the grid).  Returns ``{id: start}``.
+
+    Equivalence with the reference sweep rests on monotonicity: placed
+    jobs only *remove* capacity, so an ``earliest_fit`` computed against
+    any earlier profile state lower-bounds the job's true earliest start
+    forever — a job cached as "not before ``s``" need not be looked at
+    again until time ``s``, and its wake-up chain (recompute on each
+    miss) provably terminates exactly at the reference start time.
+    """
+    n = len(job_rows)
+    starts: Dict = {}
+    if n == 0:
+        return starts
+    # Arrival order (stable on release ties = list order); the due-heap
+    # holds released-but-unplaced jobs keyed by their cached bound.
+    arrivals = sorted(range(n), key=lambda i: (job_rows[i][0], i))
+    ai = 0
+    due: List = []  # (cached earliest-possible start, list index)
+    bucket_count: Dict[int, int] = {}  # q -> released pending jobs
+    events: List = sorted({0, *(row[0] for row in job_rows)})
+    placed = 0
+    guard = 0
+    max_iterations = 4 * (2 * n + 4) * (n + 1)
+    while placed < n:
+        guard += 1
+        if guard > max_iterations or not events:
+            raise SchedulingError(
+                f"LSRC failed to place {n - placed} job(s); "
+                "the instance admits no feasible placement for them "
+                "(a job wider than the machine's eventual capacity?)"
+            )
+        t = heapq.heappop(events)
+        while events and events[0] == t:  # collapse duplicate events
+            heapq.heappop(events)
+        while ai < n and job_rows[arrivals[ai]][0] <= t:
+            i = arrivals[ai]
+            ai += 1
+            q = job_rows[i][2]
+            bucket_count[q] = bucket_count.get(q, 0) + 1
+            heapq.heappush(due, (job_rows[i][0], i))
+        if not due or due[0][0] > t:
+            continue  # nothing can possibly start before its cached bound
+        # Skip the scan entirely when no pending width fits before the
+        # next decision point (one windowed query instead of a rescan).
+        if events and profile.max_capacity_between(t, events[0]) < min(
+            bucket_count
+        ):
+            continue
+        candidates: List[int] = []
+        while due and due[0][0] <= t:
+            candidates.append(heapq.heappop(due)[1])
+        candidates.sort()  # scan in list order — LSRC's defining rule
+        cap_now = profile.capacity_at(t)
+        for i in candidates:
+            _release, p, q, jid = job_rows[i]
+            if q <= cap_now and profile.fits(q, t, p):
+                profile.reserve(t, p, q)
+                starts[jid] = t
+                placed += 1
+                cap_now = profile.capacity_at(t)
+                heapq.heappush(events, t + p)
+                remaining = bucket_count[q] - 1
+                if remaining:
+                    bucket_count[q] = remaining
+                else:
+                    del bucket_count[q]
+            else:
+                s = profile.earliest_fit(q, p, after=t)
+                if s is None:
+                    raise SchedulingError(
+                        f"job {jid!r} (q={q}) never fits in the profile"
+                    )
+                heapq.heappush(due, (s, i))
+                heapq.heappush(events, s)
+        profile.prune_before(t)
+    return starts
 
 
 class ListScheduler(Scheduler):
@@ -58,13 +173,22 @@ class ListScheduler(Scheduler):
         callable ``jobs -> ordered jobs``.
     profile_backend:
         Availability-profile backend (``"list"``/``"tree"``/class); ``None``
-        uses the :mod:`repro.core.profiles` default.
+        uses the :mod:`repro.core.profiles` default.  Only the exact
+        reference sweep consults it — the integer fast path runs on its
+        own sweep structure.
+    timebase:
+        ``"auto"`` (default) runs the incremental integer sweep whenever
+        the instance's times normalise exactly (ints/Fractions) and the
+        exact reference sweep otherwise; ``"int"`` additionally forces
+        float-timed instances onto the grid; ``"exact"`` always runs the
+        reference sweep.
     """
 
     def __init__(
         self,
         priority: Optional[PriorityRule | str] = None,
         profile_backend=None,
+        timebase: str = "auto",
     ):
         if isinstance(priority, str):
             self._rule_label = priority
@@ -79,6 +203,7 @@ class ListScheduler(Scheduler):
             "lsrc" if self._priority is None else f"lsrc[{self._rule_label}]"
         )
         self.profile_backend = profile_backend
+        self.timebase = check_timebase_policy(timebase)
 
     def _run(self, instance: ReservationInstance) -> Schedule:
         jobs = (
@@ -86,6 +211,15 @@ class ListScheduler(Scheduler):
             if self._priority is not None
             else list(instance.jobs)
         )
+        tb = timebase_for(instance, self.timebase)
+        if tb is not None:
+            scale = tb.scale_time
+            rows = [(scale(j.release), scale(j.p), j.q, j.id) for j in jobs]
+            grid_starts = incremental_sweep(rows, int_sweep_profile(instance, tb))
+            return Schedule(instance, tb.denormalize_starts(grid_starts))
+        return self._run_exact(instance, jobs)
+
+    def _run_exact(self, instance: ReservationInstance, jobs: List) -> Schedule:
         profile = instance.availability_profile(self.profile_backend)
         starts: Dict = {}
         pending: List = list(jobs)
@@ -144,6 +278,7 @@ class SequentialPlacementScheduler(Scheduler):
         self,
         priority: Optional[PriorityRule | str] = None,
         profile_backend=None,
+        timebase: str = "auto",
     ):
         if isinstance(priority, str):
             self._rule_label = priority
@@ -158,6 +293,7 @@ class SequentialPlacementScheduler(Scheduler):
             "seq" if self._priority is None else f"seq[{self._rule_label}]"
         )
         self.profile_backend = profile_backend
+        self.timebase = check_timebase_policy(timebase)
 
     def _run(self, instance: ReservationInstance) -> Schedule:
         jobs = (
@@ -165,6 +301,14 @@ class SequentialPlacementScheduler(Scheduler):
             if self._priority is not None
             else list(instance.jobs)
         )
+        tb = timebase_for(instance, self.timebase)
+        if tb is not None:
+            grid_starts = sequential_placement(
+                [(tb.scale_time(j.release), tb.scale_time(j.p), j.q, j.id)
+                 for j in jobs],
+                int_sweep_profile(instance, tb),
+            )
+            return Schedule(instance, tb.denormalize_starts(grid_starts))
         profile = instance.availability_profile(self.profile_backend)
         starts: Dict = {}
         for job in jobs:
@@ -178,11 +322,28 @@ class SequentialPlacementScheduler(Scheduler):
         return Schedule(instance, starts)
 
 
+def sequential_placement(job_rows: List, profile: IntSweepProfile) -> Dict:
+    """Earliest-fit placement in list order on an integer-grid profile —
+    conservative backfilling's engine (``job_rows`` as in
+    :func:`incremental_sweep`).  Returns ``{id: start}``."""
+    starts: Dict = {}
+    for release, p, q, jid in job_rows:
+        s = profile.earliest_fit(q, p, after=release)
+        if s is None:
+            raise SchedulingError(
+                f"job {jid!r} (q={q}) never fits in the profile"
+            )
+        profile.reserve(s, p, q)
+        starts[jid] = s
+    return starts
+
+
 def list_schedule(
     instance,
     priority: Optional[PriorityRule | str] = None,
     order: Optional[Sequence] = None,
     profile_backend=None,
+    timebase: str = "auto",
 ) -> Schedule:
     """Run LSRC on ``instance``.
 
@@ -194,9 +355,9 @@ def list_schedule(
         if priority is not None:
             raise SchedulingError("pass either priority or order, not both")
         priority = explicit_order(order)
-    return ListScheduler(priority, profile_backend=profile_backend).schedule(
-        instance
-    )
+    return ListScheduler(
+        priority, profile_backend=profile_backend, timebase=timebase
+    ).schedule(instance)
 
 
 register("lsrc", ListScheduler)

@@ -15,6 +15,7 @@ simulate    online simulation of an instance with a policy
 swf         convert an SWF trace to instance JSON
 info        characterize a workload instance
 run         execute an experiment-spec JSON through the grid Runner
+bench       run registered benchmarks (benchmarks/suite.py)
 list        list registered algorithms/workloads/policies/metrics
 ========== =========================================================
 
@@ -315,6 +316,59 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _find_bench_suite():
+    """Locate ``benchmarks/suite.py`` (source checkouts only).
+
+    Checks ``$REPRO_BENCHMARKS``, the repo root relative to this file,
+    then the working directory — the suite ships with the repository,
+    not inside the installed package.
+    """
+    import pathlib
+
+    candidates = []
+    env = os.environ.get("REPRO_BENCHMARKS")
+    if env:
+        candidates.append(pathlib.Path(env))
+    candidates.append(pathlib.Path(__file__).resolve().parents[2] / "benchmarks")
+    candidates.append(pathlib.Path.cwd() / "benchmarks")
+    for directory in candidates:
+        if (directory / "suite.py").is_file():
+            return directory / "suite.py"
+    return None
+
+
+def _cmd_bench(args) -> int:
+    import importlib.util
+
+    suite_path = _find_bench_suite()
+    if suite_path is None:
+        print(
+            "error: benchmarks/suite.py not found — 'repro bench' needs a "
+            "source checkout (or set REPRO_BENCHMARKS to the benchmarks "
+            "directory)",
+            file=sys.stderr,
+        )
+        return 1
+    module_spec = importlib.util.spec_from_file_location(
+        "repro_bench_suite", suite_path
+    )
+    suite = importlib.util.module_from_spec(module_spec)
+    # dataclasses resolves string annotations through sys.modules
+    sys.modules[module_spec.name] = suite
+    module_spec.loader.exec_module(suite)
+    argv: List[str] = list(args.names)
+    if args.quick:
+        argv.append("--quick")
+    if args.check:
+        argv.append("--check")
+    if args.list_benchmarks:
+        argv.append("--list")
+    if args.out:
+        argv += ["--out", args.out]
+    argv += ["--repeats", str(args.repeats)]
+    return suite.main(argv)
+
+
 def _workload_names() -> List[str]:
     from .workloads import available_workloads
 
@@ -457,6 +511,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-q", "--quiet", action="store_true",
                    help="no progress counter")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "bench",
+        help="run registered benchmarks (see benchmarks/suite.py)",
+    )
+    p.add_argument("names", nargs="*", metavar="name",
+                   help="benchmark names; 'all' for everything, default "
+                        "runs the JSON harness benchmarks")
+    p.add_argument("--quick", action="store_true",
+                   help="small sizes for CI smoke runs")
+    p.add_argument("--check", action="store_true",
+                   help="fail on >1.5x speedup regression vs checked-in "
+                        "BENCH_*.json baselines")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="best-of-N timing")
+    p.add_argument("--out", help="directory for result JSONs")
+    p.add_argument("--list", dest="list_benchmarks", action="store_true",
+                   help="list registered benchmarks and exit")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "list",

@@ -58,6 +58,15 @@ from .profiles import (
     set_default_backend,
 )
 from .schedule import Schedule, ScheduledJob, left_shifted
+from .timebase import (
+    TIMEBASE_POLICIES,
+    IntSweepProfile,
+    Timebase,
+    check_timebase_policy,
+    exactify_instance,
+    on_int_timebase,
+    timebase_for,
+)
 from .serialize import (
     dumps_instance,
     dumps_schedule,
@@ -93,6 +102,13 @@ __all__ = [
     "Schedule",
     "ScheduledJob",
     "left_shifted",
+    "Timebase",
+    "IntSweepProfile",
+    "TIMEBASE_POLICIES",
+    "check_timebase_policy",
+    "timebase_for",
+    "exactify_instance",
+    "on_int_timebase",
     "work_bound",
     "area_bound",
     "pmax_bound",

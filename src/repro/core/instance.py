@@ -268,6 +268,13 @@ class ReservationInstance:
             self._master_profile, profile_backend  # type: ignore[attr-defined]
         )
 
+    def availability_lists(self) -> Tuple[list, list]:
+        """Canonical ``(times, caps)`` breakpoint lists of ``m(t)`` (fresh
+        copies).  The raw-array view the integer-timebase fast path
+        (:mod:`repro.core.timebase`) normalises without paying for a full
+        backend conversion."""
+        return self._master_profile.as_lists()  # type: ignore[attr-defined]
+
     def unavailability_at(self, t) -> int:
         """The paper's ``U(t)``: processors blocked by reservations at ``t``."""
         return self.m - self._master_profile.capacity_at(t)  # type: ignore[attr-defined]

@@ -8,14 +8,20 @@ asymptotics per use case:
 
 ``"list"`` — :class:`ListProfile`
     Flat sorted breakpoint arrays, O(n) mutation, tiny constants, fully
-    transparent.  The default, and the reference the theory modules'
-    Fraction-exact constructions run on.
+    transparent.  The *reference* backend: the theory modules'
+    Fraction-exact worst-case constructions cite it, and the
+    differential tests measure every other implementation against it.
 
 ``"tree"`` — :class:`TreeProfile`
     Augmented treap with subtree min/max/area aggregates and lazy range
-    updates: O(log n) ``capacity_at`` / ``min_capacity`` / ``area`` /
-    ``reserve`` / ``add`` and run-skipping ``earliest_fit``.  The backend
-    for large traces (see ``benchmarks/bench_profile_backends.py``).
+    updates: O(log n) ``capacity_at`` / ``min_capacity`` /
+    ``max_capacity_between`` / ``area`` / ``reserve`` / ``add`` and
+    run-skipping ``earliest_fit``.  The process-wide **default** since
+    the backends are proven schedule-identical; its structural edge is
+    wide windowed *queries* answered from subtree aggregates (~100× on
+    20k-breakpoint profiles), while the list backend's O(window) local
+    mutation wins sweep-local ``reserve``/``add`` on constants (see
+    ``benchmarks/bench_profile_backends.py``).
 
 Both backends implement identical semantics — exact integer capacities,
 times of any ordered numeric type, canonical merged segments — and
@@ -23,14 +29,39 @@ compare equal whenever they represent the same function, which the
 differential tests exploit to prove schedulers produce byte-identical
 schedules under either backend.
 
+When exactness costs you
+------------------------
+Profiles are exact at *every* layer: capacities are ints, times keep
+whatever exact type the instance uses (``int``/``Fraction``), and every
+query is answered without rounding.  That is what makes the paper's
+worst-case certificates checkable, but it has a price ladder worth
+knowing:
+
+1. ``Fraction`` times pay a gcd per arithmetic op — an order of
+   magnitude over machine ints.  Schedulers therefore normalise exact
+   instances onto an integer grid first (``timebase="auto"``, see
+   :mod:`repro.core.timebase`) and only denormalise the final schedule;
+   the profile then never sees a Fraction in the hot loop.
+2. The ``"list"`` backend pays O(window + log n) per mutation and
+   O(window) per windowed query; ``"tree"`` pays O(log n) for both,
+   with a larger constant.  Sweep-local work (schedulers reserving near
+   a moving front) favors the flat list; wide windows deep inside big
+   profiles (analysis, bounds, ``first_time_area_reaches``) favor the
+   tree by ~100×.
+
+Pick ``"list"`` when auditing a construction step by step or writing a
+tight scheduling loop against the exact path, ``"tree"`` (the default)
+for general/analysis workloads at scale, and leave schedulers on
+``timebase="auto"`` unless you are debugging the exact path itself.
+
 Selecting a backend
 -------------------
 Call sites accept a ``profile_backend`` argument (a registry name or a
 backend class); ``None`` defers to the module default:
 
 >>> from repro.core.profiles import set_default_backend
->>> inst.availability_profile(profile_backend="tree")   # one call site
->>> set_default_backend("tree")                          # whole process
+>>> inst.availability_profile(profile_backend="list")   # one call site
+>>> set_default_backend("list")                          # whole process
 
 Third-party backends can join via :func:`register_backend` as long as
 they subclass :class:`ProfileBackend`.
@@ -58,7 +89,10 @@ _BACKENDS: Dict[str, Type[ProfileBackend]] = {
     "tree": TreeProfile,
 }
 
-_default_backend: str = "list"
+#: Process-wide default.  ``"tree"`` since the differential tests prove
+#: both backends schedule-identical; ``"list"`` remains the documented
+#: reference backend for the theory modules (pass it explicitly there).
+_default_backend: str = "tree"
 
 
 def register_backend(name: str, backend: Type[ProfileBackend]) -> None:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import math
 import numbers
+from bisect import bisect_right
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ...errors import CapacityError, InvalidInstanceError
@@ -86,6 +87,44 @@ def check_reserve_args(start, duration, amount: int, verb: str) -> None:
         if verb == "added":
             raise InvalidInstanceError("cannot add capacity before time 0")
         raise InvalidInstanceError("reservation cannot start before time 0")
+
+
+def overlay_reservation_blocks(times: List, caps: List[int], blocks) -> Tuple[List, List[int]]:
+    """Apply many ``(start, duration, amount)`` reservations to canonical
+    ``(times, caps)`` lists in **one sweep**, returning fresh merged lists.
+
+    The shared engine behind the backends' atomic :meth:`reserve_many`:
+    block boundaries become capacity deltas, a single merge pass overlays
+    them on the existing breakpoints, and a :class:`CapacityError` is
+    raised (before anything is returned, so callers stay untouched) when
+    any instant would drop below zero.
+    """
+    deltas: dict = {}
+    for start, duration, amount in blocks:
+        check_reserve_args(start, duration, amount, "reserved")
+        if amount == 0:
+            continue
+        end = start + duration
+        deltas[start] = deltas.get(start, 0) - int(amount)
+        deltas[end] = deltas.get(end, 0) + int(amount)
+    if not deltas:
+        return list(times), list(caps)
+    new_times = sorted(set(times) | set(deltas))
+    new_caps = []
+    src = 0  # index into the existing segments
+    pending = 0  # accumulated reservation depth
+    for t in new_times:
+        while src + 1 < len(times) and times[src + 1] <= t:
+            src += 1
+        pending += deltas.get(t, 0)
+        cap = caps[src] + pending
+        if cap < 0:
+            raise CapacityError(
+                f"cannot reserve {-cap} processor(s) beyond availability "
+                f"at time {t}: batch reservation overflows the profile"
+            )
+        new_caps.append(cap)
+    return merge_equal_segments(new_times, new_caps)
 
 
 class ProfileBackend:
@@ -211,6 +250,34 @@ class ProfileBackend:
     def fits(self, q: int, start, duration) -> bool:
         """True when a ``q``-wide block of length ``duration`` fits at ``start``."""
         return self.min_capacity(start, start + duration) >= q
+
+    def max_capacity_between(self, start, end=None) -> int:
+        """Largest capacity reached on the window ``[start, end)``.
+
+        ``end=None`` means "until infinity" (the suffix maximum).  This is
+        the dual of :meth:`min_capacity` that drives the incremental LSRC
+        ready-set: when the maximum until the next decision point is below
+        the smallest pending ``q_i``, the whole scan can be skipped.
+        Backends override this with sublinear variants.
+        """
+        if start < 0:
+            raise InvalidInstanceError(
+                f"profile queried at negative time {start!r}"
+            )
+        if end is not None and end <= start:
+            raise InvalidInstanceError("window must have positive length")
+        times, caps = self.as_lists()
+        i = bisect_right(times, start) - 1
+        if end is None:
+            return max(caps[i:])
+        best = caps[i]
+        n = len(times)
+        i += 1
+        while i < n and times[i] < end:
+            if caps[i] > best:
+                best = caps[i]
+            i += 1
+        return best
 
     # ------------------------------------------------------------------
     # batch mutation

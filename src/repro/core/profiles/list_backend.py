@@ -27,6 +27,7 @@ from .base import (
     check_reserve_args,
     iter_segments,
     merge_equal_segments,
+    overlay_reservation_blocks,
     validate_profile_inputs,
 )
 
@@ -79,6 +80,24 @@ class ListProfile(ProfileBackend):
         self._times.insert(i + 1, t)
         self._caps.insert(i + 1, self._caps[i])
         return i + 1
+
+    def _shift_window(self, start, end, delta: int) -> None:
+        """Add ``delta`` to every segment in ``[start, end)`` and restore
+        canonical form *locally*: a uniform delta preserves the inequality
+        between interior neighbours, so only the two window boundaries can
+        need merging — reserve/add are O(window + log n), not O(n).
+        """
+        i = self._ensure_breakpoint(start)
+        j = self._ensure_breakpoint(end)
+        caps = self._caps
+        for k in range(i, j):
+            caps[k] += delta
+        if caps[j] == caps[j - 1]:
+            del self._times[j]
+            del caps[j]
+        if i > 0 and caps[i] == caps[i - 1]:
+            del self._times[i]
+            del caps[i]
 
     # ------------------------------------------------------------------
     # queries
@@ -147,6 +166,24 @@ class ListProfile(ProfileBackend):
                 total += caps[j] * (hi - lo)
         return total
 
+    def max_capacity_between(self, start, end=None) -> int:
+        """Largest capacity on ``[start, end)`` (``end=None`` → infinity);
+        bisects to the window like :meth:`min_capacity`."""
+        if end is not None and end <= start:
+            raise InvalidInstanceError("window must have positive length")
+        i = self._index_at(start)
+        caps = self._caps
+        if end is None:
+            return max(caps[i:])
+        hi = caps[i]
+        times = self._times
+        j = i + 1
+        while j < len(times) and times[j] < end:
+            if caps[j] > hi:
+                hi = caps[j]
+            j += 1
+        return hi
+
     def next_breakpoint_after(self, t):
         """Smallest breakpoint strictly greater than ``t``, or ``None``."""
         i = bisect_right(self._times, t)
@@ -201,11 +238,7 @@ class ListProfile(ProfileBackend):
                 f"cannot reserve {amount} processors on [{start}, {end}): "
                 f"minimum available is {self.min_capacity(start, end)}"
             )
-        i = self._ensure_breakpoint(start)
-        j = self._ensure_breakpoint(end)
-        for k in range(i, j):
-            self._caps[k] -= int(amount)
-        self._merge_equal()
+        self._shift_window(start, end, -int(amount))
 
     def add(self, start, duration, amount: int) -> None:
         """Add ``amount`` processors over ``[start, start + duration)``.
@@ -216,12 +249,7 @@ class ListProfile(ProfileBackend):
         check_reserve_args(start, duration, amount, "added")
         if amount == 0:
             return
-        end = start + duration
-        i = self._ensure_breakpoint(start)
-        j = self._ensure_breakpoint(end)
-        for k in range(i, j):
-            self._caps[k] += int(amount)
-        self._merge_equal()
+        self._shift_window(start, start + duration, int(amount))
 
     def reserve_many(self, blocks: Iterable[Tuple]) -> None:
         """Apply many ``(start, duration, amount)`` reservations in one sweep.
@@ -232,32 +260,9 @@ class ListProfile(ProfileBackend):
         profile is untouched.  One sweep over ``O(n + k)`` breakpoints
         replaces ``k`` individual O(n) rebuilds.
         """
-        deltas = {}
-        for start, duration, amount in blocks:
-            check_reserve_args(start, duration, amount, "reserved")
-            if amount == 0:
-                continue
-            end = start + duration
-            deltas[start] = deltas.get(start, 0) - int(amount)
-            deltas[end] = deltas.get(end, 0) + int(amount)
-        if not deltas:
-            return
-        new_times = sorted(set(self._times) | set(deltas))
-        new_caps = []
-        src = 0  # index into the existing segments
-        pending = 0  # accumulated reservation depth
-        for t in new_times:
-            while src + 1 < len(self._times) and self._times[src + 1] <= t:
-                src += 1
-            pending += deltas.get(t, 0)
-            cap = self._caps[src] + pending
-            if cap < 0:
-                raise CapacityError(
-                    f"cannot reserve {-cap} processor(s) beyond availability "
-                    f"at time {t}: batch reservation overflows the profile"
-                )
-            new_caps.append(cap)
-        self._times, self._caps = merge_equal_segments(new_times, new_caps)
+        self._times, self._caps = overlay_reservation_blocks(
+            self._times, self._caps, blocks
+        )
 
     # ------------------------------------------------------------------
     # derived quantities

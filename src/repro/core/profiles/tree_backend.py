@@ -46,6 +46,7 @@ from .base import (
     Segment,
     check_reserve_args,
     merge_equal_segments,
+    overlay_reservation_blocks,
     validate_profile_inputs,
 )
 
@@ -330,6 +331,24 @@ class TreeProfile(ProfileBackend):
             )
         return _range_min(self._root, 0, 0, math.inf, start, end)
 
+    def max_capacity_between(self, start, end=None) -> int:
+        """Largest capacity on ``[start, end)`` (``end=None`` → infinity),
+        answered from the ``mx`` subtree aggregates in O(log n).
+
+        This is the query behind the incremental LSRC ready-set skip: one
+        descent decides whether *any* pending job could start before the
+        next decision point.
+        """
+        if start < 0:
+            raise InvalidInstanceError(
+                f"profile queried at negative time {start!r}"
+            )
+        if end is None:
+            end = math.inf
+        elif end <= start:
+            raise InvalidInstanceError("window must have positive length")
+        return _range_max(self._root, 0, 0, math.inf, start, end)
+
     def area(self, start, end):
         """Integral of the capacity over ``[start, end)`` (O(log n))."""
         if end < start:
@@ -447,6 +466,27 @@ class TreeProfile(ProfileBackend):
             return
         self._range_update(start, start + duration, int(amount), 0)
 
+    def reserve_many(self, blocks) -> None:
+        """Apply many ``(start, duration, amount)`` reservations atomically
+        in a single sweep.
+
+        ``k`` individual :meth:`reserve` calls would pay ``2k`` boundary
+        splits plus merges (and need rollback on failure); instead the
+        blocks are overlaid on the in-order segment list in one pass
+        (:func:`~repro.core.profiles.base.overlay_reservation_blocks`) and
+        the treap is rebuilt in O(n) — all-or-nothing by construction,
+        matching the list backend's semantics exactly.
+        """
+        triples = self._in_order()
+        times, caps = overlay_reservation_blocks(
+            [t[0] for t in triples], [t[2] for t in triples], blocks
+        )
+        n = len(times)
+        self._root = _build([
+            (times[i], times[i + 1] if i + 1 < n else math.inf, caps[i])
+            for i in range(n)
+        ])
+
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
@@ -512,6 +552,25 @@ def _range_min(node, add, span_lo, span_hi, lo, hi):
             best = cap
     right = _range_min(node.right, child_add, node.end, span_hi, lo, hi)
     if right is not None and (best is None or right < best):
+        best = right
+    return best
+
+
+def _range_max(node, add, span_lo, span_hi, lo, hi):
+    """Maximum effective capacity over segments intersecting ``[lo, hi)``;
+    mirror image of :func:`_range_min` over the ``mx`` aggregate."""
+    if node is None or span_hi <= lo or span_lo >= hi:
+        return None
+    if lo <= span_lo and span_hi <= hi:
+        return node.mx + add
+    child_add = add + node.lazy
+    best = _range_max(node.left, child_add, span_lo, node.key, lo, hi)
+    if node.key < hi and node.end > lo:
+        cap = node.cap + add
+        if best is None or cap > best:
+            best = cap
+    right = _range_max(node.right, child_add, node.end, span_hi, lo, hi)
+    if right is not None and (best is None or right > best):
         best = right
     return best
 

@@ -32,7 +32,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..errors import InvalidInstanceError
-from .spec import ONLINE_PREFIX, ExperimentSpec, canonical_json, encode_value
+from .spec import (
+    DEFAULT_TIMEBASE,
+    ONLINE_PREFIX,
+    ExperimentSpec,
+    canonical_json,
+    encode_value,
+)
 from .store import JsonlStore
 
 
@@ -51,20 +57,31 @@ class ExperimentPoint:
     profile_backend: str
     seed: int
     metrics: Tuple[str, ...]
+    timebase: str = DEFAULT_TIMEBASE
 
     def __post_init__(self):
         object.__setattr__(self, "params", dict(self.params))
 
     @property
     def factors(self) -> Dict:
-        """The identity of the point — everything but index and metrics."""
-        return {
+        """The identity of the point — everything but index and metrics.
+
+        The ``timebase`` factor joins the identity only when it differs
+        from :data:`~repro.run.spec.DEFAULT_TIMEBASE`: the fast path is
+        schedule-identical by construction, and every pre-timebase store
+        row was computed under the default, so default-timebase keys must
+        keep matching them on resume.
+        """
+        factors = {
             "workload": self.workload,
             "params": self.params,
             "algorithm": self.algorithm,
             "profile_backend": self.profile_backend,
             "seed": self.seed,
         }
+        if self.timebase != DEFAULT_TIMEBASE:
+            factors["timebase"] = self.timebase
+        return factors
 
     @property
     def key(self) -> str:
@@ -90,18 +107,20 @@ def expand_points(spec: ExperimentSpec) -> Iterator[ExperimentPoint]:
     for workload in spec.workloads:
         for params in workload.expand():
             for backend in spec.profile_backends:
-                for algorithm in spec.algorithms:
-                    for seed in spec.seeds:
-                        yield ExperimentPoint(
-                            index=index,
-                            workload=workload.name,
-                            params=params,
-                            algorithm=algorithm,
-                            profile_backend=backend,
-                            seed=seed,
-                            metrics=spec.metrics,
-                        )
-                        index += 1
+                for timebase in spec.timebases:
+                    for algorithm in spec.algorithms:
+                        for seed in spec.seeds:
+                            yield ExperimentPoint(
+                                index=index,
+                                workload=workload.name,
+                                params=params,
+                                algorithm=algorithm,
+                                profile_backend=backend,
+                                seed=seed,
+                                metrics=spec.metrics,
+                                timebase=timebase,
+                            )
+                            index += 1
 
 
 def execute_point(point: ExperimentPoint) -> Dict:
@@ -127,10 +146,23 @@ def execute_point(point: ExperimentPoint) -> Dict:
         if point.algorithm.startswith(ONLINE_PREFIX):
             policy = point.algorithm[len(ONLINE_PREFIX):]
             schedule = simulate(
-                instance, policy, profile_backend=point.profile_backend
+                instance, policy, profile_backend=point.profile_backend,
+                timebase=point.timebase,
             ).schedule
         else:
-            schedule = get_scheduler(point.algorithm).schedule(instance)
+            scheduler = get_scheduler(point.algorithm)
+            if hasattr(scheduler, "timebase"):
+                scheduler.timebase = point.timebase
+            elif point.timebase != DEFAULT_TIMEBASE:
+                import warnings
+
+                warnings.warn(
+                    f"scheduler {point.algorithm!r} has no timebase knob; "
+                    f"the timebase={point.timebase!r} grid cell runs the "
+                    "scheduler's only engine (row label is aspirational)",
+                    stacklevel=2,
+                )
+            schedule = scheduler.schedule(instance)
         values = evaluate_metrics(schedule, point.metrics)
     finally:
         set_default_backend(previous_backend)
@@ -142,6 +174,7 @@ def execute_point(point: ExperimentPoint) -> Dict:
         "profile_backend": point.profile_backend,
         "seed": point.seed,
         "derived_seed": point.derived_seed,
+        "timebase": point.timebase,
     }
     for name, value in values.items():
         row[name] = encode_value(value)

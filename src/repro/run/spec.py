@@ -38,8 +38,13 @@ from ..errors import InvalidInstanceError, TraceFormatError
 #: Row fields the runner owns; metric names must not shadow them.
 RESERVED_ROW_FIELDS = frozenset(
     {"key", "workload", "params", "algorithm", "profile_backend",
-     "seed", "derived_seed"}
+     "seed", "derived_seed", "timebase"}
 )
+
+#: The timebase factor value every pre-existing row implicitly ran
+#: under; points using it omit the factor from their key so old stores
+#: keep resuming.
+DEFAULT_TIMEBASE = "auto"
 
 #: Prefix routing an "algorithm" entry to the online-policy registry.
 ONLINE_PREFIX = "online:"
@@ -181,6 +186,7 @@ class ExperimentSpec:
     seeds: Tuple[int, ...] = (0,)
     metrics: Tuple[str, ...] = ("makespan", "ratio_lb")
     profile_backends: Tuple[str, ...] = ("list",)
+    timebases: Tuple[str, ...] = (DEFAULT_TIMEBASE,)
 
     def __post_init__(self):
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
@@ -197,12 +203,14 @@ class ExperimentSpec:
         object.__setattr__(
             self, "profile_backends", tuple(self.profile_backends)
         )
+        object.__setattr__(self, "timebases", tuple(self.timebases))
         for label, values in [
             ("algorithms", self.algorithms),
             ("workloads", self.workloads),
             ("seeds", self.seeds),
             ("metrics", self.metrics),
             ("profile_backends", self.profile_backends),
+            ("timebases", self.timebases),
         ]:
             if not values:
                 raise InvalidInstanceError(f"spec needs at least one of {label}")
@@ -213,6 +221,7 @@ class ExperimentSpec:
             ("seeds", self.seeds),
             ("metrics", self.metrics),
             ("profile_backends", self.profile_backends),
+            ("timebases", self.timebases),
             ("workloads", tuple(
                 canonical_json(w.to_dict()) for w in self.workloads
             )),
@@ -231,6 +240,7 @@ class ExperimentSpec:
             * len(self.algorithms)
             * len(self.seeds)
             * len(self.profile_backends)
+            * len(self.timebases)
         )
 
     def validate(self) -> None:
@@ -239,6 +249,7 @@ class ExperimentSpec:
         from ..algorithms.base import SCHEDULERS
         from ..core.metrics import METRICS
         from ..core.profiles import resolve_backend
+        from ..core.timebase import check_timebase_policy
         from ..simulation.online_sim import POLICIES
         from ..workloads.registry import WORKLOADS
 
@@ -257,6 +268,8 @@ class ExperimentSpec:
                 )
         for backend in self.profile_backends:
             resolve_backend(backend)
+        for timebase in self.timebases:
+            check_timebase_policy(timebase)
 
     # -- serialization ------------------------------------------------------
 
@@ -269,6 +282,7 @@ class ExperimentSpec:
             "seeds": list(self.seeds),
             "metrics": list(self.metrics),
             "profile_backends": list(self.profile_backends),
+            "timebases": list(self.timebases),
         }
 
     @classmethod
@@ -281,7 +295,7 @@ class ExperimentSpec:
                 f"expected {SPEC_FORMAT!r}"
             )
         known = {"format", "name", "algorithms", "workloads", "seeds",
-                 "repeats", "metrics", "profile_backends"}
+                 "repeats", "metrics", "profile_backends", "timebases"}
         unknown = sorted(set(data) - known)
         if unknown:
             # a typo ("seed" for "seeds") must not silently shrink a grid
@@ -308,6 +322,7 @@ class ExperimentSpec:
                 seeds=seeds,
                 metrics=data.get("metrics", ("makespan", "ratio_lb")),
                 profile_backends=data.get("profile_backends", ("list",)),
+                timebases=data.get("timebases", (DEFAULT_TIMEBASE,)),
             )
         except KeyError as exc:
             raise TraceFormatError(

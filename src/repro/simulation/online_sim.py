@@ -29,12 +29,13 @@ the experiment layer (:mod:`repro.run`) and the CLI address them by name
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from ..core.instance import ReservationInstance, as_reservation_instance
 from ..core.registry import Registry
 from ..core.schedule import Schedule
+from ..core.timebase import check_timebase_policy, timebase_for
 from ..errors import SchedulingError
 from .cluster import ClusterState
 from .engine import Simulator
@@ -165,16 +166,44 @@ class OnlineSimulation:
     The decision pass runs after every arrival and completion, and at
     every availability-profile breakpoint (a reservation ending can make a
     queued job startable).
+
+    ``timebase`` selects the :mod:`repro.core.timebase` fast path: under
+    ``"auto"`` (default) an exactly-normalisable instance is simulated on
+    its integer twin — every event-queue comparison and profile op on
+    machine ints — and the schedule *and* trace are denormalised back, so
+    callers observe identical results either way.
     """
 
-    def __init__(self, instance, policy: str = "greedy", profile_backend=None):
+    def __init__(self, instance, policy: str = "greedy", profile_backend=None,
+                 timebase: str = "auto"):
         self.instance: ReservationInstance = as_reservation_instance(instance)
         self.policy_name = policy
         self._policy = POLICIES.get(policy)
         self.profile_backend = profile_backend
+        self.timebase = check_timebase_policy(timebase)
 
     def run(self) -> SimulationResult:
-        state = ClusterState(self.instance, self.profile_backend)
+        tb = timebase_for(self.instance, self.timebase)
+        if tb is not None:
+            twin = tb.normalize_instance(self.instance)
+            if twin is not self.instance:
+                result = self._run_on(twin)
+                return SimulationResult(
+                    schedule=Schedule(
+                        self.instance,
+                        tb.denormalize_starts(result.schedule.starts),
+                        algorithm=result.schedule.algorithm,
+                    ),
+                    trace=[
+                        replace(ev, time=tb.denormalize(ev.time))
+                        for ev in result.trace
+                    ],
+                    policy=result.policy,
+                )
+        return self._run_on(self.instance)
+
+    def _run_on(self, instance: ReservationInstance) -> SimulationResult:
+        state = ClusterState(instance, self.profile_backend)
         sim = Simulator()
         trace: List[TraceEvent] = []
 
@@ -222,9 +251,9 @@ class OnlineSimulation:
 
         # Tie-break simultaneous arrivals by instance position so the
         # greedy policy's queue order equals offline LSRC's list order.
-        position = {job.id: i for i, job in enumerate(self.instance.jobs)}
+        position = {job.id: i for i, job in enumerate(instance.jobs)}
         for job in sorted(
-            self.instance.jobs, key=lambda j: (j.release, position[j.id])
+            instance.jobs, key=lambda j: (j.release, position[j.id])
         ):
             sim.schedule_at(
                 job.release,
@@ -239,7 +268,7 @@ class OnlineSimulation:
                 label="decide",
             )
         # availability changes at profile breakpoints can unblock jobs
-        for t in self.instance.availability_profile().breakpoints:
+        for t in instance.availability_profile().breakpoints:
             if t > 0:
                 sim.schedule_at(
                     t, decision_pass, priority=Simulator.PRIO_DECISION,
@@ -257,13 +286,14 @@ class OnlineSimulation:
                 f"{len(state.running)} running job(s)"
             )
         schedule = Schedule(
-            self.instance, state.starts(), algorithm=f"online-{self.policy_name}"
+            instance, state.starts(), algorithm=f"online-{self.policy_name}"
         )
         return SimulationResult(
             schedule=schedule, trace=trace, policy=self.policy_name
         )
 
 
-def simulate(instance, policy: str = "greedy", profile_backend=None) -> SimulationResult:
+def simulate(instance, policy: str = "greedy", profile_backend=None,
+             timebase: str = "auto") -> SimulationResult:
     """Convenience wrapper: run one online simulation."""
-    return OnlineSimulation(instance, policy, profile_backend).run()
+    return OnlineSimulation(instance, policy, profile_backend, timebase).run()

@@ -227,6 +227,95 @@ class TestReserveMany:
             p.reserve_many([(0, 2, 1), (1, 0, 1)])  # second: zero duration
         assert p == backend.constant(3)
 
+    def test_random_batches_agree_across_backends(self):
+        """TreeProfile.reserve_many's single split/merge sweep must land on
+        exactly the list backend's atomic result, block order included."""
+        rng = random.Random(42)
+        for _ in range(40):
+            times = sorted(rng.sample(range(0, 60), rng.randint(1, 8)))
+            if not times or times[0] != 0:
+                times.insert(0, 0)
+            caps = [rng.randint(2, 10) for _ in times]
+            lp, tp = ListProfile(times, caps), TreeProfile(times, caps)
+            blocks = []
+            for _ in range(rng.randint(1, 10)):
+                start = Fraction(rng.randint(0, 120), rng.choice([1, 2]))
+                blocks.append((start, rng.randint(1, 20), rng.randint(0, 2)))
+            try:
+                lp.reserve_many(blocks)
+            except CapacityError:
+                with pytest.raises(CapacityError):
+                    tp.reserve_many(blocks)
+                assert tp == TreeProfile(times, caps)  # untouched
+                continue
+            tp.reserve_many(blocks)
+            assert lp == tp
+            assert lp.as_lists() == tp.as_lists()  # canonical form too
+
+
+# ---------------------------------------------------------------------------
+# max_capacity_between (the incremental-LSRC skip query)
+# ---------------------------------------------------------------------------
+
+class TestMaxCapacityBetween:
+    def test_matches_brute_force(self, backend):
+        times = [0, 2, 5, 7, 11, 13]
+        caps = [3, 6, 1, 8, 2, 4]
+        p = backend(times, caps)
+
+        def brute(start, end):
+            best = p.capacity_at(start)
+            for t in times:
+                if start < t < end:
+                    best = max(best, p.capacity_at(t))
+            return best
+
+        for start in range(0, 15):
+            for end in range(start + 1, 16):
+                assert p.max_capacity_between(start, end) == brute(start, end)
+
+    def test_suffix_maximum(self, backend):
+        p = backend([0, 2, 5, 7], [3, 6, 1, 4])
+        assert p.max_capacity_between(0) == 6
+        assert p.max_capacity_between(3) == 6  # segment containing 3 counts
+        assert p.max_capacity_between(5) == 4
+        assert p.max_capacity_between(100) == 4
+
+    def test_fraction_windows(self, backend):
+        p = backend([0, Fraction(3, 2), 3], [2, 7, 1])
+        assert p.max_capacity_between(0, Fraction(3, 2)) == 2
+        assert p.max_capacity_between(1, 2) == 7
+        assert p.max_capacity_between(Fraction(3, 2), 3) == 7
+        assert p.max_capacity_between(3, 10) == 1
+
+    def test_invalid_windows(self, backend):
+        p = backend.constant(3)
+        with pytest.raises(InvalidInstanceError):
+            p.max_capacity_between(2, 2)
+        with pytest.raises(InvalidInstanceError):
+            p.max_capacity_between(5, 1)
+        with pytest.raises(InvalidInstanceError):
+            p.max_capacity_between(-1, 4)
+
+    def test_backends_agree_after_mutation(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            times = sorted(rng.sample(range(0, 50), rng.randint(1, 10)))
+            if not times or times[0] != 0:
+                times.insert(0, 0)
+            caps = [rng.randint(0, 9) for _ in times]
+            lp, tp = ListProfile(times, caps), TreeProfile(times, caps)
+            for _ in range(8):
+                start = rng.randint(0, 55)
+                dur = rng.randint(1, 15)
+                amount = rng.randint(1, 3)
+                if lp.min_capacity(start, start + dur) >= amount:
+                    lp.reserve(start, dur, amount)
+                    tp.reserve(start, dur, amount)
+                end = None if rng.random() < 0.25 else start + rng.randint(1, 20)
+                assert (lp.max_capacity_between(start, end)
+                        == tp.max_capacity_between(start, end))
+
 
 # ---------------------------------------------------------------------------
 # windowed-area regression (the deep-window bisection fix)
@@ -397,11 +486,17 @@ def _fractionalized(inst: ReservationInstance, seed: int) -> ReservationInstance
     return inst.scaled(factor)
 
 
+# timebase="exact" pins the schedulers that grew an integer fast path to
+# the reference engine: this test compares the *backends*, which the fast
+# path deliberately bypasses (tests/test_timebase.py covers that axis).
 DIFFERENTIAL_SCHEDULERS = [
-    ("lsrc", lambda b: ListScheduler(profile_backend=b)),
-    ("lsrc-lpt", lambda b: ListScheduler("lpt", profile_backend=b)),
+    ("lsrc", lambda b: ListScheduler(profile_backend=b, timebase="exact")),
+    ("lsrc-lpt",
+     lambda b: ListScheduler("lpt", profile_backend=b, timebase="exact")),
     ("fcfs", lambda b: FCFSScheduler(profile_backend=b)),
-    ("backfill-cons", lambda b: ConservativeBackfillScheduler(profile_backend=b)),
+    ("backfill-cons",
+     lambda b: ConservativeBackfillScheduler(
+         profile_backend=b, timebase="exact")),
     ("shelf-ff", lambda b: FirstFitShelfScheduler(profile_backend=b)),
 ]
 

@@ -1,0 +1,442 @@
+"""Integer-timebase fast path: exactness, differential guarantees, units.
+
+The load-bearing claim of :mod:`repro.core.timebase` is *byte identity*:
+scheduling on the scaled-integer twin and denormalising produces exactly
+the schedule the exact ``Fraction`` path produces.  These tests check it
+the hard way — hypothesis-style randomized grids across **every
+registered scheduler and workload generator**, plus targeted property
+tests of the engine pieces (``Timebase``, ``IntSweepProfile``, the
+incremental LSRC sweep, the online simulation twin).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.algorithms import available_schedulers, get_scheduler
+from repro.algorithms.list_scheduling import ListScheduler
+from repro.core.instance import ReservationInstance
+from repro.core.metrics import evaluate_metrics
+from repro.core.profiles import ListProfile
+from repro.core.timebase import (
+    TIMEBASE_POLICIES,
+    IntSweepProfile,
+    Timebase,
+    check_timebase_policy,
+    exactify_instance,
+    int_sweep_profile,
+    on_int_timebase,
+    timebase_for,
+)
+from repro.errors import InvalidInstanceError, ReproError
+from repro.simulation import available_policies, simulate
+from repro.workloads import available_workloads, make_workload
+
+
+# ---------------------------------------------------------------------------
+# Timebase units
+# ---------------------------------------------------------------------------
+
+class TestTimebase:
+    def test_integer_instance_has_trivial_scale(self):
+        inst = ReservationInstance.from_specs(4, [(3, 2), (5, 1)], [(1, 2, 1)])
+        tb = Timebase.of(inst)
+        assert tb is not None and tb.scale == 1
+        assert tb.normalize_instance(inst) is inst
+
+    def test_scale_is_lcm_of_denominators(self):
+        inst = ReservationInstance.from_specs(
+            4,
+            [(Fraction(1, 2), 2), (Fraction(2, 3), 1, Fraction(5, 6))],
+            [(Fraction(1, 4), Fraction(1, 2), 1)],
+        )
+        tb = Timebase.of(inst)
+        assert tb.scale == 12  # lcm(2, 3, 6, 4, 2)
+
+    def test_scale_and_denormalize_roundtrip(self):
+        tb = Timebase(12)
+        for t in [0, 1, Fraction(1, 2), Fraction(7, 3), Fraction(11, 12)]:
+            v = tb.scale_time(t)
+            assert isinstance(v, int)
+            assert tb.denormalize(v) == t
+        # whole grid values come back as plain ints
+        assert tb.denormalize(24) == 2 and isinstance(tb.denormalize(24), int)
+
+    def test_off_grid_time_is_loud(self):
+        with pytest.raises(InvalidInstanceError):
+            Timebase(2).scale_time(Fraction(1, 3))
+
+    def test_invalid_scale_rejected(self):
+        for bad in [0, -3, Fraction(1, 2), 1.5]:
+            with pytest.raises(InvalidInstanceError):
+                Timebase(bad)
+
+    def test_auto_declines_floats_int_grids_them(self):
+        inst = ReservationInstance.from_specs(4, [(0.5, 2), (1.25, 1)])
+        assert Timebase.of(inst, exact_only=True) is None
+        tb = Timebase.of(inst, exact_only=False)
+        assert tb is not None and tb.scale == 4  # 0.5 and 1.25 are exact
+
+    def test_nonfinite_floats_never_grid(self):
+        inst = ReservationInstance.from_specs(4, [(float("inf"), 1)])
+        assert Timebase.of(inst, exact_only=False) is None
+
+    def test_normalized_twin_preserves_structure(self):
+        inst = ReservationInstance.from_specs(
+            4, [(Fraction(1, 2), 2, Fraction(3, 2))], [(1, Fraction(5, 2), 1)]
+        )
+        tb = Timebase.of(inst)
+        twin = tb.normalize_instance(inst)
+        assert twin is not inst
+        assert [j.id for j in twin.jobs] == [j.id for j in inst.jobs]
+        assert all(isinstance(j.p, int) and isinstance(j.release, int)
+                   for j in twin.jobs)
+        assert all(isinstance(r.start, int) and isinstance(r.p, int)
+                   for r in twin.reservations)
+        assert twin.jobs[0].p == 1  # scale lcm(2,2,1,2) = 2
+        assert twin.jobs[0].release == 3 and twin.reservations[0].p == 5
+
+    def test_policy_validation(self):
+        for ok in TIMEBASE_POLICIES:
+            assert check_timebase_policy(ok) == ok
+        with pytest.raises(InvalidInstanceError):
+            check_timebase_policy("fast")
+        with pytest.raises(InvalidInstanceError):
+            ListScheduler(timebase="bogus")
+
+    def test_timebase_for_policies(self):
+        ints = ReservationInstance.from_specs(4, [(3, 2)])
+        floats = ReservationInstance.from_specs(4, [(0.5, 2)])
+        assert timebase_for(ints, "exact") is None
+        assert timebase_for(ints, "auto").scale == 1
+        assert timebase_for(floats, "auto") is None
+        assert timebase_for(floats, "int").scale == 2
+
+    def test_exactify_instance(self):
+        inst = ReservationInstance.from_specs(
+            4, [(0.5, 2, 0.25)], [(0.75, 1.5, 1)]
+        )
+        exact = exactify_instance(inst)
+        assert exact.jobs[0].p == Fraction(1, 2)
+        assert exact.jobs[0].release == Fraction(1, 4)
+        assert exact.reservations[0].start == Fraction(3, 4)
+        assert isinstance(exact.jobs[0].p, Fraction)
+
+
+# ---------------------------------------------------------------------------
+# IntSweepProfile vs the exact reference backend
+# ---------------------------------------------------------------------------
+
+def _random_profile(rng):
+    n = rng.randint(1, 14)
+    times = sorted(rng.sample(range(0, 120), n))
+    if times[0] != 0:
+        times.insert(0, 0)
+    caps = [rng.randint(0, 12) for _ in times]
+    # canonicalize (merge equal neighbours) through the reference backend
+    ref = ListProfile(times, caps)
+    t, c = ref.as_lists()
+    return ref, IntSweepProfile(t, c)
+
+
+class TestIntSweepProfile:
+    def test_differential_ops_against_list_backend(self):
+        """Random mirrored op sequences: every query agrees with the
+        reference backend; mutations keep agreeing afterwards."""
+        rng = random.Random(20260730)
+        for _ in range(120):
+            ref, fast = _random_profile(rng)
+            for _ in range(30):
+                op = rng.randrange(5)
+                start = rng.randint(0, 130)
+                dur = rng.randint(1, 25)
+                q = rng.randint(1, 8)
+                if op == 0:
+                    assert fast.capacity_at(start) == ref.capacity_at(start)
+                elif op == 1:
+                    assert fast.fits(q, start, dur) == ref.fits(q, start, dur)
+                elif op == 2:
+                    assert (fast.earliest_fit(q, dur, after=start)
+                            == ref.earliest_fit(q, dur, after=start))
+                elif op == 3:
+                    end = None if rng.random() < 0.3 else start + dur
+                    assert (fast.max_capacity_between(start, end)
+                            == ref.max_capacity_between(start, end))
+                else:
+                    # mutate both sides; IntSweepProfile trusts callers to
+                    # have checked feasibility, so probe the reference
+                    if ref.min_capacity(start, start + dur) >= q:
+                        ref.reserve(start, dur, q)
+                        fast.reserve(start, dur, q)
+                        if rng.random() < 0.4:  # shadow-probe pattern
+                            ref.add(start, dur, q)
+                            fast.add(start, dur, q)
+            assert list(fast.breakpoints), "profile must keep a segment"
+
+    def test_prune_before_preserves_future_queries(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            ref, fast = _random_profile(rng)
+            front = rng.randint(0, 100)
+            fast.prune_before(front)
+            for _ in range(10):
+                t = front + rng.randint(0, 40)
+                dur = rng.randint(1, 20)
+                q = rng.randint(1, 8)
+                assert fast.capacity_at(t) == ref.capacity_at(t)
+                assert fast.fits(q, t, dur) == ref.fits(q, t, dur)
+                assert (fast.earliest_fit(q, dur, after=t)
+                        == ref.earliest_fit(q, dur, after=t))
+
+    def test_int_sweep_profile_scales_instance_times(self):
+        inst = ReservationInstance.from_specs(
+            4, [(Fraction(1, 2), 2)], [(Fraction(1, 2), Fraction(3, 2), 3)]
+        )
+        tb = Timebase.of(inst)
+        fast = int_sweep_profile(inst, tb)
+        assert list(fast.breakpoints) == [0, 1, 4]
+        assert fast.capacity_at(0) == 4 and fast.capacity_at(2) == 1
+
+
+# ---------------------------------------------------------------------------
+# the differential guarantee, across every registered surface
+# ---------------------------------------------------------------------------
+
+#: The generators registered at import time (tests elsewhere register
+#: throwaway workloads at runtime; those are not ours to cover).
+BUILTIN_WORKLOADS = tuple(available_workloads())
+
+#: Small-but-structured parameter sets per registered workload family.
+WORKLOAD_PARAMS = {
+    "uniform": {"n": 9, "m": 8, "p_range": (1, 12)},
+    "loguniform": {"n": 8, "m": 8, "p_max": 40.0},
+    "feitelson": {"n": 8, "m": 8},
+    "alpha-uniform": {"n": 8, "m": 8, "alpha": 0.5, "reservations": 3,
+                      "horizon": 60.0},
+    "staircase": {"n": 8, "m": 8, "steps": 3, "horizon": 40.0},
+    "maintenance": {"n": 8, "m": 8, "period": 20, "duration": 5, "count": 3},
+    "poisson-online": {"n": 8, "m": 8, "rate": 0.4, "p_range": (1, 10)},
+}
+
+
+def _schedule_under(name: str, instance, policy: str):
+    """Run a registered scheduler under a timebase policy; exceptions are
+    returned (not raised) so both paths can be compared symmetrically."""
+    scheduler = get_scheduler(name)
+    if hasattr(scheduler, "timebase"):
+        scheduler.timebase = policy
+    try:
+        return scheduler.schedule(instance)
+    except ReproError as exc:
+        return type(exc)
+
+
+def test_workload_params_cover_every_registered_generator():
+    assert sorted(WORKLOAD_PARAMS) == sorted(BUILTIN_WORKLOADS)
+
+
+@pytest.mark.parametrize("algorithm", available_schedulers())
+def test_int_and_exact_paths_identical_everywhere(algorithm):
+    """The acceptance property: for every registered scheduler x every
+    registered workload generator x random seeds, the integer-timebase
+    path and the exact path produce identical schedules and identical
+    ``ratio_lb`` metrics.  Float-producing generators are exactified
+    (floats -> equal-valued Fractions) so the fast path engages."""
+    for workload, params in sorted(WORKLOAD_PARAMS.items()):
+        seeds = (1, 2, 3)
+        if algorithm == "optimal":  # exponential solver: tiny grids only
+            params = {**params, "n": 4}
+            seeds = (1,)
+        for seed in seeds:
+            instance = exactify_instance(
+                make_workload(workload, seed=seed, **params)
+            )
+            exact = _schedule_under(algorithm, instance, "exact")
+            fast = _schedule_under(algorithm, instance, "auto")
+            context = f"{algorithm} on {workload} seed {seed}"
+            if isinstance(exact, type):  # both paths must fail identically
+                assert fast is exact, context
+                continue
+            assert not isinstance(fast, type), context
+            assert exact.starts == fast.starts, context
+            exact_metrics = evaluate_metrics(exact, ("makespan", "ratio_lb"))
+            fast_metrics = evaluate_metrics(fast, ("makespan", "ratio_lb"))
+            assert exact_metrics == fast_metrics, context
+
+
+def test_fraction_heavy_congestion_grid():
+    """Dense random grids with Fraction times, releases and reservations:
+    the incremental sweep's wake-up/skip machinery under real contention
+    (small m forces long pending queues)."""
+    rng = random.Random(99)
+    for trial in range(60):
+        m = rng.randint(2, 6)
+        denom = rng.choice([1, 2, 3, 4, 6])
+        jobs = []
+        for _ in range(rng.randint(4, 18)):
+            jobs.append((
+                Fraction(rng.randint(1, 18), denom),
+                rng.randint(1, m),
+                Fraction(rng.randint(0, 12), denom),
+            ))
+        reservations = []
+        t = Fraction(rng.randint(0, 4), denom)
+        for _ in range(rng.randint(0, 3)):
+            dur = Fraction(rng.randint(1, 8), denom)
+            reservations.append((t, dur, rng.randint(1, max(1, m - 1))))
+            t += dur + Fraction(rng.randint(0, 5), denom)
+        instance = ReservationInstance.from_specs(m, jobs, reservations)
+        priority = rng.choice([None, "lpt", "spt", "laf"])
+        exact = ListScheduler(priority, timebase="exact").schedule(instance)
+        fast = ListScheduler(priority, timebase="auto").schedule(instance)
+        assert exact.starts == fast.starts, f"trial {trial}"
+        fast.verify()
+
+
+_job_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=12),   # p (scaled by 1/denom)
+        st.integers(min_value=1, max_value=6),    # q
+        st.integers(min_value=0, max_value=10),   # release (scaled)
+    ),
+    min_size=1, max_size=14,
+)
+_res_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=12),   # start (scaled)
+        st.integers(min_value=1, max_value=6),    # duration (scaled)
+        st.integers(min_value=1, max_value=3),    # q
+    ),
+    max_size=3,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=8),
+    denom=st.sampled_from([1, 2, 3, 5, 12]),
+    jobs=_job_specs,
+    reservations=_res_specs,
+    priority=st.sampled_from([None, "lpt", "spt"]),
+)
+def test_incremental_sweep_property(m, denom, jobs, reservations, priority):
+    """Hypothesis property: for any instance on any 1/denom grid, the
+    incremental integer sweep equals the exact reference sweep."""
+    specs = [
+        (Fraction(p, denom), min(q, m), Fraction(r, denom))
+        for p, q, r in jobs
+    ]
+    res = [
+        (Fraction(s, denom), Fraction(d, denom), min(q, m - 1) or 1)
+        for s, d, q in reservations
+        if m > 1
+    ]
+    try:
+        instance = ReservationInstance.from_specs(m, specs, res)
+    except ReproError:
+        assume(False)  # overlapping reservations exceeded the machine
+    exact = ListScheduler(priority, timebase="exact").schedule(instance)
+    fast = ListScheduler(priority, timebase="auto").schedule(instance)
+    assert exact.starts == fast.starts
+
+
+def test_on_int_timebase_generic_wrapper():
+    """Any scheduler gains the fast path through the generic wrapper."""
+    inst = ReservationInstance.from_specs(
+        4, [(Fraction(3, 2), 2), (Fraction(1, 2), 3), (2, 1)],
+        [(Fraction(1, 2), 1, 2)],
+    )
+    exact = ListScheduler(timebase="exact")
+    wrapped = on_int_timebase(exact, inst)
+    assert wrapped.starts == exact.schedule(inst).starts
+
+
+@pytest.mark.parametrize("policy", available_policies())
+def test_simulation_twin_identical(policy):
+    """Online simulation on the integer twin: identical schedule *and*
+    identical (denormalised) event trace."""
+    for seed in (1, 2):
+        instance = exactify_instance(
+            make_workload("poisson-online", seed=seed, n=10, m=6, rate=0.5,
+                          p_range=(1, 8))
+        )
+        exact = simulate(instance, policy, timebase="exact")
+        fast = simulate(instance, policy, timebase="auto")
+        assert exact.schedule.starts == fast.schedule.starts
+        assert [(e.time, e.kind, e.job_id, e.queue_length)
+                for e in exact.trace] == [
+            (e.time, e.kind, e.job_id, e.queue_length) for e in fast.trace
+        ]
+        fast.schedule.verify()
+
+
+# ---------------------------------------------------------------------------
+# the experiment layer's timebase factor
+# ---------------------------------------------------------------------------
+
+class TestRunTimebaseFactor:
+    def test_spec_roundtrip_and_validation(self):
+        from repro.run import ExperimentSpec, WorkloadSpec
+        from repro.run.spec import dumps_spec, loads_spec
+
+        spec = ExperimentSpec(
+            name="tb", algorithms=("lsrc",),
+            workloads=(WorkloadSpec("uniform", params={"n": 4, "m": 4}),),
+            timebases=("exact", "auto"),
+        )
+        assert loads_spec(dumps_spec(spec)) == spec
+        assert spec.n_points == 2
+        with pytest.raises(InvalidInstanceError):
+            ExperimentSpec(
+                name="bad", algorithms=("lsrc",),
+                workloads=(WorkloadSpec("uniform"),),
+                timebases=("warp",),
+            ).validate()
+        with pytest.raises(InvalidInstanceError):
+            ExperimentSpec(
+                name="dup", algorithms=("lsrc",),
+                workloads=(WorkloadSpec("uniform"),),
+                timebases=("auto", "auto"),
+            )
+
+    def test_default_timebase_keys_are_backward_compatible(self):
+        """Points under the default policy must keep their pre-timebase
+        keys so existing JSONL stores still resume."""
+        from repro.run.runner import ExperimentPoint
+
+        point = ExperimentPoint(0, "uniform", {"n": 4}, "lsrc", "list", 3,
+                                ("makespan",))
+        assert point.timebase == "auto"
+        assert "timebase" not in point.factors
+        pinned = ExperimentPoint(0, "uniform", {"n": 4}, "lsrc", "list", 3,
+                                 ("makespan",), timebase="exact")
+        assert pinned.factors["timebase"] == "exact"
+        assert pinned.key != point.key
+
+    def test_runner_sweeps_timebases_with_identical_metrics(self):
+        from repro.run import ExperimentSpec, Runner, WorkloadSpec
+
+        spec = ExperimentSpec(
+            name="tb-sweep", algorithms=("lsrc", "backfill-cons"),
+            workloads=(WorkloadSpec("maintenance",
+                                    params={"n": 8, "m": 8, "count": 2}),),
+            seeds=(0, 1),
+            timebases=("exact", "auto"),
+        )
+        result = Runner().run(spec)
+        assert len(result.rows) == spec.n_points == 8
+        for algorithm in spec.algorithms:
+            for seed in spec.seeds:
+                pair = {
+                    row["timebase"]: row for row in result.filtered(
+                        algorithm=algorithm, seed=seed)
+                }
+                assert set(pair) == {"exact", "auto"}
+                assert (pair["exact"]["makespan"]
+                        == pair["auto"]["makespan"])
+                assert (pair["exact"]["ratio_lb"]
+                        == pair["auto"]["ratio_lb"])
