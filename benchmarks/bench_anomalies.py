@@ -14,7 +14,6 @@ Shape claims:
 * witnesses are genuine: both sides re-verified by the scheduler.
 """
 
-import pytest
 
 from repro.algorithms import ListScheduler
 from repro.analysis import (

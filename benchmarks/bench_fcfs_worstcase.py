@@ -9,7 +9,6 @@ marching towards ``m`` as the narrow jobs lengthen, while LSRC
 instances.
 """
 
-import pytest
 
 from repro.algorithms import ListScheduler, fcfs_schedule
 from repro.analysis import format_table

@@ -15,7 +15,6 @@ Reproduction: build the reduction for yes- and no-instances of
   mechanism behind the inapproximability.
 """
 
-import pytest
 
 from repro.algorithms import branch_and_bound, optimal_makespan_m1
 from repro.analysis import format_table

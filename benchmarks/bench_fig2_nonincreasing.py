@@ -13,7 +13,6 @@ Reproduction, on random staircase instances:
   ``2 - 1/m(C*)`` (and a fortiori ``2 - 1/m``).
 """
 
-import pytest
 
 from repro.algorithms import ListScheduler, branch_and_bound
 from repro.analysis import describe, format_table

@@ -12,7 +12,6 @@ arithmetic, no tolerance).
 
 from fractions import Fraction
 
-import pytest
 
 from repro.algorithms import list_schedule
 from repro.analysis import format_table

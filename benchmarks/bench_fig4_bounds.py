@@ -20,7 +20,6 @@ from repro.theory import (
     figure4_series,
     gap_at,
     lower_bound_b1,
-    lower_bound_b2,
     upper_bound,
 )
 

@@ -14,7 +14,6 @@ Shape claims:
   the paper's view that the order matters mostly in the worst case.
 """
 
-import pytest
 
 from repro.algorithms import ListScheduler, LocalSearchScheduler
 from repro.analysis import format_table, geometric_mean

@@ -14,7 +14,6 @@ happens to the *typical* case when the workload scales with the machine
 * every measured ratio stays far inside the envelope.
 """
 
-import pytest
 
 from repro.analysis import format_table, geometric_mean, run_sweep
 from repro.algorithms import ListScheduler

@@ -14,7 +14,6 @@ Shape claims:
 * online greedy equals offline LSRC when all jobs are present at 0.
 """
 
-import pytest
 
 from repro.algorithms import batch_doubling_schedule, list_schedule
 from repro.analysis import format_table, geometric_mean

@@ -16,7 +16,6 @@ Shape claims:
 * the preemptive construction itself is cheap and exact.
 """
 
-import pytest
 
 from repro.algorithms import (
     ListScheduler,

@@ -11,11 +11,10 @@ lower bound.  Shape claims: every rule obeys the same worst-case theory
 average — the effect the conclusion anticipates.
 """
 
-import pytest
 
 from repro.algorithms import ListScheduler
 from repro.analysis import format_table, geometric_mean
-from repro.core import ReservationInstance, lower_bound, ratio_to_lower_bound
+from repro.core import ReservationInstance, ratio_to_lower_bound
 from repro.workloads import (
     feitelson_instance,
     random_alpha_reservations,

@@ -14,9 +14,8 @@ Shape claims checked:
 * ratios degrade as α shrinks (reservations bite harder).
 """
 
-import pytest
 
-from repro.analysis import format_table, geometric_mean, measure_ratio
+from repro.analysis import format_table, measure_ratio
 from repro.core import ReservationInstance
 from repro.theory import upper_bound
 from repro.workloads import (

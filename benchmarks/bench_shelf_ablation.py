@@ -10,7 +10,6 @@ small constant of the lower bound; FFDH never uses more shelves than
 NFDH.
 """
 
-import pytest
 
 from repro.algorithms import (
     FirstFitShelfScheduler,

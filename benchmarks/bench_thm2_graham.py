@@ -10,7 +10,6 @@ The appendix re-proves ``Cmax(LSRC) <= (2 - 1/m) C*max`` via Lemma 1
   classical family (ratio exactly ``2 - 1/m``).
 """
 
-import pytest
 
 from repro.algorithms import ListScheduler, exhaustive_optimal, list_schedule
 from repro.analysis import describe, format_table

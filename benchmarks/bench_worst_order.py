@@ -10,7 +10,6 @@ crafted Proposition 2 family pushes up against it.
 
 from fractions import Fraction
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import ReservationInstance

@@ -12,7 +12,6 @@ the paper implies) and:
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest

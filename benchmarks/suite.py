@@ -61,6 +61,15 @@ QUICK_RATIO_CHECK_CAP = 4.0
 
 CORE_THROUGHPUT_JSON = REPO_ROOT / "BENCH_core_throughput.json"
 PROFILE_BACKENDS_JSON = REPO_ROOT / "BENCH_profile_backends.json"
+REPLAY_THROUGHPUT_JSON = REPO_ROOT / "BENCH_replay_throughput.json"
+
+#: Bounded-memory gates of the replay harness: the 1M-job run may not
+#: exceed these multiples/offsets of the 100k-job run's peaks (the
+#: trace prefixes agree, so a truly bounded engine stays flat).
+MEMORY_SEGMENT_FACTOR = 4
+MEMORY_QUEUE_FACTOR = 10
+MEMORY_SLACK = 256
+MEMORY_RSS_LIMIT_MB = 100
 
 
 # ---------------------------------------------------------------------------
@@ -232,6 +241,186 @@ def bench_core_throughput(
     return entry
 
 
+def _rss_mb() -> int:
+    """Peak resident set size of this process in MB (high-water mark)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes there, KB on Linux
+        peak //= 1024
+    return peak // 1024
+
+
+def bench_replay_throughput(
+    quick: bool, repeats: int, out_dir: Optional[pathlib.Path]
+) -> Dict:
+    """Million-job streaming replay: throughput + bounded-memory gates.
+
+    Three scenario families, all on the deterministic ``steady``
+    synthetic trace (whose 100k-job trace is an exact prefix of the
+    1M-job trace, so cross-scale comparisons are apples to apples):
+
+    * ``replay_1m_<policy>`` — replay 100k then 1M jobs and **assert**
+      the peak profile segments, peak queue length and RSS high-water
+      stay flat across the 10x scale jump (the bounded-memory gate);
+    * ``ingest_100k_gz`` — parse-only pass of a gzipped 100k-job SWF
+      file through the chunked streaming reader;
+    * ``identity_100k`` — stream the same gz file through the replay
+      engine and **assert** byte-identical start times and int-exact
+      metrics against ``read_swf`` + ``OnlineSimulation``.
+
+    The 1M-job leg runs once regardless of ``--repeats`` (it is its own
+    statistics).  Results append to ``BENCH_replay_throughput.json``;
+    there is no speedup-ratio gate — the assertions are the gate, and
+    jobs/sec is recorded as a trajectory, not compared across machines.
+    """
+    import gzip
+    import tempfile
+
+    from repro.core.metrics import summarize
+    from repro.simulation import OnlineSimulation, replay, replay_swf
+    from repro.workloads.swf import (
+        iter_swf,
+        read_swf,
+        save_swf_trace,
+        synth_swf_jobs,
+    )
+
+    m, seed, profile = 256, 0, "steady"
+    small_n, big_n = 100_000, 1_000_000
+    policies = ("easy",) if quick else ("easy", "greedy")
+    scenarios: Dict[str, Dict] = {}
+
+    for policy in policies:
+        print(f"replay {small_n} then {big_n} jobs ({profile}, {policy}) ...")
+        small = replay(
+            synth_swf_jobs(profile, small_n, m=m, seed=seed), m, policy=policy
+        )
+        rss_small = _rss_mb()
+        big = replay(
+            synth_swf_jobs(profile, big_n, m=m, seed=seed), m, policy=policy
+        )
+        rss_big = _rss_mb()
+        st, bt = small.totals, big.totals
+        seg_limit = (
+            MEMORY_SEGMENT_FACTOR * st["peak_profile_segments"] + MEMORY_SLACK
+        )
+        queue_limit = (
+            MEMORY_QUEUE_FACTOR * st["peak_queue_length"] + MEMORY_SLACK
+        )
+        rss_growth = rss_big - rss_small
+        assert bt["peak_profile_segments"] <= seg_limit, (
+            f"profile grew with trace length: {bt['peak_profile_segments']} "
+            f"segments at 1M vs {st['peak_profile_segments']} at 100k "
+            "— bounded-memory guarantee violated"
+        )
+        assert bt["peak_queue_length"] <= queue_limit, (
+            f"queue grew with trace length: {bt['peak_queue_length']} at 1M "
+            f"vs {st['peak_queue_length']} at 100k"
+        )
+        # ru_maxrss is a process-lifetime high-water mark, so the RSS
+        # delta is only meaningful before any 1M-job leg has raised it —
+        # i.e. for the first policy; later policies rely on the
+        # structural (per-run) segment/queue gates above
+        rss_gate = policy == policies[0]
+        if rss_gate:
+            assert rss_growth <= MEMORY_RSS_LIMIT_MB, (
+                f"peak RSS grew {rss_growth}MB between the 100k and 1M "
+                f"runs (limit {MEMORY_RSS_LIMIT_MB}MB) — "
+                "trace-length-dependent memory detected"
+            )
+        scenarios[f"replay_1m_{policy}"] = {
+            "jobs": big_n,
+            "jobs_per_sec": round(big_n / bt["elapsed_seconds"]),
+            "jobs_per_sec_100k": round(small_n / st["elapsed_seconds"]),
+            "peak_profile_segments": bt["peak_profile_segments"],
+            "peak_profile_segments_100k": st["peak_profile_segments"],
+            "peak_queue_length": bt["peak_queue_length"],
+            "peak_rss_mb": rss_big,
+            "rss_growth_mb": rss_growth,
+            "rss_gate_applied": rss_gate,
+            "utilization": round(bt["utilization"], 4),
+            "ratio_lb": round(bt["ratio_lb"], 4),
+            "bounded_memory": True,
+        }
+        print(
+            f"  {policy}: {scenarios[f'replay_1m_{policy}']['jobs_per_sec']:,}"
+            f" jobs/s at 1M, peak segments {bt['peak_profile_segments']}, "
+            f"RSS growth {rss_growth}MB"
+            + (" (bounded)" if rss_gate else " (structural gates only)")
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = pathlib.Path(tmp) / "steady_100k.swf.gz"
+        save_swf_trace(
+            trace_path, synth_swf_jobs(profile, small_n, m=m, seed=seed), m,
+            note=f"{small_n} jobs (steady scenario pack)",
+        )
+        print(f"parse-only pass of {trace_path.name} ...")
+        best_parse, parsed = _best_of(
+            repeats, lambda: sum(1 for _ in iter_swf(trace_path))
+        )
+        scenarios["ingest_100k_gz"] = {
+            "jobs": parsed,
+            "jobs_per_sec": round(parsed / best_parse),
+            "gz_bytes": trace_path.stat().st_size,
+        }
+        print(f"  parsed {parsed} jobs at "
+              f"{scenarios['ingest_100k_gz']['jobs_per_sec']:,} jobs/s")
+
+        print("identity: streamed replay vs read_swf + OnlineSimulation ...")
+        streamed = replay_swf(trace_path, policy="easy", record_starts=True)
+        with gzip.open(trace_path, "rt") as fh:
+            instance = read_swf(fh).instance
+        t0 = time.perf_counter()
+        reference = OnlineSimulation(instance, policy="easy").run()
+        in_memory_s = time.perf_counter() - t0
+        assert streamed.starts == reference.schedule.starts, (
+            "streamed replay start times diverged from the in-memory "
+            "engine — differential guarantee violated"
+        )
+        summary = summarize(reference.schedule)
+        for name, value in (
+            ("makespan", summary.makespan),
+            ("total_work", summary.total_work),
+            ("utilization", summary.utilization),
+            ("mean_wait", summary.mean_wait),
+            ("max_wait", summary.max_wait),
+        ):
+            assert streamed.totals[name] == value, (
+                f"streamed {name} {streamed.totals[name]!r} != "
+                f"in-memory {value!r}"
+            )
+        scenarios["identity_100k"] = {
+            "jobs": small_n,
+            "identical_schedules": True,
+            "identical_metrics": True,
+            "streamed_s": round(streamed.totals["elapsed_seconds"], 2),
+            "in_memory_s": round(in_memory_s, 2),
+        }
+        print(
+            f"  identical schedules + metrics; streamed "
+            f"{scenarios['identity_100k']['streamed_s']}s vs in-memory "
+            f"{scenarios['identity_100k']['in_memory_s']}s"
+        )
+
+    entry = {
+        "quick": quick,
+        "config": {
+            "profile": profile,
+            "machines": m,
+            "seed": seed,
+            "small_jobs": small_n,
+            "big_jobs": big_n,
+            "policies": list(policies),
+            "repeats": repeats,
+        },
+        "scenarios": scenarios,
+    }
+    _append_history(entry, out_dir, REPLAY_THROUGHPUT_JSON)
+    return entry
+
+
 def _profile_backends_tree_baseline(quick: bool) -> Optional[float]:
     """The checked-in tree-backend scheduling seconds, scale-matched."""
     if quick or not PROFILE_BACKENDS_JSON.exists():
@@ -242,17 +431,19 @@ def _profile_backends_tree_baseline(quick: bool) -> Optional[float]:
     return data.get("scenarios", {}).get("scheduling", {}).get("tree")
 
 
-def _append_history(entry: Dict, out_dir: Optional[pathlib.Path]) -> None:
-    """Append one run to the perf-trajectory file.
+def _append_history(
+    entry: Dict, out_dir: Optional[pathlib.Path],
+    trajectory: pathlib.Path = CORE_THROUGHPUT_JSON,
+) -> None:
+    """Append one run to a perf-trajectory file.
 
-    Runs append to the checked-in ``BENCH_core_throughput.json`` (the
-    PR-over-PR trajectory) unless ``--out`` redirects them — CI passes
-    ``--out`` so checkout state stays pristine.  Entries carry their
-    ``quick`` flag, and the regression check only ever compares
-    scale-matched entries.
+    Runs append to the checked-in ``BENCH_*.json`` trajectory unless
+    ``--out`` redirects them — CI passes ``--out`` so checkout state
+    stays pristine.  Entries carry their ``quick`` flag, and the
+    regression check only ever compares scale-matched entries.
     """
-    path = (pathlib.Path(out_dir) / CORE_THROUGHPUT_JSON.name
-            if out_dir is not None else CORE_THROUGHPUT_JSON)
+    path = (pathlib.Path(out_dir) / trajectory.name
+            if out_dir is not None else trajectory)
     report = {"history": []}
     if path.exists():
         try:
@@ -314,6 +505,16 @@ register_bench(Benchmark(
                 "appends to BENCH_core_throughput.json",
     runner=bench_core_throughput,
     baseline=CORE_THROUGHPUT_JSON,
+    tags=("json",),
+))
+
+register_bench(Benchmark(
+    name="replay-throughput",
+    description="streaming 1M-job trace replay: jobs/sec, bounded-memory "
+                "assertions, streamed-vs-in-memory identity at 100k; "
+                "appends to BENCH_replay_throughput.json",
+    runner=bench_replay_throughput,
+    baseline=REPLAY_THROUGHPUT_JSON,
     tags=("json",),
 ))
 
@@ -440,7 +641,10 @@ def main(argv=None) -> int:
     elif args.names == ["all"]:
         names = available_benchmarks()
     else:
-        names = args.names
+        # accept snake_case spellings of the dashed registry names
+        names = [
+            n if n in SUITE else n.replace("_", "-") for n in args.names
+        ]
         unknown = [n for n in names if n not in SUITE]
         if unknown:
             print(f"unknown benchmark(s) {unknown}; try --list",

@@ -36,7 +36,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.instance import ReservationInstance, as_reservation_instance
 from ..errors import InvalidInstanceError, SchedulingError

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from ..algorithms.list_scheduling import ListScheduler
 from ..core.instance import ReservationInstance, as_reservation_instance

@@ -20,7 +20,7 @@ from typing import Callable, Dict, List
 
 from ..algorithms import ListScheduler, branch_and_bound, list_schedule
 from ..algorithms.optimal import exhaustive_optimal, optimal_makespan_m1
-from ..core import ReservationInstance, lower_bound
+from ..core import ReservationInstance
 from ..errors import ReproError
 
 

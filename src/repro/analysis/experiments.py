@@ -16,7 +16,7 @@ from __future__ import annotations
 import time as _time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Sequence
 
 from ..errors import InvalidInstanceError
 

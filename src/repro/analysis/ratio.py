@@ -10,7 +10,7 @@ estimate of the true ratio) or the exact optimum (small instances only).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from ..algorithms.base import Scheduler, get_scheduler
 from ..algorithms.optimal import branch_and_bound

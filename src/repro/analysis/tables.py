@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 
 def _format_cell(value, float_fmt: str) -> str:

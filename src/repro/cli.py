@@ -13,6 +13,7 @@ generate    write a random workload instance JSON
 gantt       render a schedule JSON as an ASCII Gantt chart
 simulate    online simulation of an instance with a policy
 swf         convert an SWF trace to instance JSON
+replay      stream an SWF trace through the rolling-horizon engine
 info        characterize a workload instance
 run         execute an experiment-spec JSON through the grid Runner
 bench       run registered benchmarks (benchmarks/suite.py)
@@ -276,6 +277,65 @@ def _cmd_swf(args) -> int:
     return 0
 
 
+def _cmd_replay(args) -> int:
+    from .simulation.replay import ReplayEngine, replay_swf
+    from .workloads.swf import SYNTH_PROFILES, synth_swf_jobs
+
+    kwargs = dict(
+        policy=args.policy,
+        window=args.window,
+        store=args.out,
+        profile_backend=args.backend,
+    )
+    if args.trace.startswith("synth:"):
+        # synth:<profile>[:<n>] replays the scenario pack directly — no
+        # trace file needed for demos and smoke runs
+        parts = args.trace.split(":")
+        profile = parts[1] if len(parts) > 1 else ""
+        if profile not in SYNTH_PROFILES:
+            print(
+                f"error: unknown synthetic profile {profile!r}; known: "
+                f"{', '.join(SYNTH_PROFILES)}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            n = int(parts[2]) if len(parts) > 2 else 100_000
+        except ValueError:
+            print(
+                f"error: synthetic trace length {parts[2]!r} is not an "
+                "integer (expected synth:<profile>[:<n>])",
+                file=sys.stderr,
+            )
+            return 2
+        if args.max_jobs is not None:
+            n = min(n, args.max_jobs)
+        m = args.machines or 256
+        engine = ReplayEngine(m, **kwargs)
+        result = engine.run(synth_swf_jobs(profile, n, m=m, seed=args.seed))
+    else:
+        result = replay_swf(
+            args.trace, m=args.machines, max_jobs=args.max_jobs, **kwargs
+        )
+    t = result.totals
+    print(
+        f"replayed {t['n_jobs']} jobs with {args.policy} on m={result.m}: "
+        f"Cmax={t['makespan']}  util={t['utilization']:.3f}  "
+        f"mean_wait={t['mean_wait']:.6g}  ratio_lb={t['ratio_lb']:.4f}"
+    )
+    print(
+        f"bounded memory: peak queue {t['peak_queue_length']}, "
+        f"peak profile segments {t['peak_profile_segments']} "
+        f"({t['elapsed_seconds']:.2f}s, "
+        f"{t['n_jobs'] / t['elapsed_seconds']:,.0f} jobs/s)"
+    )
+    if args.out:
+        print(
+            f"{t['windows']} window rows + totals written to {args.out}"
+        )
+    return 0
+
+
 def _cmd_info(args) -> int:
     from .workloads.characterize import characterize
 
@@ -493,6 +553,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drop submit times")
     p.add_argument("-o", "--output")
     p.set_defaults(func=_cmd_swf)
+
+    p = sub.add_parser(
+        "replay",
+        help="stream an SWF trace (or synth:<profile>[:<n>]) through the "
+             "rolling-horizon replay engine",
+    )
+    p.add_argument("trace",
+                   help="trace path (.swf or .swf.gz), or synth:<profile>"
+                        "[:<n>] for the deterministic scenario pack")
+    p.add_argument(
+        "-p", "--policy", default="easy",
+        help="registered policy name (see 'repro list --kind policies')",
+    )
+    p.add_argument("-m", "--machines", type=int,
+                   help="machine size (default: the trace's MaxProcs "
+                        "header; 256 for synthetic profiles)")
+    p.add_argument("--window", type=int, default=10_000,
+                   help="jobs per metrics window (0 disables windows)")
+    p.add_argument("--max-jobs", type=int,
+                   help="stop after this many jobs")
+    p.add_argument("--backend", default="list",
+                   help="profile backend (default: list)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for synth:<profile> traces")
+    p.add_argument("-o", "--out",
+                   help="JSONL store for window rows + totals")
+    p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("info", help="characterize a workload")
     p.add_argument("instance")

@@ -34,6 +34,8 @@ from .metrics import (
     ScheduleMetrics,
     available_area,
     available_metrics,
+    bounded_slowdown,
+    bounded_slowdowns,
     evaluate_metrics,
     get_metric,
     register_metric,
@@ -121,6 +123,8 @@ __all__ = [
     "utilization",
     "waiting_times",
     "slowdowns",
+    "bounded_slowdown",
+    "bounded_slowdowns",
     "available_area",
     "METRICS",
     "register_metric",

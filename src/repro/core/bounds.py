@@ -20,9 +20,8 @@ suite cross-checks them against the exact solver on small instances.
 
 from __future__ import annotations
 
-from typing import Iterable
 
-from .instance import ReservationInstance, as_reservation_instance
+from .instance import as_reservation_instance
 
 
 def work_bound(instance) -> object:

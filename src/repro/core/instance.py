@@ -18,7 +18,7 @@ processors and every job at most ``α m``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from fractions import Fraction
 from functools import cached_property
 from typing import Dict, Iterable, Optional, Tuple

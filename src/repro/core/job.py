@@ -19,7 +19,7 @@ workloads use floats.
 from __future__ import annotations
 
 import numbers
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Union
 
 from ..errors import InvalidInstanceError

@@ -95,6 +95,32 @@ def slowdowns(schedule: Schedule) -> List:
     return result
 
 
+#: Bounded-slowdown runtime threshold (the literature's tau): short jobs
+#: are measured against tau instead of their own runtime, so a 1-second
+#: job waiting a minute does not read as a 60x degradation.
+BSLD_TAU = 10
+
+
+def bounded_slowdown(wait, p, tau=BSLD_TAU) -> float:
+    """One job's bounded slowdown ``max(1, (wait + p) / max(p, tau))``.
+
+    The single definition both the schedule-level extractors below and
+    the replay engine's windowed metrics
+    (:mod:`repro.simulation.replay`) compute with, so the two stay
+    comparable by construction.
+    """
+    return max(1.0, float(wait + p) / float(max(p, tau)))
+
+
+def bounded_slowdowns(schedule: Schedule, tau=BSLD_TAU) -> List[float]:
+    """Per-job bounded slowdowns — the trace-evaluation standard."""
+    inst = schedule.instance
+    return [
+        bounded_slowdown(schedule.starts[job.id] - job.release, job.p, tau)
+        for job in inst.jobs
+    ]
+
+
 def utilization(schedule: Schedule) -> float:
     """``W / (m * Cmax)``: raw machine utilization by jobs."""
     cmax = schedule.makespan
@@ -241,6 +267,21 @@ def _register_builtin_metrics() -> None:
     )
     _BUILTIN_EXTRACTORS["ratio_lb"] = METRICS.register(
         "ratio_lb", _ratio_lb, overwrite=True
+    )
+
+    def _mean_bsld(schedule: Schedule) -> float:
+        values = bounded_slowdowns(schedule)
+        return sum(values) / len(values) if values else 0.0
+
+    def _max_bsld(schedule: Schedule) -> float:
+        values = bounded_slowdowns(schedule)
+        return max(values) if values else 0.0
+
+    _BUILTIN_EXTRACTORS["mean_bounded_slowdown"] = METRICS.register(
+        "mean_bounded_slowdown", _mean_bsld, overwrite=True
+    )
+    _BUILTIN_EXTRACTORS["max_bounded_slowdown"] = METRICS.register(
+        "max_bounded_slowdown", _max_bsld, overwrite=True
     )
 
 

@@ -218,6 +218,53 @@ class ProfileBackend:
         support); ``None`` only on degenerate zero-tail profiles."""
         raise NotImplementedError
 
+    def prune_before(self, t) -> None:
+        """Compact the profile behind the time frontier ``t``.
+
+        Every breakpoint strictly before ``t`` is dropped and the
+        segment containing ``t`` is re-anchored to start at time 0, so
+        the stored size becomes the number of *future* capacity changes
+        — the operation the rolling-horizon replay engine
+        (:mod:`repro.simulation.replay`) uses to keep a million-job
+        trace's profile bounded by its active window.
+
+        **Soundness.**  Pruning rewrites the function on ``[0, t)`` (the
+        pre-frontier history becomes one flat segment at the frontier
+        segment's capacity) and is the identity on ``[t, inf)``.  It is
+        therefore sound for exactly the callers that never look behind
+        their own clock: a forward sweep whose current time has reached
+        ``t`` only ever issues queries and mutations over windows
+        contained in ``[t, inf)`` — ``capacity_at(u)``,
+        ``min_capacity``/``max_capacity_between``/``area`` on
+        ``[a, b) ⊆ [t, inf)``, ``earliest_fit(..., after >= t)`` and
+        ``reserve``/``add`` starting at or after ``t`` — and each of
+        these depends only on the function's restriction to ``[t, inf)``:
+
+        * point/window queries with ``a >= t`` bisect into the segment
+          containing ``a``; re-anchoring the frontier segment's start to
+          0 moves its left edge but no covered instant's capacity, so
+          the located segment and every later one are unchanged;
+        * ``earliest_fit`` clamps its candidate to
+          ``max(segment start, after)``; since the re-anchored start
+          ``0 <= t <= after``, the clamp returns ``after`` exactly as it
+          did on the unpruned profile;
+        * windowed ``area``/``first_time_area_reaches`` integrate
+          ``max(segment start, a)`` to ``min(segment end, b)`` with
+          ``a >= t``, which never reaches into the rewritten region.
+
+        What pruning deliberately gives up is the *global* protocol
+        view: ``breakpoints``, equality/hash, ``area(0, x)`` for
+        ``x < t`` and ``inverted``/``truncated_after`` now describe the
+        compacted function, not the original — which is why consumers
+        must own their profile copy (schedulers and the replay engine
+        always do; :meth:`~repro.core.instance.ReservationInstance.
+        availability_profile` hands out fresh copies).  A differential
+        test (``tests/test_replay.py``) drives pruned and unpruned
+        backends through identical post-frontier operation sequences and
+        asserts equal answers.
+        """
+        raise NotImplementedError
+
     def segments(self, horizon=None) -> Iterator[Segment]:
         """Yield ``(start, end, capacity)``; the last ``end`` is ``horizon``
         (if given) or ``math.inf``."""

@@ -251,6 +251,18 @@ class ListProfile(ProfileBackend):
             return
         self._shift_window(start, start + duration, int(amount))
 
+    def prune_before(self, t) -> None:
+        """Drop breakpoints before ``t`` and re-anchor the frontier
+        segment at 0 (see :meth:`ProfileBackend.prune_before` for the
+        soundness contract).  One prefix deletion: O(remaining)."""
+        if t <= 0:
+            return
+        i = self._index_at(t)
+        if i > 0:
+            del self._times[:i]
+            del self._caps[:i]
+        self._times[0] = 0
+
     def reserve_many(self, blocks: Iterable[Tuple]) -> None:
         """Apply many ``(start, duration, amount)`` reservations in one sweep.
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ...errors import CapacityError, InvalidInstanceError
 from .base import (
@@ -465,6 +465,35 @@ class TreeProfile(ProfileBackend):
         if amount == 0:
             return
         self._range_update(start, start + duration, int(amount), 0)
+
+    def prune_before(self, t) -> None:
+        """Drop segments before ``t`` and re-anchor the frontier segment
+        at 0 (see :meth:`ProfileBackend.prune_before` for the soundness
+        contract).
+
+        Rebuilds the treap from the surviving suffix in O(active): the
+        same cost/structure trade :meth:`reserve_many` makes, and the
+        rebuild also resets balance for the retained nodes.  Callers
+        prune at a coarse cadence (per replay window), so the amortised
+        cost per event is O(1).
+        """
+        if t < 0:
+            raise InvalidInstanceError(
+                f"profile pruned at negative time {t!r}"
+            )
+        if t <= 0:
+            return
+        triples = self._in_order()
+        # index of the segment containing t
+        keep = 0
+        for i, (key, end, _) in enumerate(triples):
+            if key <= t < end:
+                keep = i
+                break
+        kept = triples[keep:]
+        first_key, first_end, first_cap = kept[0]
+        kept[0] = (0, first_end, first_cap)
+        self._root = _build(kept)
 
     def reserve_many(self, blocks) -> None:
         """Apply many ``(start, duration, amount)`` reservations atomically

@@ -11,13 +11,12 @@ because the model does not require contiguity, Section 2.1).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import InfeasibleScheduleError, InvalidInstanceError
 from .instance import ReservationInstance, as_reservation_instance
-from .job import Job, Reservation
+from .job import Job
 from .profile import ResourceProfile
 
 

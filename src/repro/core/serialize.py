@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from fractions import Fraction
-from typing import Any, Dict, Union
+from typing import Dict, Union
 
 from ..errors import TraceFormatError
 from .instance import ReservationInstance, RigidInstance

@@ -54,7 +54,10 @@ from .runner import (
 from .spec import (
     ONLINE_PREFIX,
     SPEC_FORMAT,
+    SYNTH_TRACE_PREFIX,
+    TRACE_WORKLOAD,
     ExperimentSpec,
+    TraceSpec,
     WorkloadSpec,
     decode_value,
     dumps_spec,
@@ -69,6 +72,9 @@ from .store import JsonlStore
 __all__ = [
     "ExperimentSpec",
     "WorkloadSpec",
+    "TraceSpec",
+    "TRACE_WORKLOAD",
+    "SYNTH_TRACE_PREFIX",
     "Runner",
     "RunResult",
     "ExperimentPoint",

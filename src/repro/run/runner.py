@@ -35,6 +35,8 @@ from ..errors import InvalidInstanceError
 from .spec import (
     DEFAULT_TIMEBASE,
     ONLINE_PREFIX,
+    SYNTH_TRACE_PREFIX,
+    TRACE_WORKLOAD,
     ExperimentSpec,
     canonical_json,
     encode_value,
@@ -102,7 +104,14 @@ class ExperimentPoint:
 
 
 def expand_points(spec: ExperimentSpec) -> Iterator[ExperimentPoint]:
-    """The spec's grid cells, in the canonical deterministic order."""
+    """The spec's grid cells, in the canonical deterministic order.
+
+    Trace points come after workload points.  They cross with the
+    algorithm/backend/seed factors like everything else, but pin the
+    timebase factor (the replay engine's integer fast path is intrinsic)
+    and carry their trace source in ``params["source"]`` under the
+    reserved workload name :data:`~repro.run.spec.TRACE_WORKLOAD`.
+    """
     index = 0
     for workload in spec.workloads:
         for params in workload.expand():
@@ -121,6 +130,58 @@ def expand_points(spec: ExperimentSpec) -> Iterator[ExperimentPoint]:
                                 timebase=timebase,
                             )
                             index += 1
+    for trace in spec.traces:
+        for backend in spec.profile_backends:
+            for algorithm in spec.algorithms:
+                for seed in spec.seeds:
+                    yield ExperimentPoint(
+                        index=index,
+                        workload=TRACE_WORKLOAD,
+                        params={"source": trace.source, **trace.params},
+                        algorithm=algorithm,
+                        profile_backend=backend,
+                        seed=seed,
+                        metrics=spec.metrics,
+                    )
+                    index += 1
+
+
+def _execute_trace_point(point: ExperimentPoint) -> Dict:
+    """Replay a trace grid cell; returns ``{metric: value}``.
+
+    Synthetic sources are seeded with the point's derived seed; file
+    sources are deterministic (the seed factor only names the row).
+    """
+    from ..simulation.replay import ReplayEngine, replay_swf
+    from ..workloads.swf import synth_swf_jobs
+
+    params = dict(point.params)
+    source = params.pop("source")
+    policy = point.algorithm[len(ONLINE_PREFIX):]
+    kwargs = dict(
+        policy=policy,
+        profile_backend=point.profile_backend,
+        window=params.pop("window", 10_000),
+    )
+    if source.startswith(SYNTH_TRACE_PREFIX):
+        profile = source[len(SYNTH_TRACE_PREFIX):]
+        m = params.pop("m", 256)
+        n = params.pop("n", 10_000)
+        max_jobs = params.pop("max_jobs", None)
+        if max_jobs is not None:  # same truncation semantics as the CLI
+            n = min(n, max_jobs)
+        engine = ReplayEngine(m, **kwargs)
+        result = engine.run(
+            synth_swf_jobs(profile, n, m=m, seed=point.derived_seed)
+        )
+    else:
+        result = replay_swf(
+            source,
+            m=params.pop("m", None),
+            max_jobs=params.pop("max_jobs", None),
+            **kwargs,
+        )
+    return {name: result.totals[name] for name in point.metrics}
 
 
 def execute_point(point: ExperimentPoint) -> Dict:
@@ -136,6 +197,22 @@ def execute_point(point: ExperimentPoint) -> Dict:
     from ..core.profiles import get_default_backend_name, set_default_backend
     from ..simulation.online_sim import simulate
     from ..workloads.registry import make_workload
+
+    if point.workload == TRACE_WORKLOAD:
+        values = _execute_trace_point(point)
+        row = {
+            "key": point.key,
+            "workload": point.workload,
+            "params": encode_value(point.params),
+            "algorithm": point.algorithm,
+            "profile_backend": point.profile_backend,
+            "seed": point.seed,
+            "derived_seed": point.derived_seed,
+            "timebase": point.timebase,
+        }
+        for name, value in values.items():
+            row[name] = encode_value(value)
+        return row
 
     instance = make_workload(
         point.workload, seed=point.derived_seed, **point.params

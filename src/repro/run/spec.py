@@ -30,7 +30,7 @@ import itertools
 import json
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Iterator, List, Mapping, Sequence, Tuple, Union
+from typing import Dict, Iterator, Mapping, Sequence, Tuple
 
 from ..core.serialize import SPEC_FORMAT, _decode_number, _encode_number
 from ..errors import InvalidInstanceError, TraceFormatError
@@ -48,6 +48,16 @@ DEFAULT_TIMEBASE = "auto"
 
 #: Prefix routing an "algorithm" entry to the online-policy registry.
 ONLINE_PREFIX = "online:"
+
+#: Reserved ``workload`` value marking a trace-replay grid point (the
+#: rolling-horizon engine instead of a registered generator).
+TRACE_WORKLOAD = "trace"
+
+#: Prefix selecting a synthetic scenario-pack trace as a replay source.
+SYNTH_TRACE_PREFIX = "synth:"
+
+#: Parameters a :class:`TraceSpec` accepts (anything else is a typo).
+TRACE_PARAMS = frozenset({"m", "n", "max_jobs", "window"})
 
 
 # ---------------------------------------------------------------------------
@@ -173,6 +183,64 @@ class WorkloadSpec:
 
 
 # ---------------------------------------------------------------------------
+# trace spec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """One replay trace of the grid's ``traces`` factor.
+
+    ``source`` is an SWF path (``.swf`` / ``.swf.gz``) streamed through
+    :func:`repro.simulation.replay.replay_swf`, or ``synth:<profile>``
+    naming the deterministic scenario pack
+    (:func:`repro.workloads.swf.synth_swf_jobs`, seeded per point).
+    ``params`` tune the replay: ``m`` (machine size), ``n`` (synthetic
+    trace length), ``max_jobs`` (file truncation) and ``window``
+    (metrics window).  Trace points cross with the ``algorithms``
+    (online policies only), ``profile_backends`` and ``seeds`` factors;
+    file traces are deterministic, so give them ``seeds=[0]``.
+    """
+
+    source: str
+    params: Mapping = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "params", dict(self.params))
+        unknown = sorted(set(self.params) - TRACE_PARAMS)
+        if unknown:
+            raise InvalidInstanceError(
+                f"trace {self.source!r} has unknown parameter(s) {unknown}; "
+                f"known parameters: {sorted(TRACE_PARAMS)}"
+            )
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"source": self.source}
+        if self.params:
+            out["params"] = encode_value(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data) -> "TraceSpec":
+        if isinstance(data, str):
+            return cls(source=data)
+        if not isinstance(data, Mapping) or "source" not in data:
+            raise TraceFormatError(
+                f"trace entry must be a path/synth name or an object with "
+                f"a 'source' field, got {data!r}"
+            )
+        unknown = sorted(set(data) - {"source", "params"})
+        if unknown:
+            raise TraceFormatError(
+                f"unknown trace field(s) {unknown}; known fields: "
+                f"['params', 'source']"
+            )
+        return cls(
+            source=data["source"],
+            params=decode_value(data.get("params", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
 # experiment spec
 # ---------------------------------------------------------------------------
 
@@ -182,11 +250,12 @@ class ExperimentSpec:
 
     name: str
     algorithms: Tuple[str, ...]
-    workloads: Tuple[WorkloadSpec, ...]
+    workloads: Tuple[WorkloadSpec, ...] = ()
     seeds: Tuple[int, ...] = (0,)
     metrics: Tuple[str, ...] = ("makespan", "ratio_lb")
     profile_backends: Tuple[str, ...] = ("list",)
     timebases: Tuple[str, ...] = (DEFAULT_TIMEBASE,)
+    traces: Tuple[TraceSpec, ...] = ()
 
     def __post_init__(self):
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
@@ -204,9 +273,20 @@ class ExperimentSpec:
             self, "profile_backends", tuple(self.profile_backends)
         )
         object.__setattr__(self, "timebases", tuple(self.timebases))
+        object.__setattr__(
+            self,
+            "traces",
+            tuple(
+                t if isinstance(t, TraceSpec) else TraceSpec.from_dict(t)
+                for t in self.traces
+            ),
+        )
+        if not self.workloads and not self.traces:
+            raise InvalidInstanceError(
+                "spec needs at least one workload or trace"
+            )
         for label, values in [
             ("algorithms", self.algorithms),
-            ("workloads", self.workloads),
             ("seeds", self.seeds),
             ("metrics", self.metrics),
             ("profile_backends", self.profile_backends),
@@ -225,6 +305,9 @@ class ExperimentSpec:
             ("workloads", tuple(
                 canonical_json(w.to_dict()) for w in self.workloads
             )),
+            ("traces", tuple(
+                canonical_json(t.to_dict()) for t in self.traces
+            )),
         ]:
             if len(set(values)) != len(values):
                 raise InvalidInstanceError(f"spec repeats a value in {label}")
@@ -235,12 +318,19 @@ class ExperimentSpec:
         per_workload = sum(
             max(1, len(list(w.expand()))) for w in self.workloads
         )
+        # trace points pin the timebase factor (replay's fast path is
+        # intrinsic), so they multiply over the other factors only
         return (
             per_workload
             * len(self.algorithms)
             * len(self.seeds)
             * len(self.profile_backends)
             * len(self.timebases)
+        ) + (
+            len(self.traces)
+            * len(self.algorithms)
+            * len(self.seeds)
+            * len(self.profile_backends)
         )
 
     def validate(self) -> None:
@@ -270,11 +360,50 @@ class ExperimentSpec:
             resolve_backend(backend)
         for timebase in self.timebases:
             check_timebase_policy(timebase)
+        if self.traces:
+            self._validate_traces()
+
+    def _validate_traces(self) -> None:
+        import os
+
+        from ..simulation.replay import REPLAY_METRIC_FIELDS
+        from ..workloads.swf import SYNTH_PROFILES
+
+        for algo in self.algorithms:
+            if not algo.startswith(ONLINE_PREFIX):
+                raise InvalidInstanceError(
+                    f"trace replay runs online policies only; algorithm "
+                    f"{algo!r} is offline — use 'online:<policy>' or move "
+                    f"the traces to their own spec"
+                )
+        for metric in self.metrics:
+            if metric not in REPLAY_METRIC_FIELDS:
+                raise InvalidInstanceError(
+                    f"metric {metric!r} is not produced by trace replay; "
+                    f"replay metrics: {sorted(REPLAY_METRIC_FIELDS)}"
+                )
+        if self.timebases != (DEFAULT_TIMEBASE,):
+            raise InvalidInstanceError(
+                "trace replay pins the timebase factor (its integer fast "
+                "path is intrinsic); use the default timebases with traces"
+            )
+        for trace in self.traces:
+            if trace.source.startswith(SYNTH_TRACE_PREFIX):
+                profile = trace.source[len(SYNTH_TRACE_PREFIX):]
+                if profile not in SYNTH_PROFILES:
+                    raise InvalidInstanceError(
+                        f"unknown synthetic trace profile {profile!r}; "
+                        f"known profiles: {', '.join(SYNTH_PROFILES)}"
+                    )
+            elif not os.path.exists(trace.source):
+                raise InvalidInstanceError(
+                    f"trace file {trace.source!r} does not exist"
+                )
 
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> Dict:
-        return {
+        out = {
             "format": SPEC_FORMAT,
             "name": self.name,
             "algorithms": list(self.algorithms),
@@ -284,6 +413,9 @@ class ExperimentSpec:
             "profile_backends": list(self.profile_backends),
             "timebases": list(self.timebases),
         }
+        if self.traces:
+            out["traces"] = [t.to_dict() for t in self.traces]
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ExperimentSpec":
@@ -295,7 +427,8 @@ class ExperimentSpec:
                 f"expected {SPEC_FORMAT!r}"
             )
         known = {"format", "name", "algorithms", "workloads", "seeds",
-                 "repeats", "metrics", "profile_backends", "timebases"}
+                 "repeats", "metrics", "profile_backends", "timebases",
+                 "traces"}
         unknown = sorted(set(data) - known)
         if unknown:
             # a typo ("seed" for "seeds") must not silently shrink a grid
@@ -317,12 +450,16 @@ class ExperimentSpec:
                 name=data.get("name", "experiment"),
                 algorithms=data["algorithms"],
                 workloads=[
-                    WorkloadSpec.from_dict(w) for w in data["workloads"]
+                    WorkloadSpec.from_dict(w)
+                    for w in data.get("workloads", [])
                 ],
                 seeds=seeds,
                 metrics=data.get("metrics", ("makespan", "ratio_lb")),
                 profile_backends=data.get("profile_backends", ("list",)),
                 timebases=data.get("timebases", (DEFAULT_TIMEBASE,)),
+                traces=[
+                    TraceSpec.from_dict(t) for t in data.get("traces", [])
+                ],
             )
         except KeyError as exc:
             raise TraceFormatError(

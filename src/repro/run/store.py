@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import os
 import warnings
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, List, Set
 
 
 class JsonlStore:

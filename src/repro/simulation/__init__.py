@@ -5,7 +5,10 @@
   queue, running set);
 * :mod:`repro.simulation.online_sim` — online policies (fcfs, easy,
   conservative, greedy/LSRC) driven by the engine, producing verified
-  schedules plus event traces.
+  schedules plus event traces;
+* :mod:`repro.simulation.replay` — rolling-horizon replay of arrival
+  *streams* (SWF traces, synthetic generators) with bounded memory and
+  windowed metrics, for traces too large to materialise.
 """
 
 from .cluster import ClusterState, RunningJob
@@ -23,6 +26,14 @@ from .online_sim import (
     policy_greedy,
     register_policy,
     simulate,
+)
+from .replay import (
+    DEFAULT_WINDOW,
+    ReplayEngine,
+    ReplayResult,
+    ReplayState,
+    replay,
+    replay_swf,
 )
 from .timeline import (
     TimelineSummary,
@@ -49,6 +60,12 @@ __all__ = [
     "policy_greedy",
     "policy_easy",
     "policy_conservative",
+    "ReplayEngine",
+    "ReplayResult",
+    "ReplayState",
+    "replay",
+    "replay_swf",
+    "DEFAULT_WINDOW",
     "TimelineSummary",
     "queue_length_timeline",
     "running_count_timeline",

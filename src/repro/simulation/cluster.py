@@ -14,8 +14,8 @@ Separating this state object from the event loop keeps the scheduling
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..core.instance import ReservationInstance
 from ..core.job import Job

@@ -29,7 +29,7 @@ the experiment layer (:mod:`repro.run`) and the CLI address them by name
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 from ..core.instance import ReservationInstance, as_reservation_instance

@@ -1,0 +1,536 @@
+"""Rolling-horizon trace replay: online policies at million-job scale.
+
+:class:`~repro.simulation.online_sim.OnlineSimulation` materialises the
+whole instance, preloads every arrival into the event calendar and keeps
+the full event trace — the right shape for paper-scale experiments, and
+exactly the wrong one for archive SWF traces (10⁵–10⁷ jobs).  This
+module is the out-of-core twin: :class:`ReplayEngine` consumes *any*
+iterator of :class:`~repro.core.job.Job` arrivals in release order
+(:func:`repro.workloads.swf.iter_swf` streams them off disk in constant
+memory, :func:`repro.workloads.swf.synth_swf_jobs` generates them), runs
+one of the registered online policies
+(:data:`repro.simulation.online_sim.POLICIES`) against a live
+availability profile, and keeps every structure bounded by the *active
+window* of the simulation rather than by trace length:
+
+* arrivals are pulled one look-ahead at a time — the trace never exists
+  in memory;
+* completed jobs are accounted into window/total aggregates and
+  forgotten — there is no ``finished`` dict and no event trace;
+* the availability profile is compacted behind the clock with
+  :meth:`~repro.core.profiles.base.ProfileBackend.prune_before` (see the
+  soundness argument there), so it holds the active segments only.
+
+Equivalence with the in-memory engine
+-------------------------------------
+The engine processes, at each distinct event time, all completions, then
+all arrivals, then one policy decision pass — the same
+completion < arrival < decision ordering the event calendar of
+:class:`~repro.simulation.engine.Simulator` enforces.  The built-in
+policies are *pass-idempotent* (a second decision pass at the same
+instant starts nothing new), so one pass per event time yields the exact
+start times ``OnlineSimulation`` produces; a hypothesis differential
+test in ``tests/test_replay.py`` asserts byte-identical schedules and
+metrics across policies, profile backends and plain/gzip ingestion.
+Third-party policies must be pass-idempotent to share that guarantee.
+
+Times pass through arithmetically untouched: integer traces (all SWF
+archives, the synthetic pack) therefore run entirely on machine ints —
+the replay face of the ``timebase="auto"`` fast path, whose scale factor
+a stream cannot compute but which is 1 for every integer trace anyway.
+
+Windowed metrics
+----------------
+Jobs are grouped into fixed-size windows by arrival index (default
+10 000).  A window's row reports its jobs' waiting times, bounded
+slowdowns, work, utilization over the window's span, and the makespan
+ratio against the certified per-window lower bound
+``max(pmax, W/m, max_i(release_i + p_i) - first_release)`` — the
+paper's ratio-vs-LB criterion applied per window.  Rows are emitted in
+window order to an optional :class:`~repro.run.store.JsonlStore` as soon
+as the trailing job of a window completes, so monitoring a multi-hour
+replay costs no memory.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from heapq import heappop, heappush
+from numbers import Integral
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.job import Job
+from ..core.metrics import BSLD_TAU, bounded_slowdown
+from ..core.profiles import BackendSpec, make_profile
+from ..errors import SchedulingError, TraceFormatError
+from .online_sim import POLICIES
+
+#: Default window size (jobs per metrics window).
+DEFAULT_WINDOW = 10_000
+
+#: Default completions between profile compactions.  Pruning is
+#: O(active segments), so a coarse cadence amortises it to O(1) per job.
+DEFAULT_PRUNE_INTERVAL = 4096
+
+#: Keys of :attr:`ReplayResult.totals` — the metric names a spec's
+#: ``traces`` factor may request (validated in
+#: :meth:`repro.run.spec.ExperimentSpec.validate`).
+REPLAY_METRIC_FIELDS = frozenset({
+    "n_jobs", "makespan", "total_work", "utilization",
+    "mean_wait", "max_wait", "mean_slowdown",
+    "mean_bounded_slowdown", "max_bounded_slowdown",
+    "lower_bound", "ratio_lb", "events", "windows",
+    "peak_queue_length", "peak_running", "peak_profile_segments",
+    "elapsed_seconds",
+})
+
+
+class ReplayState:
+    """Policy-facing cluster state for one replay run.
+
+    Implements the protocol the registered policies program against
+    (``queue`` / ``queue_in_order`` / ``can_start_now`` / ``start_job``
+    / ``earliest_start`` / ``profile``) like
+    :class:`~repro.simulation.cluster.ClusterState`, with two scale
+    adaptations: the queue is an insertion-ordered dict so committing a
+    job is O(1) instead of an O(queue) rebuild, and completed jobs are
+    dropped rather than archived.
+    """
+
+    def __init__(self, m: int, profile_backend: BackendSpec = None):
+        self.m = m
+        self.profile = make_profile([0], [m], profile_backend)
+        self.queue: Dict[object, Job] = {}
+        self.running: Dict[object, Job] = {}
+
+    # -- queue management -------------------------------------------------
+    def enqueue(self, job: Job) -> None:
+        if job.q > self.m:
+            raise SchedulingError(
+                f"job {job.id!r} requires {job.q} processors but the "
+                f"machine only has {self.m}"
+            )
+        self.queue[job.id] = job
+
+    def queue_in_order(self) -> List[Job]:
+        """Arrived jobs in submission order."""
+        return list(self.queue.values())
+
+    # -- placement --------------------------------------------------------
+    def can_start_now(self, job: Job, now) -> bool:
+        return self.profile.fits(job.q, now, job.p)
+
+    def start_job(self, job: Job, now) -> None:
+        if not self.can_start_now(job, now):
+            raise SchedulingError(
+                f"job {job.id!r} does not fit at time {now}"
+            )
+        self.profile.reserve(now, job.p, job.q)
+        self.running[job.id] = job
+        del self.queue[job.id]
+
+    def complete_job(self, job_id) -> Job:
+        job = self.running.pop(job_id, None)
+        if job is None:
+            raise SchedulingError(f"job {job_id!r} is not running")
+        return job
+
+    # -- introspection ----------------------------------------------------
+    def earliest_start(self, job: Job, now):
+        return self.profile.earliest_fit(job.q, job.p, after=now)
+
+
+class _WindowAcc:
+    """Metric accumulator for one arrival-index window."""
+
+    __slots__ = (
+        "index", "arrived", "started", "completed", "full",
+        "first_release", "last_completion", "work", "pmax",
+        "latest_lb_finish", "sum_wait", "max_wait",
+        "sum_bsld", "max_bsld",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.arrived = 0
+        self.started = 0
+        self.completed = 0
+        self.full = False          # no more arrivals will join
+        self.first_release = None
+        self.last_completion = None
+        self.work = 0
+        self.pmax = 0
+        self.latest_lb_finish = 0  # max(release + p): no window schedule beats it
+        self.sum_wait = 0
+        self.max_wait = 0
+        self.sum_bsld = 0
+        self.max_bsld = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.full and self.completed == self.arrived
+
+    def row(self, m: int) -> Dict:
+        span = self.last_completion - self.first_release
+        lb = max(
+            self.pmax,
+            self.work / m,
+            self.latest_lb_finish - self.first_release,
+        )
+        n = self.arrived
+        return {
+            "key": f"window-{self.index:08d}",
+            "window": self.index,
+            "jobs": n,
+            "t_start": self.first_release,
+            "t_end": self.last_completion,
+            "makespan": span,
+            "lower_bound": lb,
+            "ratio_lb": float(span) / float(lb) if lb else 0.0,
+            "utilization": float(self.work) / float(m * span) if span else 0.0,
+            "mean_wait": _mean(self.sum_wait, n),
+            "max_wait": self.max_wait,
+            "mean_bounded_slowdown": _mean(self.sum_bsld, n),
+            "max_bounded_slowdown": self.max_bsld,
+        }
+
+
+def _mean(total, n: int) -> float:
+    return float(total) / n if n else 0.0
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one rolling-horizon replay."""
+
+    policy: str
+    m: int
+    window_size: int
+    totals: Dict = field(default_factory=dict)
+    windows: List[Dict] = field(default_factory=list)
+    #: start times, only populated under ``record_starts=True`` (testing /
+    #: small traces — it is the one unbounded structure).
+    starts: Optional[Dict] = None
+
+    @property
+    def n_jobs(self) -> int:
+        return self.totals.get("n_jobs", 0)
+
+    @property
+    def makespan(self):
+        return self.totals.get("makespan")
+
+
+class ReplayEngine:
+    """Rolling-horizon replay of an arrival stream (see module docs).
+
+    Parameters
+    ----------
+    m:
+        Machine size the stream is replayed on.
+    policy:
+        Registered online policy name (``repro list --kind policies``).
+    profile_backend:
+        Availability structure (``"list"``/``"tree"``/class, or ``None``
+        for the module default).  Replay defaults to ``"list"``
+        explicitly: pruning keeps the profile at active-window size,
+        where flat-array splicing beats tree constants by ~3×
+        (``repro bench replay-throughput`` measures it).
+    window:
+        Jobs per metrics window (0 disables windowed rows).
+    store:
+        Optional :class:`~repro.run.store.JsonlStore` (or path) that
+        window rows and the final totals row stream to.
+    prune_interval:
+        Completions between profile compactions.
+    bsld_tau:
+        Bounded-slowdown runtime threshold.
+    record_starts:
+        Keep ``{job id: start}`` for the whole run — memory O(n); only
+        for differential tests and paper-scale traces.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        policy: str = "easy",
+        profile_backend: BackendSpec = "list",
+        window: int = DEFAULT_WINDOW,
+        store=None,
+        prune_interval: int = DEFAULT_PRUNE_INTERVAL,
+        bsld_tau=BSLD_TAU,
+        record_starts: bool = False,
+    ):
+        if m < 1:
+            raise SchedulingError(f"machine size must be >= 1, got {m!r}")
+        if window < 0:
+            raise SchedulingError(f"window must be >= 0, got {window!r}")
+        if prune_interval < 1:
+            raise SchedulingError("prune_interval must be >= 1")
+        self.m = m
+        self.policy_name = policy
+        self._policy = POLICIES.get(policy)
+        self.profile_backend = profile_backend
+        self.window = window
+        self.prune_interval = prune_interval
+        self.bsld_tau = bsld_tau
+        self.record_starts = record_starts
+        if store is not None and not hasattr(store, "append"):
+            from ..run.store import JsonlStore
+
+            store = JsonlStore(store)
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def run(self, arrivals: Iterable[Job]) -> ReplayResult:
+        started_clock = _time.perf_counter()
+        state = ReplayState(self.m, self.profile_backend)
+        heap: List[Tuple] = []   # (end time, seq, job id) completions
+        seq = 0
+        now = None
+
+        windows: Dict[int, _WindowAcc] = {}
+        window_of: Dict[object, int] = {}   # live jobs only
+        emitted: List[Dict] = []
+        next_emit = 0
+        result = ReplayResult(
+            policy=self.policy_name, m=self.m, window_size=self.window,
+            starts={} if self.record_starts else None,
+        )
+
+        # totals
+        arrived = 0
+        completed = 0
+        events = 0
+        total_work = 0
+        pmax = 0
+        latest_lb_finish = 0
+        last_completion = 0
+        sum_wait = 0
+        max_wait = 0
+        sum_slowdown = 0
+        sum_bsld = 0
+        max_bsld = 0.0
+        peak_queue = 0
+        peak_running = 0
+        peak_segments = 1
+        since_prune = 0
+
+        def current_window(index: int) -> Optional[_WindowAcc]:
+            if not self.window:
+                return None
+            w = index // self.window
+            acc = windows.get(w)
+            if acc is None:
+                acc = windows[w] = _WindowAcc(w)
+            return acc
+
+        def emit_done_windows(force: bool = False) -> None:
+            nonlocal next_emit
+            while next_emit in windows and (windows[next_emit].done or force):
+                acc = windows.pop(next_emit)
+                if acc.arrived:
+                    row = acc.row(self.m)
+                    emitted.append(row)
+                    if self.store is not None:
+                        self.store.append(row)
+                next_emit += 1
+
+        it = iter(arrivals)
+        pending = next(it, None)
+
+        while pending is not None or heap or state.queue:
+            if pending is None and not heap:
+                raise SchedulingError(
+                    f"replay stalled with {len(state.queue)} queued job(s) "
+                    "that can never start"
+                )
+            # advance the clock to the next event time
+            t_arrival = pending.release if pending is not None else None
+            t_completion = heap[0][0] if heap else None
+            if t_completion is not None and (
+                t_arrival is None or t_completion <= t_arrival
+            ):
+                now = t_completion
+            else:
+                now = t_arrival
+
+            # 1. completions at `now` free their processors first
+            while heap and heap[0][0] == now:
+                _, _, job_id = heappop(heap)
+                job = state.complete_job(job_id)
+                events += 1
+                completed += 1
+                since_prune += 1
+                last_completion = now
+                w = window_of.pop(job_id, None)
+                if w is not None:
+                    acc = windows[w]
+                    acc.completed += 1
+                    acc.last_completion = now
+                    if acc.done:
+                        emit_done_windows()
+
+            # 2. arrivals at `now` join the queue in stream order
+            while pending is not None and pending.release == now:
+                job = pending
+                state.enqueue(job)
+                events += 1
+                acc = current_window(arrived)
+                if acc is not None:
+                    window_of[job.id] = acc.index
+                    acc.arrived += 1
+                    if acc.first_release is None:
+                        acc.first_release = job.release
+                    acc.work += job.area
+                    if job.p > acc.pmax:
+                        acc.pmax = job.p
+                    finish = job.release + job.p
+                    if finish > acc.latest_lb_finish:
+                        acc.latest_lb_finish = finish
+                    if acc.arrived == self.window:
+                        acc.full = True
+                arrived += 1
+                total_work += job.area
+                if job.p > pmax:
+                    pmax = job.p
+                if job.release + job.p > latest_lb_finish:
+                    latest_lb_finish = job.release + job.p
+                pending = next(it, None)
+            if pending is None and self.window:
+                # the stream ended: the partial trailing window is full
+                for acc in windows.values():
+                    acc.full = True
+                emit_done_windows()
+
+            if len(state.queue) > peak_queue:
+                peak_queue = len(state.queue)
+
+            # 3. one decision pass (policies are pass-idempotent)
+            for job in self._policy(state, now) if state.queue else ():
+                events += 1
+                wait = now - job.release
+                sum_wait += wait
+                if wait > max_wait:
+                    max_wait = wait
+                # slowdown means are floats (order-noise accepted); the
+                # identity-tested totals stay int-exact sums
+                sum_slowdown += (wait + job.p) / job.p
+                bsld = bounded_slowdown(wait, job.p, self.bsld_tau)
+                sum_bsld += bsld
+                if bsld > max_bsld:
+                    max_bsld = bsld
+                w = window_of.get(job.id)
+                if w is not None:
+                    acc = windows[w]
+                    acc.started += 1
+                    acc.sum_wait += wait
+                    if wait > acc.max_wait:
+                        acc.max_wait = wait
+                    acc.sum_bsld += bsld
+                    if bsld > acc.max_bsld:
+                        acc.max_bsld = bsld
+                if result.starts is not None:
+                    result.starts[job.id] = now
+                seq += 1
+                heappush(heap, (now + job.p, seq, job.id))
+
+            if len(state.running) > peak_running:
+                peak_running = len(state.running)
+
+            # 4. compact the profile behind the clock (high-water sampled
+            # just before pruning: the honest peak)
+            if since_prune >= self.prune_interval:
+                since_prune = 0
+                segments = len(state.profile.breakpoints)
+                if segments > peak_segments:
+                    peak_segments = segments
+                state.profile.prune_before(now)
+
+        if self.window:
+            emit_done_windows(force=True)
+        segments = len(state.profile.breakpoints)
+        if segments > peak_segments:
+            peak_segments = segments
+
+        makespan = last_completion
+        lb = max(pmax, _exact_ratio(total_work, self.m), latest_lb_finish)
+        result.windows = emitted
+        result.totals = {
+            "n_jobs": arrived,
+            "makespan": makespan,
+            "total_work": total_work,
+            "utilization": (
+                float(total_work) / float(self.m * makespan) if makespan else 0.0
+            ),
+            "mean_wait": _mean(sum_wait, arrived),
+            "max_wait": max_wait,
+            "mean_slowdown": _mean(sum_slowdown, arrived),
+            "mean_bounded_slowdown": _mean(sum_bsld, arrived),
+            "max_bounded_slowdown": max_bsld,
+            "lower_bound": float(lb),
+            "ratio_lb": float(makespan) / float(lb) if lb else 0.0,
+            "events": events,
+            "windows": len(emitted),
+            "peak_queue_length": peak_queue,
+            "peak_running": peak_running,
+            "peak_profile_segments": peak_segments,
+            "elapsed_seconds": _time.perf_counter() - started_clock,
+        }
+        if self.store is not None:
+            self.store.append({"key": "totals", **result.totals})
+        return result
+
+
+def _exact_ratio(num, den):
+    """``num / den`` kept exact for int inputs (Fractions sum without
+    float-order noise), plain division otherwise."""
+    if isinstance(num, Integral) and isinstance(den, Integral):
+        f = Fraction(int(num), int(den))
+        return f.numerator if f.denominator == 1 else f
+    return num / den
+
+
+def replay(
+    arrivals: Iterable[Job],
+    m: int,
+    policy: str = "easy",
+    **engine_kwargs,
+) -> ReplayResult:
+    """Convenience wrapper: replay an arrival iterable on ``m`` machines."""
+    return ReplayEngine(m, policy=policy, **engine_kwargs).run(arrivals)
+
+
+def replay_swf(
+    source,
+    policy: str = "easy",
+    m: Optional[int] = None,
+    max_jobs: Optional[int] = None,
+    **engine_kwargs,
+) -> ReplayResult:
+    """Stream an SWF trace (path, ``.gz`` path or text stream) through
+    the replay engine.
+
+    The machine size comes from ``m=`` or the trace's ``; MaxProcs:``
+    header (resolved from the first arrival before the engine starts).
+    Returns the :class:`ReplayResult`; the stream's counters are
+    attached as ``totals["skipped_lines"]`` (lines dropped from the
+    stream) and ``totals["clipped_jobs"]`` (jobs replayed at reduced
+    width).
+    """
+    from itertools import chain
+
+    from ..workloads.swf import iter_swf
+
+    stream = iter_swf(source, m=m, max_jobs=max_jobs)
+    it: Iterator[Job] = iter(stream)
+    first = next(it, None)
+    if first is None:
+        raise TraceFormatError("SWF stream contains no usable jobs")
+    engine = ReplayEngine(stream.m, policy=policy, **engine_kwargs)
+    result = engine.run(chain([first], it))
+    result.totals["skipped_lines"] = stream.n_skipped
+    result.totals["clipped_jobs"] = stream.n_clipped
+    return result

@@ -9,11 +9,11 @@ trace into those piecewise-constant timelines and summary figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..core.profiles import ProfileBackend
 from ..errors import InvalidInstanceError
-from .online_sim import SimulationResult, TraceEvent
+from .online_sim import SimulationResult
 
 
 @dataclass(frozen=True)

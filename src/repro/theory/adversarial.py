@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Tuple
+from typing import List
 
 from ..core.instance import ReservationInstance, RigidInstance
 from ..core.job import Job, Reservation

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import Iterable, List, NamedTuple, Sequence
+from typing import List, NamedTuple, Sequence
 
 from ..errors import InvalidInstanceError
 

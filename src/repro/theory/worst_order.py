@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..algorithms.list_scheduling import ListScheduler
 from ..algorithms.optimal import branch_and_bound

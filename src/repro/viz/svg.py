@@ -10,7 +10,7 @@ paper's drawing.
 from __future__ import annotations
 
 import html
-from typing import Dict, List, Optional
+from typing import List
 
 from ..core.schedule import Schedule
 from ..errors import InvalidInstanceError

@@ -26,7 +26,19 @@ from .registry import (
     make_workload,
     register_workload,
 )
-from .swf import SAMPLE_SWF, SWFReadReport, read_swf, write_swf
+from .swf import (
+    SAMPLE_SWF,
+    SYNTH_PROFILES,
+    SWFReadReport,
+    SWFStream,
+    iter_swf,
+    read_swf,
+    save_swf_trace,
+    synth_swf_instance,
+    synth_swf_jobs,
+    write_swf,
+    write_swf_jobs,
+)
 from .synthetic import (
     alpha_constrained_instance,
     loguniform_instance,
@@ -48,7 +60,14 @@ __all__ = [
     "nonincreasing_staircase",
     "reservation_load",
     "read_swf",
+    "iter_swf",
     "write_swf",
+    "write_swf_jobs",
+    "save_swf_trace",
+    "synth_swf_jobs",
+    "synth_swf_instance",
+    "SYNTH_PROFILES",
+    "SWFStream",
     "SWFReadReport",
     "SAMPLE_SWF",
     "WorkloadProfile",

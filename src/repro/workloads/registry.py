@@ -26,6 +26,7 @@ from .reservations import (
     periodic_maintenance,
     random_alpha_reservations,
 )
+from .swf import SYNTH_PROFILES, synth_swf_instance
 from .synthetic import (
     alpha_constrained_instance,
     loguniform_instance,
@@ -139,3 +140,21 @@ def _poisson_online(n=20, m=16, rate=0.5, p_range=(1, 100), seed=0):
     workload (empty reservation calendar, arrivals drive the dynamics)."""
     rigid = uniform_instance(n, m, p_range=tuple(p_range), seed=seed)
     return with_poisson_releases(rigid, rate, seed=seed + 1)
+
+
+def _register_synth_swf_profiles() -> None:
+    # one registry name per named trace profile ("swf-steady", ...) so a
+    # spec can put the scenario pack straight into its workloads factor;
+    # the streaming face of the same pack is workloads.swf.synth_swf_jobs
+    for profile_name in SYNTH_PROFILES:
+        def _make(n=1000, m=256, seed=0, *, _profile=profile_name):
+            return synth_swf_instance(_profile, n=n, m=m, seed=seed)
+
+        _make.__doc__ = (
+            f"Materialised {profile_name!r} synthetic SWF trace "
+            f"(see repro.workloads.swf.synth_swf_jobs)."
+        )
+        register_workload(f"swf-{profile_name}", _make, overwrite=True)
+
+
+_register_synth_swf_profiles()

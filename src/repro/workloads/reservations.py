@@ -22,7 +22,7 @@ from typing import List, Tuple
 
 from ..core.job import Reservation
 from ..core.profiles import resolve_backend
-from ..errors import CapacityError, InvalidInstanceError
+from ..errors import InvalidInstanceError
 
 
 def periodic_maintenance(

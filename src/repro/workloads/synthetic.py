@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from ..core.instance import ReservationInstance, RigidInstance
+from ..core.instance import RigidInstance
 from ..core.job import Job
 from ..errors import InvalidInstanceError
 

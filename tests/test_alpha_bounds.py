@@ -1,6 +1,5 @@
 """Tests for the alpha-RESASCHEDULING bound formulas (Figure 4)."""
 
-import math
 from fractions import Fraction
 
 import pytest

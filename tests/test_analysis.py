@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.analysis import (
-    RatioReport,
     ascii_histogram,
     ascii_plot,
     compare_algorithms,

@@ -10,7 +10,7 @@ from repro.analysis import (
     removal_anomaly,
     shortening_anomaly,
 )
-from repro.core import ReservationInstance, RigidInstance
+from repro.core import RigidInstance
 from repro.errors import InvalidInstanceError
 
 

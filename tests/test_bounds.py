@@ -1,7 +1,6 @@
 """Tests for lower bounds — including the soundness property
 ``lower_bound(I) <= C*max(I)`` against the exhaustive solver."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.algorithms import exhaustive_optimal

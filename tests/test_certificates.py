@@ -1,6 +1,5 @@
 """Tests for the one-call paper verification battery."""
 
-import pytest
 
 from repro.analysis import verify_paper_claims
 

@@ -17,7 +17,6 @@ useful implementation checks because they couple independent code paths:
    "earliest feasible start".)
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.algorithms import (

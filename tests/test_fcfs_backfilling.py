@@ -1,6 +1,5 @@
 """Tests for FCFS and backfilling policies (Section 2.2's spectrum)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.algorithms import (

@@ -11,9 +11,8 @@ library's central algorithm.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.algorithms import ListScheduler

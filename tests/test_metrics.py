@@ -1,6 +1,5 @@
 """Tests for schedule metrics."""
 
-import pytest
 
 from repro.algorithms import list_schedule
 from repro.core import (

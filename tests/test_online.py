@@ -1,6 +1,5 @@
 """Tests for the batch-doubling online wrapper (Section 2.1)."""
 
-import pytest
 
 from repro.algorithms import (
     BatchDoublingScheduler,

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.algorithms import (
-    ListScheduler,
     preemptive_makespan,
     preemptive_schedule,
     price_of_nonpreemption,

@@ -1,7 +1,6 @@
 """Tests for the availability profile — including property tests against a
 naive reference implementation."""
 
-import math
 from fractions import Fraction
 
 import pytest

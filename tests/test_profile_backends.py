@@ -13,7 +13,6 @@ Three layers of evidence that :class:`TreeProfile` is a drop-in for
   randomized instances with mixed int/Fraction times.
 """
 
-import math
 import random
 from fractions import Fraction
 

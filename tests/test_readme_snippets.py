@@ -4,7 +4,6 @@ Documentation rots silently; executing the quickstart snippets here makes
 the README part of the test suite.
 """
 
-import pytest
 
 
 class TestReadmeQuickstart:
@@ -62,6 +61,38 @@ class TestReadmeQuickstart:
 
         report = verify_paper_claims(seed=0)
         assert report.all_passed
+
+    def test_replaying_real_traces_snippet(self, tmp_path):
+        """The snippets in README 'Replaying real traces' (shrunk sizes)."""
+        from repro.cli import main
+        from repro.run import ExperimentSpec, Runner, TraceSpec
+
+        out = str(tmp_path / "metrics.jsonl")
+        assert main([
+            "replay", "synth:heavy:2000", "-m", "256", "-p", "greedy",
+            "--window", "500", "-o", out,
+        ]) == 0
+
+        spec = ExperimentSpec(
+            name="trace-sweep",
+            algorithms=["online:easy", "online:conservative"],
+            traces=[TraceSpec("synth:heavy", params={"n": 400, "m": 64})],
+            metrics=["makespan", "utilization", "mean_bounded_slowdown",
+                     "ratio_lb"],
+        )
+        result = Runner().run(spec)
+        assert all(row["ratio_lb"] >= 1.0 for row in result.rows)
+
+    def test_trace_replay_example_spec_is_valid(self):
+        import pathlib
+
+        import repro
+        from repro.core.serialize import load_spec
+
+        example = (pathlib.Path(repro.__file__).parents[2] / "examples"
+                   / "trace_replay.json")
+        if example.exists():
+            load_spec(str(example)).validate()
 
     def test_version_is_consistent(self):
         import repro

@@ -2,7 +2,6 @@
 Figure 2) run end to end."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.algorithms import (
     ListScheduler,

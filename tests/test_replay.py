@@ -1,0 +1,524 @@
+"""Streaming trace replay: ingestion, pruning, rolling-horizon engine.
+
+The load-bearing guarantee is *differential*: chunked ``iter_swf``
+ingestion driving the bounded-memory replay engine must produce
+byte-identical schedules — and identical int-exact metrics — to the
+whole-file ``read_swf`` + ``OnlineSimulation`` path, across policies,
+profile backends and plain/gzip trace files.  A hypothesis property test
+pins that down on random traces; the unit tests cover the streaming
+reader's edge behaviour, ``prune_before`` soundness on both backends,
+the synthetic scenario pack, window metrics, the spec ``traces`` factor
+and the ``repro replay`` CLI.
+"""
+
+import gzip
+import io
+import json
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.core.metrics import summarize
+from repro.core.profiles import ListProfile, TreeProfile
+from repro.errors import SchedulingError, TraceFormatError
+from repro.run import ExperimentSpec, Runner, TraceSpec, dumps_spec, loads_spec
+from repro.simulation import OnlineSimulation, ReplayEngine, replay, replay_swf
+from repro.workloads import (
+    SYNTH_PROFILES,
+    iter_swf,
+    make_workload,
+    read_swf,
+    save_swf_trace,
+    synth_swf_instance,
+    synth_swf_jobs,
+    write_swf_jobs,
+)
+from repro.workloads.swf import _parse_swf_number
+
+
+# ---------------------------------------------------------------------------
+# SWF number parsing (non-finite rejection)
+# ---------------------------------------------------------------------------
+
+class TestParseSWFNumber:
+    def test_accepts_ints_and_decimals(self):
+        assert _parse_swf_number("42") == 42
+        assert _parse_swf_number("-1") == -1
+        assert _parse_swf_number("2.5") == 2.5
+        assert _parse_swf_number("120.0") == 120
+
+    @pytest.mark.parametrize(
+        "token", ["nan", "NaN", "inf", "-inf", "Infinity", "1e400"]
+    )
+    def test_rejects_non_finite(self, token):
+        with pytest.raises(TraceFormatError, match="non-finite"):
+            _parse_swf_number(token)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TraceFormatError, match="malformed"):
+            _parse_swf_number("12x")
+
+    def test_non_finite_line_is_skipped_and_reported(self):
+        text = (
+            "; MaxProcs: 8\n"
+            "1 0 0 nan 4 -1 -1 4 -1 -1 1 1 1 1 1 -1 -1 -1\n"
+            "2 5 0 60 2 -1 -1 2 -1 -1 1 1 1 1 1 -1 -1 -1\n"
+        )
+        report = read_swf(text)
+        assert [j.id for j in report.instance.jobs] == [2]
+        assert any("non-finite" in reason for _, reason in report.skipped)
+        stream = iter_swf(io.StringIO(text))
+        assert [j.id for j in stream] == [2]
+        assert stream.n_skipped == 1
+
+
+# ---------------------------------------------------------------------------
+# streaming reader
+# ---------------------------------------------------------------------------
+
+def _swf_text(rows, maxprocs=None):
+    lines = []
+    if maxprocs is not None:
+        lines.append(f"; MaxProcs: {maxprocs}")
+    for job_no, submit, run, procs in rows:
+        fields = [-1] * 18
+        fields[0], fields[1], fields[2] = job_no, submit, 0
+        fields[3], fields[4] = run, procs
+        lines.append(" ".join(str(v) for v in fields))
+    return "\n".join(lines) + "\n"
+
+
+class TestIterSWF:
+    def test_matches_read_swf_on_sample(self):
+        from repro.workloads import SAMPLE_SWF
+
+        whole = read_swf(SAMPLE_SWF).instance.jobs
+        streamed = tuple(iter_swf(io.StringIO(SAMPLE_SWF)))
+        assert streamed == whole
+
+    def test_needs_machine_size(self):
+        text = _swf_text([(1, 0, 10, 2)])
+        with pytest.raises(TraceFormatError, match="machine size"):
+            list(iter_swf(io.StringIO(text)))
+        # explicit m= substitutes for the missing header
+        jobs = list(iter_swf(io.StringIO(text), m=4))
+        assert jobs[0].q == 2
+
+    def test_out_of_order_submits_are_skipped(self):
+        text = _swf_text(
+            [(1, 10, 5, 1), (2, 4, 5, 1), (3, 12, 5, 1)], maxprocs=4
+        )
+        stream = iter_swf(io.StringIO(text))
+        assert [j.id for j in stream] == [1, 3]
+        assert stream.n_skipped == 1
+        assert "backwards" in stream.skipped[0][1]
+
+    def test_duplicate_ids_renamed_like_read_swf(self):
+        rows = [(1, 0, 5, 1), (1, 1, 5, 1), (1, 2, 5, 1), (7, 3, 5, 1)]
+        text = _swf_text(rows, maxprocs=4)
+        assert (
+            [j.id for j in iter_swf(io.StringIO(text))]
+            == [j.id for j in read_swf(text).instance.jobs]
+            == [1, "1+", "1++", 7]
+        )
+
+    def test_wide_jobs_clipped_and_reported(self):
+        text = _swf_text([(1, 0, 5, 9)], maxprocs=4)
+        stream = iter_swf(io.StringIO(text))
+        assert [j.q for j in stream] == [4]
+        # clipped jobs are replayed, so they are not counted as skipped
+        assert stream.n_skipped == 0
+        assert stream.n_clipped == 1
+        assert "clipped" in stream.clipped[0][1]
+
+    def test_max_jobs_truncates(self):
+        text = _swf_text([(i, i, 5, 1) for i in range(1, 9)], maxprocs=4)
+        assert len(list(iter_swf(io.StringIO(text), max_jobs=3))) == 3
+
+    def test_release_rebased_to_first_submit(self):
+        text = _swf_text([(1, 100, 5, 1), (2, 130, 5, 1)], maxprocs=4)
+        jobs = list(iter_swf(io.StringIO(text)))
+        assert [j.release for j in jobs] == [0, 30]
+
+    def test_single_pass(self):
+        text = _swf_text([(1, 0, 5, 1)], maxprocs=4)
+        stream = iter_swf(io.StringIO(text))
+        list(stream)
+        with pytest.raises(TraceFormatError, match="single-pass"):
+            list(stream)
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(TraceFormatError, match="no usable jobs"):
+            list(iter_swf(io.StringIO("; MaxProcs: 4\n")))
+
+    def test_skip_report_is_capped_but_counted(self):
+        rows = [(i, i, -1, 1) for i in range(1, 8)]  # all unusable
+        rows.append((9, 9, 5, 1))
+        text = _swf_text(rows, maxprocs=4)
+        stream = iter_swf(io.StringIO(text), max_skip_reports=3)
+        list(stream)
+        assert len(stream.skipped) == 3
+        assert stream.n_skipped == 7
+
+    def test_gzip_path_roundtrip(self, tmp_path):
+        path = tmp_path / "t.swf.gz"
+        save_swf_trace(path, synth_swf_jobs("steady", 40, m=16, seed=1), 16)
+        jobs = list(iter_swf(path))
+        assert len(jobs) == 40
+        with gzip.open(path, "rt") as fh:
+            assert read_swf(fh).instance.jobs == tuple(jobs)
+
+
+# ---------------------------------------------------------------------------
+# synthetic scenario pack
+# ---------------------------------------------------------------------------
+
+class TestSynthPack:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(TraceFormatError, match="unknown synthetic"):
+            list(synth_swf_jobs("nope", 5))
+
+    @pytest.mark.parametrize("profile", SYNTH_PROFILES)
+    def test_deterministic_and_prefix_stable(self, profile):
+        a = list(synth_swf_jobs(profile, 200, m=64, seed=9))
+        b = list(synth_swf_jobs(profile, 200, m=64, seed=9))
+        prefix = list(synth_swf_jobs(profile, 50, m=64, seed=9))
+        assert a == b
+        assert a[:50] == prefix
+        assert a != list(synth_swf_jobs(profile, 200, m=64, seed=10))
+
+    @pytest.mark.parametrize("profile", SYNTH_PROFILES)
+    def test_valid_integer_trace(self, profile):
+        jobs = list(synth_swf_jobs(profile, 300, m=64, seed=0))
+        assert all(isinstance(j.p, int) and isinstance(j.release, int)
+                   for j in jobs)
+        assert all(1 <= j.q <= 64 for j in jobs)
+        releases = [j.release for j in jobs]
+        assert releases == sorted(releases)
+
+    def test_registered_in_workload_registry(self):
+        inst = make_workload("swf-bursty", n=30, m=32, seed=4)
+        assert inst.n == 30
+        assert inst.m == 32
+
+    def test_instance_matches_stream(self):
+        inst = synth_swf_instance("heavy", n=25, m=32, seed=2)
+        assert inst.jobs == tuple(synth_swf_jobs("heavy", 25, m=32, seed=2))
+
+
+# ---------------------------------------------------------------------------
+# prune_before soundness (differential vs the unpruned reference)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("cls", [ListProfile, TreeProfile])
+class TestPruneBefore:
+    def test_post_frontier_queries_unchanged(self, cls):
+        rng = random.Random(17)
+        times = sorted(rng.sample(range(1, 400), 30))
+        caps = [rng.randint(0, 16) for _ in range(31)]
+        profile = cls([0] + times, caps)
+        reference = profile.copy()
+        frontier = 150
+        profile.prune_before(frontier)
+        assert profile.breakpoints[0] == 0
+        assert len(profile.breakpoints) <= len(reference.breakpoints)
+        for t in range(frontier, 420, 7):
+            assert profile.capacity_at(t) == reference.capacity_at(t)
+        for a in range(frontier, 400, 31):
+            b = a + rng.randint(1, 60)
+            assert profile.min_capacity(a, b) == reference.min_capacity(a, b)
+            assert profile.max_capacity_between(a, b) == \
+                reference.max_capacity_between(a, b)
+            assert profile.area(a, b) == reference.area(a, b)
+        for q in (1, 5, 17):
+            assert profile.earliest_fit(q, 9, after=frontier) == \
+                reference.earliest_fit(q, 9, after=frontier)
+        assert profile.final_capacity() == reference.final_capacity()
+
+    def test_post_frontier_mutations_unchanged(self, cls):
+        rng = random.Random(23)
+        profile = cls([0, 40, 90, 130], [12, 6, 9, 12])
+        reference = profile.copy()
+        profile.prune_before(95)
+        for _ in range(25):
+            start = rng.randint(95, 200)
+            duration = rng.randint(1, 30)
+            amount = rng.randint(0, 4)
+            if rng.random() < 0.5 and profile.min_capacity(
+                start, start + duration
+            ) >= amount:
+                profile.reserve(start, duration, amount)
+                reference.reserve(start, duration, amount)
+            else:
+                profile.add(start, duration, amount)
+                reference.add(start, duration, amount)
+            probe = rng.randint(95, 230)
+            assert profile.capacity_at(probe) == reference.capacity_at(probe)
+
+    def test_prune_to_tail_leaves_constant(self, cls):
+        profile = cls([0, 10, 20], [4, 2, 8])
+        profile.prune_before(1000)
+        assert profile.as_lists() == ([0], [8])
+
+    def test_prune_at_zero_is_noop(self, cls):
+        profile = cls([0, 10], [4, 2])
+        profile.prune_before(0)
+        assert profile.as_lists() == ([0, 10], [4, 2])
+
+    def test_prune_at_exact_breakpoint(self, cls):
+        profile = cls([0, 10, 20, 30], [4, 2, 8, 4])
+        reference = profile.copy()
+        profile.prune_before(20)
+        assert profile.as_lists() == ([0, 30], [8, 4])
+        assert profile.capacity_at(25) == reference.capacity_at(25)
+
+    def test_idempotent(self, cls):
+        profile = cls([0, 10, 20], [4, 2, 8])
+        profile.prune_before(15)
+        once = profile.as_lists()
+        profile.prune_before(15)
+        assert profile.as_lists() == once
+
+
+# ---------------------------------------------------------------------------
+# the rolling-horizon engine
+# ---------------------------------------------------------------------------
+
+class TestReplayEngine:
+    def test_totals_match_summarize(self):
+        inst = synth_swf_instance("steady", n=250, m=32, seed=6)
+        reference = OnlineSimulation(inst, policy="easy").run()
+        result = replay(
+            synth_swf_jobs("steady", 250, m=32, seed=6), 32, policy="easy",
+            window=50, record_starts=True,
+        )
+        assert result.starts == reference.schedule.starts
+        summary = summarize(reference.schedule)
+        totals = result.totals
+        assert totals["makespan"] == summary.makespan
+        assert totals["total_work"] == summary.total_work
+        assert totals["utilization"] == summary.utilization
+        assert totals["mean_wait"] == summary.mean_wait
+        assert totals["max_wait"] == summary.max_wait
+        assert totals["mean_slowdown"] == pytest.approx(summary.mean_slowdown)
+        assert totals["n_jobs"] == 250
+
+    def test_window_rows_partition_the_trace(self):
+        result = replay(
+            synth_swf_jobs("bursty", 230, m=32, seed=1), 32, window=100
+        )
+        assert [w["window"] for w in result.windows] == [0, 1, 2]
+        assert [w["jobs"] for w in result.windows] == [100, 100, 30]
+        for row in result.windows:
+            assert row["ratio_lb"] >= 1.0 or math.isclose(row["ratio_lb"], 1.0)
+            assert 0 < row["utilization"] <= 1.0
+            assert row["mean_bounded_slowdown"] >= 1.0
+
+    def test_window_zero_disables_rows(self):
+        result = replay(
+            synth_swf_jobs("steady", 60, m=16, seed=0), 16, window=0
+        )
+        assert result.windows == []
+        assert result.totals["n_jobs"] == 60
+
+    def test_rows_stream_to_jsonl_store(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        replay(
+            synth_swf_jobs("steady", 120, m=16, seed=3), 16,
+            window=50, store=str(path),
+        )
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["key"] for r in rows] == [
+            "window-00000000", "window-00000001", "window-00000002", "totals",
+        ]
+        assert rows[-1]["n_jobs"] == 120
+
+    def test_memory_stays_bounded(self):
+        result = replay(
+            synth_swf_jobs("steady", 4000, m=64, seed=0), 64,
+            prune_interval=200,
+        )
+        # without pruning the profile would hold ~2 breakpoints per job
+        assert result.totals["peak_profile_segments"] < 2000
+        assert result.starts is None
+
+    def test_impossible_job_raises(self):
+        from repro.core.job import Job
+
+        with pytest.raises(SchedulingError, match="processors"):
+            replay([Job(id=1, p=5, q=99, release=0)], 8)
+
+    def test_replay_swf_resolves_m_from_header(self, tmp_path):
+        path = tmp_path / "t.swf"
+        save_swf_trace(path, synth_swf_jobs("steady", 30, m=16, seed=0), 16)
+        result = replay_swf(path, policy="greedy")
+        assert result.m == 16
+        assert result.totals["n_jobs"] == 30
+        assert result.totals["skipped_lines"] == 0
+
+
+# ---------------------------------------------------------------------------
+# the property test: chunked streaming == whole-file, byte for byte
+# ---------------------------------------------------------------------------
+
+_job_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),     # submit gap
+        st.integers(min_value=1, max_value=40),    # runtime
+        st.integers(min_value=1, max_value=8),     # processors
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@given(
+    rows=_job_rows,
+    policy=st.sampled_from(["fcfs", "greedy", "easy", "conservative"]),
+    backend=st.sampled_from(["list", "tree"]),
+    compress=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_streamed_replay_is_byte_identical_to_in_memory(
+    tmp_path_factory, rows, policy, backend, compress
+):
+    """The tentpole guarantee: chunked gzip/plain ``iter_swf`` ingestion
+    through the pruning replay engine reproduces ``read_swf`` +
+    ``OnlineSimulation`` exactly — schedules byte for byte, metrics
+    int-exact — for every policy x backend combination."""
+    m = 8
+    submit = 0
+    swf_rows = []
+    for i, (gap, runtime, procs) in enumerate(rows, start=1):
+        submit += gap
+        swf_rows.append((i, submit, runtime, procs))
+    text = _swf_text(swf_rows, maxprocs=m)
+
+    tmp = tmp_path_factory.mktemp("trace")
+    path = tmp / ("t.swf.gz" if compress else "t.swf")
+    if compress:
+        with gzip.open(path, "wt") as fh:
+            fh.write(text)
+    else:
+        path.write_text(text)
+
+    instance = read_swf(text).instance
+    reference = OnlineSimulation(
+        instance, policy=policy, profile_backend=backend
+    ).run()
+    streamed = replay_swf(
+        path, policy=policy, profile_backend=backend,
+        window=5, prune_interval=3, record_starts=True,
+    )
+    assert streamed.starts == reference.schedule.starts
+    summary = summarize(reference.schedule)
+    assert streamed.totals["makespan"] == summary.makespan
+    assert streamed.totals["total_work"] == summary.total_work
+    assert streamed.totals["utilization"] == summary.utilization
+    assert streamed.totals["mean_wait"] == summary.mean_wait
+    assert streamed.totals["max_wait"] == summary.max_wait
+
+
+# ---------------------------------------------------------------------------
+# the traces factor of the experiment layer
+# ---------------------------------------------------------------------------
+
+class TestTracesFactor:
+    def _spec(self, **overrides):
+        base = dict(
+            name="trace-grid",
+            algorithms=("online:easy",),
+            traces=(TraceSpec("synth:steady",
+                              params={"n": 120, "m": 16, "window": 50}),),
+            metrics=("makespan", "ratio_lb", "utilization"),
+        )
+        base.update(overrides)
+        return ExperimentSpec(**base)
+
+    def test_round_trips_through_json(self):
+        spec = self._spec()
+        assert loads_spec(dumps_spec(spec)) == spec
+
+    def test_runs_and_resumes(self, tmp_path):
+        store = str(tmp_path / "rows.jsonl")
+        spec = self._spec(seeds=(0, 1))
+        first = Runner(store=store).run(spec)
+        assert first.computed == 2
+        again = Runner(store=store).run(spec)
+        assert again.computed == 0
+        assert again.skipped == 2
+        assert first.rows == again.rows
+        for row in first.rows:
+            assert row["workload"] == "trace"
+            assert row["params"]["source"] == "synth:steady"
+            assert row["ratio_lb"] >= 1.0
+
+    def test_serial_equals_parallel(self):
+        spec = self._spec(algorithms=("online:easy", "online:greedy"))
+        serial = Runner(jobs=1).run(spec)
+        parallel = Runner(jobs=2).run(spec)
+        assert serial.rows == parallel.rows
+
+    def test_file_trace_source(self, tmp_path):
+        path = str(tmp_path / "t.swf")
+        save_swf_trace(path, synth_swf_jobs("steady", 60, m=16, seed=0), 16)
+        spec = self._spec(traces=(TraceSpec(path, params={"window": 0}),))
+        result = Runner().run(spec)
+        assert result.rows[0]["makespan"] > 0
+
+    def test_offline_algorithm_rejected(self):
+        with pytest.raises(Exception, match="online policies only"):
+            self._spec(algorithms=("lsrc",)).validate()
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(Exception, match="not produced by trace replay"):
+            self._spec(metrics=("makespan", "idle_area")).validate()
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(Exception, match="does not exist"):
+            self._spec(traces=(TraceSpec("/no/such.swf"),)).validate()
+
+    def test_unknown_trace_param_rejected(self):
+        with pytest.raises(Exception, match="unknown parameter"):
+            TraceSpec("synth:steady", params={"jobs": 5})
+
+    def test_spec_needs_workloads_or_traces(self):
+        with pytest.raises(Exception, match="workload or trace"):
+            ExperimentSpec(name="empty", algorithms=("lsrc",))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestReplayCLI:
+    def test_synth_source(self, capsys, tmp_path):
+        out = str(tmp_path / "rows.jsonl")
+        code = main([
+            "replay", "synth:steady:400", "-m", "32", "-p", "greedy",
+            "--window", "100", "-o", out,
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "replayed 400 jobs" in printed
+        assert "bounded memory" in printed
+        rows = [json.loads(line)
+                for line in open(out).read().splitlines()]
+        assert rows[-1]["n_jobs"] == 400
+
+    def test_trace_file_source(self, capsys, tmp_path):
+        path = str(tmp_path / "t.swf")
+        with open(path, "w") as fh:
+            write_swf_jobs(synth_swf_jobs("bursty", 80, m=16, seed=1), 16, fh)
+        assert main(["replay", path, "-p", "easy", "--window", "0"]) == 0
+        assert "replayed 80 jobs" in capsys.readouterr().out
+
+    def test_unknown_synth_profile_errors(self, capsys):
+        assert main(["replay", "synth:warp"]) == 2
+        assert "unknown synthetic profile" in capsys.readouterr().err
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["replay", "/no/such/trace.swf"]) == 1

@@ -11,7 +11,7 @@ from repro.core import (
 )
 from repro.errors import InfeasibleScheduleError, InvalidInstanceError
 
-from conftest import random_resa, random_rigid
+from conftest import random_resa
 
 
 class TestScheduleBasics:

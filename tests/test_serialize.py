@@ -11,7 +11,6 @@ from repro.core import (
     Job,
     ReservationInstance,
     RigidInstance,
-    Schedule,
     dumps_instance,
     dumps_schedule,
     load_instance,

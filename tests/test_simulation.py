@@ -3,12 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.algorithms import (
-    ListScheduler,
-    conservative_backfill,
-    fcfs_schedule,
-    list_schedule,
-)
+from repro.algorithms import fcfs_schedule, list_schedule
 from repro.core import ReservationInstance, RigidInstance
 from repro.errors import SchedulingError
 from repro.simulation import (

@@ -220,6 +220,10 @@ WORKLOAD_PARAMS = {
     "staircase": {"n": 8, "m": 8, "steps": 3, "horizon": 40.0},
     "maintenance": {"n": 8, "m": 8, "period": 20, "duration": 5, "count": 3},
     "poisson-online": {"n": 8, "m": 8, "rate": 0.4, "p_range": (1, 10)},
+    # the synthetic SWF scenario pack (all-integer times by construction)
+    "swf-steady": {"n": 8, "m": 8},
+    "swf-bursty": {"n": 8, "m": 8},
+    "swf-heavy": {"n": 8, "m": 8},
 }
 
 

@@ -1,9 +1,8 @@
 """Tests for Gantt / SVG rendering."""
 
-import pytest
 
 from repro.algorithms import list_schedule
-from repro.core import ReservationInstance, RigidInstance, Schedule
+from repro.core import RigidInstance, Schedule
 from repro.theory import proposition2_instance
 from repro.viz import render_gantt, render_utilization, save_svg, schedule_to_svg
 

@@ -1,7 +1,6 @@
 """Tests for workload generators and SWF trace I/O."""
 
 import io
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

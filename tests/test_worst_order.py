@@ -1,6 +1,5 @@
 """Tests for the empirical worst-order analysis."""
 
-from fractions import Fraction
 
 import pytest
 
