@@ -278,38 +278,71 @@ def _cmd_swf(args) -> int:
 
 
 def _cmd_replay(args) -> int:
-    from .simulation.replay import ReplayEngine, replay_swf
-    from .workloads.swf import SYNTH_PROFILES, synth_swf_jobs
+    from .simulation.replay import (
+        DEFAULT_SYNTH_JOBS,
+        ReplayEngine,
+        parse_synth_source,
+        replay_policies,
+        replay_swf,
+    )
+    from .workloads.swf import synth_swf_jobs
+
+    policies = [p for p in args.policy.split(",") if p]
+    if not policies:
+        print("error: no policy given", file=sys.stderr)
+        return 2
+    if args.jobs > 1 and len(policies) == 1:
+        print(
+            "note: --jobs shards one worker per policy; a single-policy "
+            "replay runs serially",
+            file=sys.stderr,
+        )
+    n = None
+    if args.trace.startswith("synth:"):
+        # synth:<profile>[:<n>] replays the scenario pack directly — no
+        # trace file needed for demos and smoke runs (parsing shared
+        # with the sharded runner, so messages/defaults cannot drift)
+        try:
+            profile, parsed_n = parse_synth_source(args.trace)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        n = parsed_n if parsed_n is not None else DEFAULT_SYNTH_JOBS
+        if args.max_jobs is not None:
+            n = min(n, args.max_jobs)
+
+    if len(policies) > 1:
+        # multi-policy mode: K independent replays of the same source,
+        # sharded onto worker processes with --jobs; merged JSONL rows
+        # are byte-identical to a serial run
+        multi = replay_policies(
+            args.trace, policies, m=args.machines, jobs=args.jobs,
+            store=args.out, n=n, max_jobs=args.max_jobs, seed=args.seed,
+            window=args.window, profile_backend=args.backend,
+        )
+        for policy in policies:
+            t = multi.results[policy].totals
+            print(
+                f"{policy:>14}: {t['n_jobs']} jobs on m={multi.m}  "
+                f"Cmax={t['makespan']}  util={t['utilization']:.3f}  "
+                f"mean_wait={t['mean_wait']:.6g}  "
+                f"ratio_lb={t['ratio_lb']:.4f}  "
+                f"({t['n_jobs'] / t['elapsed_seconds']:,.0f} jobs/s)"
+            )
+        mode = (f"{min(args.jobs, len(policies))} worker processes"
+                if args.jobs > 1 else "serial")
+        print(f"{len(policies)} policies replayed ({mode})")
+        if args.out:
+            print(f"{len(multi.rows)} merged rows written to {args.out}")
+        return 0
 
     kwargs = dict(
-        policy=args.policy,
+        policy=policies[0],
         window=args.window,
         store=args.out,
         profile_backend=args.backend,
     )
-    if args.trace.startswith("synth:"):
-        # synth:<profile>[:<n>] replays the scenario pack directly — no
-        # trace file needed for demos and smoke runs
-        parts = args.trace.split(":")
-        profile = parts[1] if len(parts) > 1 else ""
-        if profile not in SYNTH_PROFILES:
-            print(
-                f"error: unknown synthetic profile {profile!r}; known: "
-                f"{', '.join(SYNTH_PROFILES)}",
-                file=sys.stderr,
-            )
-            return 2
-        try:
-            n = int(parts[2]) if len(parts) > 2 else 100_000
-        except ValueError:
-            print(
-                f"error: synthetic trace length {parts[2]!r} is not an "
-                "integer (expected synth:<profile>[:<n>])",
-                file=sys.stderr,
-            )
-            return 2
-        if args.max_jobs is not None:
-            n = min(n, args.max_jobs)
+    if n is not None:
         m = args.machines or 256
         engine = ReplayEngine(m, **kwargs)
         result = engine.run(synth_swf_jobs(profile, n, m=m, seed=args.seed))
@@ -319,7 +352,7 @@ def _cmd_replay(args) -> int:
         )
     t = result.totals
     print(
-        f"replayed {t['n_jobs']} jobs with {args.policy} on m={result.m}: "
+        f"replayed {t['n_jobs']} jobs with {policies[0]} on m={result.m}: "
         f"Cmax={t['makespan']}  util={t['utilization']:.3f}  "
         f"mean_wait={t['mean_wait']:.6g}  ratio_lb={t['ratio_lb']:.4f}"
     )
@@ -421,6 +454,8 @@ def _cmd_bench(args) -> int:
         argv.append("--quick")
     if args.check:
         argv.append("--check")
+    if args.profile:
+        argv.append("--profile")
     if args.list_benchmarks:
         argv.append("--list")
     if args.out:
@@ -564,8 +599,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "[:<n>] for the deterministic scenario pack")
     p.add_argument(
         "-p", "--policy", default="easy",
-        help="registered policy name (see 'repro list --kind policies')",
+        help="registered policy name, or a comma-separated list to "
+             "replay several policies (see 'repro list --kind policies')",
     )
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes for multi-policy replay "
+                        "(one shard per policy; output is byte-identical "
+                        "to serial)")
     p.add_argument("-m", "--machines", type=int,
                    help="machine size (default: the trace's MaxProcs "
                         "header; 256 for synthetic profiles)")
@@ -573,8 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="jobs per metrics window (0 disables windows)")
     p.add_argument("--max-jobs", type=int,
                    help="stop after this many jobs")
-    p.add_argument("--backend", default="list",
-                   help="profile backend (default: list)")
+    p.add_argument("--backend", default="auto",
+                   help="profile backend (default: auto — the int64 "
+                        "array kernel, demoting to 'list' on "
+                        "non-integral traces)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for synth:<profile> traces")
     p.add_argument("-o", "--out",
@@ -611,6 +653,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="fail on >1.5x speedup regression vs checked-in "
                         "BENCH_*.json baselines")
+    p.add_argument("--profile", action="store_true",
+                   help="wrap the benched scenario in cProfile and print "
+                        "the top-20 cumulative functions")
     p.add_argument("--repeats", type=int, default=1,
                    help="best-of-N timing")
     p.add_argument("--out", help="directory for result JSONs")

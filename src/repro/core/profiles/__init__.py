@@ -23,11 +23,21 @@ asymptotics per use case:
     mutation wins sweep-local ``reserve``/``add`` on constants (see
     ``benchmarks/bench_profile_backends.py``).
 
-Both backends implement identical semantics — exact integer capacities,
-times of any ordered numeric type, canonical merged segments — and
-compare equal whenever they represent the same function, which the
-differential tests exploit to prove schedulers produce byte-identical
-schedules under either backend.
+``"array"`` — :class:`ArrayProfile`
+    Contiguous int64 ``array('q')`` time/capacity columns with O(1)
+    offset-bump ``prune_before`` and optional numpy-vectorised wide
+    windowed min/max (a feature probe with a pure-stdlib fallback): the
+    rolling-horizon replay kernel.  **Integer-grid only** — breakpoints
+    must be machine ints (what ``timebase="auto"`` normalisation, SWF
+    archives and the synthetic pack produce); queries accept any
+    numeric, construction/mutation with ``Fraction``/``float`` times
+    raise loudly.
+
+All backends implement identical semantics — exact integer capacities,
+canonical merged segments, times of any ordered numeric type (integer
+grid only for ``"array"``) — and compare equal whenever they represent
+the same function, which the differential tests exploit to prove
+schedulers produce byte-identical schedules under any backend.
 
 When exactness costs you
 ------------------------
@@ -51,8 +61,10 @@ knowing:
 
 Pick ``"list"`` when auditing a construction step by step or writing a
 tight scheduling loop against the exact path, ``"tree"`` (the default)
-for general/analysis workloads at scale, and leave schedulers on
-``timebase="auto"`` unless you are debugging the exact path itself.
+for general/analysis workloads at scale, ``"array"`` for rolling-horizon
+sweeps on the integer grid (trace replay prunes behind its clock, where
+O(1) ``prune_before`` keeps the live window tiny), and leave schedulers
+on ``timebase="auto"`` unless you are debugging the exact path itself.
 
 Selecting a backend
 -------------------
@@ -72,10 +84,11 @@ For backward compatibility :data:`ResourceProfile` remains an alias of
 
 from __future__ import annotations
 
-from typing import Dict, Type, Union
+from typing import Dict, List, Type, Union
 
 from ...errors import InvalidInstanceError
-from .base import ProfileBackend, Segment
+from .array_backend import ArrayProfile
+from .base import ProfileBackend, Segment, Time
 from .list_backend import ListProfile
 from .tree_backend import TreeProfile
 
@@ -87,6 +100,7 @@ BackendSpec = Union[None, str, Type[ProfileBackend]]
 _BACKENDS: Dict[str, Type[ProfileBackend]] = {
     "list": ListProfile,
     "tree": TreeProfile,
+    "array": ArrayProfile,
 }
 
 #: Process-wide default.  ``"tree"`` since the differential tests prove
@@ -105,7 +119,7 @@ def register_backend(name: str, backend: Type[ProfileBackend]) -> None:
     _BACKENDS[name] = backend
 
 
-def available_backends() -> list:
+def available_backends() -> List[str]:
     """Sorted registry names."""
     return sorted(_BACKENDS)
 
@@ -157,12 +171,14 @@ def get_default_backend_name() -> str:
     return _default_backend
 
 
-def make_profile(times, caps, profile_backend: BackendSpec = None) -> ProfileBackend:
+def make_profile(times: List[Time], caps: List[int],
+                 profile_backend: BackendSpec = None) -> ProfileBackend:
     """Construct a profile on the selected (or default) backend."""
     return resolve_backend(profile_backend)(times, caps)
 
 
-def convert_profile(profile: ProfileBackend, profile_backend: BackendSpec = None) -> ProfileBackend:
+def convert_profile(profile: ProfileBackend,
+                    profile_backend: BackendSpec = None) -> ProfileBackend:
     """Re-house a profile on another backend (fresh copy either way)."""
     cls = resolve_backend(profile_backend)
     if type(profile) is cls:
@@ -174,9 +190,11 @@ def convert_profile(profile: ProfileBackend, profile_backend: BackendSpec = None
 __all__ = [
     "ProfileBackend",
     "Segment",
+    "Time",
     "ResourceProfile",
     "ListProfile",
     "TreeProfile",
+    "ArrayProfile",
     "register_backend",
     "available_backends",
     "resolve_backend",

@@ -32,6 +32,30 @@ Concrete backends subclass this ABC and implement the primitive set; the
 derived operations (``fits``, ``inverted``, ``truncated_after``, equality,
 hashing, the constructors) are shared here so all backends agree on their
 semantics by construction.
+
+Mutation-cost tradeoff (the ``_shift_window`` ledger)
+-----------------------------------------------------
+A ``reserve``/``add`` over a window covering ``w`` of the profile's ``n``
+segments costs, per backend:
+
+* ``list`` — O(w + log n): bisect to the window, one C-level slice
+  rewrite of the covered capacities, boundary-only re-merging.  PR 3
+  replaced the original O(n) full re-merge with this local
+  ``_shift_window``; the interior update is still Θ(w), so *wide*
+  windows (w → n) remain linear — that is a deliberate gate, not an
+  accident: making it sublinear needs lazy range-add aggregates, which
+  is exactly the ``tree`` backend, and duplicating that machinery in
+  the flat backend would cost its small constants.
+* ``tree`` — O(log n) lazy range add regardless of w: wins wide-window
+  *churn* asymptotically, loses narrow sweep-local mutation on
+  constants.
+* ``array`` — same O(w + log n) shape as ``list`` but on int64 columns
+  with O(1) ``prune_before``, so a rolling sweep that prunes behind its
+  clock keeps n (and hence every w) at the active-window size.
+
+``benchmarks/bench_profile_backends.py`` measures all three per
+scenario; pick the backend whose winning column matches the workload
+(see the package docstring's "choosing a backend" table).
 """
 
 from __future__ import annotations
@@ -39,14 +63,23 @@ from __future__ import annotations
 import math
 import numbers
 from bisect import bisect_right
-from typing import Iterable, Iterator, List, Optional, Tuple
+from fractions import Fraction
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ...errors import CapacityError, InvalidInstanceError
 
+#: The time types profiles are exercised with in practice.  The protocol
+#: is duck-typed (any ordered numeric with exact +/-/* works), but the
+#: alias names the supported surface for annotations and readers.
+Time = Union[int, float, Fraction]
+
 Segment = Tuple[object, object, int]  # (start, end, capacity); end may be math.inf
 
+#: One ``(start, duration, amount)`` reservation block.
+Block = Tuple[Time, Time, int]
 
-def validate_profile_inputs(times: List, caps: List[int]) -> None:
+
+def validate_profile_inputs(times: List[Time], caps: List[int]) -> None:
     """Shared construction-time validation (raises InvalidInstanceError)."""
     if not times or times[0] != 0:
         raise InvalidInstanceError("profile must start at time 0")
@@ -65,7 +98,9 @@ def validate_profile_inputs(times: List, caps: List[int]) -> None:
             )
 
 
-def merge_equal_segments(times: List, caps: List[int]) -> Tuple[List, List[int]]:
+def merge_equal_segments(
+    times: List[Time], caps: List[int]
+) -> Tuple[List[Time], List[int]]:
     """Drop breakpoints where capacity does not change (canonical form)."""
     merged_t, merged_c = [times[0]], [caps[0]]
     for t, c in zip(times[1:], caps[1:]):
@@ -75,11 +110,13 @@ def merge_equal_segments(times: List, caps: List[int]) -> Tuple[List, List[int]]
     return merged_t, merged_c
 
 
-def check_reserve_args(start, duration, amount: int, verb: str) -> None:
+def check_reserve_args(start: Time, duration: Time, amount: int,
+                       verb: str) -> None:
     """Shared argument validation for reserve/add/reserve_many."""
     if duration <= 0:
         raise InvalidInstanceError("duration must be positive")
-    if not isinstance(amount, numbers.Integral) or amount < 0:
+    if (type(amount) is not int and not isinstance(amount, numbers.Integral)) \
+            or amount < 0:
         raise InvalidInstanceError(
             f"{verb} amount must be a non-negative integer, got {amount!r}"
         )
@@ -89,7 +126,9 @@ def check_reserve_args(start, duration, amount: int, verb: str) -> None:
         raise InvalidInstanceError("reservation cannot start before time 0")
 
 
-def overlay_reservation_blocks(times: List, caps: List[int], blocks) -> Tuple[List, List[int]]:
+def overlay_reservation_blocks(
+    times: List[Time], caps: List[int], blocks: Iterable[Block]
+) -> Tuple[List[Time], List[int]]:
     """Apply many ``(start, duration, amount)`` reservations to canonical
     ``(times, caps)`` lists in **one sweep**, returning fresh merged lists.
 
@@ -99,7 +138,7 @@ def overlay_reservation_blocks(times: List, caps: List[int], blocks) -> Tuple[Li
     raised (before anything is returned, so callers stay untouched) when
     any instant would drop below zero.
     """
-    deltas: dict = {}
+    deltas: dict[Time, int] = {}
     for start, duration, amount in blocks:
         check_reserve_args(start, duration, amount, "reserved")
         if amount == 0:
@@ -110,7 +149,7 @@ def overlay_reservation_blocks(times: List, caps: List[int], blocks) -> Tuple[Li
     if not deltas:
         return list(times), list(caps)
     new_times = sorted(set(times) | set(deltas))
-    new_caps = []
+    new_caps: List[int] = []
     src = 0  # index into the existing segments
     pending = 0  # accumulated reservation depth
     for t in new_times:
@@ -140,12 +179,14 @@ class ProfileBackend:
     # constructors (shared)
     # ------------------------------------------------------------------
     @classmethod
-    def constant(cls, capacity: int):
+    def constant(cls, capacity: int) -> "ProfileBackend":
         """A machine with ``capacity`` processors free at every time."""
         return cls([0], [capacity])
 
     @classmethod
-    def from_reservations(cls, m: int, reservations: Iterable):
+    def from_reservations(
+        cls, m: int, reservations: Iterable[object]
+    ) -> "ProfileBackend":
         """Availability of an ``m``-processor machine minus its reservations.
 
         Uses the batch primitive :meth:`reserve_many`, so construction
@@ -161,9 +202,12 @@ class ProfileBackend:
         return profile
 
     @classmethod
-    def from_segments(cls, segments: Iterable[Tuple]):
+    def from_segments(
+        cls, segments: Iterable[Tuple[Time, int]]
+    ) -> "ProfileBackend":
         """Build from ``(start, capacity)`` pairs; last extends to infinity."""
-        times, caps = [], []
+        times: List[Time] = []
+        caps: List[int] = []
         for start, cap in segments:
             times.append(start)
             caps.append(cap)
@@ -172,35 +216,36 @@ class ProfileBackend:
     # ------------------------------------------------------------------
     # primitives every backend implements
     # ------------------------------------------------------------------
-    def as_lists(self) -> Tuple[List, List[int]]:
+    def as_lists(self) -> Tuple[List[Time], List[int]]:
         """Canonical ``(times, caps)`` lists (fresh copies)."""
         raise NotImplementedError
 
-    def copy(self):
+    def copy(self) -> "ProfileBackend":
         """Independent mutable copy."""
         raise NotImplementedError
 
-    def capacity_at(self, t) -> int:
+    def capacity_at(self, t: Time) -> int:
         """Number of free processors at time ``t``."""
         raise NotImplementedError
 
-    def min_capacity(self, start, end) -> int:
+    def min_capacity(self, start: Time, end: Time) -> int:
         """Minimum capacity over the window ``[start, end)``."""
         raise NotImplementedError
 
-    def area(self, start, end):
+    def area(self, start: Time, end: Time) -> Time:
         """Integral of the capacity over ``[start, end)`` (available work
         area).  Implementations locate ``start``'s segment by bisection /
         tree descent rather than scanning from time 0."""
         raise NotImplementedError
 
-    def earliest_fit(self, q: int, duration, after=0) -> Optional[object]:
+    def earliest_fit(self, q: int, duration: Time,
+                     after: Time = 0) -> Optional[Time]:
         """Earliest ``s >= after`` such that capacity is ``>= q`` throughout
         ``[s, s + duration)``; ``None`` exactly when the final (infinite)
         segment has capacity below ``q``."""
         raise NotImplementedError
 
-    def reserve(self, start, duration, amount: int) -> None:
+    def reserve(self, start: Time, duration: Time, amount: int) -> None:
         """Subtract ``amount`` processors over ``[start, start + duration)``.
 
         Raises :class:`~repro.errors.CapacityError` (leaving the profile
@@ -208,17 +253,44 @@ class ProfileBackend:
         """
         raise NotImplementedError
 
-    def add(self, start, duration, amount: int) -> None:
+    def add(self, start: Time, duration: Time, amount: int) -> None:
         """Add ``amount`` processors over ``[start, start + duration)``
         (inverse of :meth:`reserve`)."""
         raise NotImplementedError
 
-    def first_time_area_reaches(self, work, start=0):
+    def reserve_fitting(self, start: Time, duration: Time,
+                        amount: int) -> None:
+        """Commit a reservation the caller has *just verified* fits
+        (``fits(amount, start, duration)`` held with no intervening
+        mutation).  Semantically identical to :meth:`reserve`; backends
+        may skip capacity revalidation, so violating the precondition on
+        such a backend corrupts the profile instead of raising — only
+        tight scheduling loops that pair it with :meth:`fits` (the
+        replay engine's fused decision passes) should call this.
+        """
+        self.reserve(start, duration, amount)
+
+    def try_reserve(self, start: Time, duration: Time, amount: int) -> bool:
+        """Reserve ``amount`` over ``[start, start + duration)`` iff it
+        fits; returns whether it was committed.
+
+        The fused probe-and-commit of every greedy placement loop: one
+        call replaces the ``fits`` + ``reserve`` pair (which pays the
+        window location twice).  Backends override this with a variant
+        that reuses the probe's bisection for the commit.
+        """
+        if self.min_capacity(start, start + duration) < amount:
+            return False
+        self.reserve_fitting(start, duration, amount)
+        return True
+
+    def first_time_area_reaches(self, work: Time,
+                                start: Time = 0) -> Optional[Time]:
         """Smallest ``T`` with ``area(start, T) >= work`` (area bound
         support); ``None`` only on degenerate zero-tail profiles."""
         raise NotImplementedError
 
-    def prune_before(self, t) -> None:
+    def prune_before(self, t: Time) -> None:
         """Compact the profile behind the time frontier ``t``.
 
         Every breakpoint strictly before ``t`` is dropped and the
@@ -265,12 +337,12 @@ class ProfileBackend:
         """
         raise NotImplementedError
 
-    def segments(self, horizon=None) -> Iterator[Segment]:
+    def segments(self, horizon: Optional[Time] = None) -> Iterator[Segment]:
         """Yield ``(start, end, capacity)``; the last ``end`` is ``horizon``
         (if given) or ``math.inf``."""
         raise NotImplementedError
 
-    def next_breakpoint_after(self, t):
+    def next_breakpoint_after(self, t: Time) -> Optional[Time]:
         """Smallest breakpoint strictly greater than ``t``, or ``None``."""
         raise NotImplementedError
 
@@ -278,9 +350,18 @@ class ProfileBackend:
     # derived queries (shared; backends may override with faster variants)
     # ------------------------------------------------------------------
     @property
-    def breakpoints(self) -> Tuple:
+    def breakpoints(self) -> Tuple[Time, ...]:
         """The times at which capacity changes (first is always 0)."""
         return tuple(self.as_lists()[0])
+
+    def segment_count(self) -> int:
+        """Number of segments (= breakpoints) the profile holds.
+
+        Derived in O(n) here; backends with cheaper bookkeeping override
+        it (the list and array backends answer in O(1)), which is what
+        lets the replay engine keep an exact peak-size gauge.
+        """
+        return len(self.as_lists()[0])
 
     def final_capacity(self) -> int:
         """Capacity on the unbounded last segment (after every reservation)."""
@@ -294,11 +375,12 @@ class ProfileBackend:
         """Smallest capacity reached anywhere."""
         return min(self.as_lists()[1])
 
-    def fits(self, q: int, start, duration) -> bool:
+    def fits(self, q: int, start: Time, duration: Time) -> bool:
         """True when a ``q``-wide block of length ``duration`` fits at ``start``."""
         return self.min_capacity(start, start + duration) >= q
 
-    def max_capacity_between(self, start, end=None) -> int:
+    def max_capacity_between(self, start: Time,
+                             end: Optional[Time] = None) -> int:
         """Largest capacity reached on the window ``[start, end)``.
 
         ``end=None`` means "until infinity" (the suffix maximum).  This is
@@ -329,7 +411,7 @@ class ProfileBackend:
     # ------------------------------------------------------------------
     # batch mutation
     # ------------------------------------------------------------------
-    def reserve_many(self, blocks: Iterable[Tuple]) -> None:
+    def reserve_many(self, blocks: Iterable[Block]) -> None:
         """Apply many ``(start, duration, amount)`` reservations atomically.
 
         Either every block is applied or (on :class:`CapacityError` or
@@ -338,11 +420,11 @@ class ProfileBackend:
         on a capacity failure; list-based backends override this with a
         single sweep so ``k`` reservations cost one rebuild, not ``k``.
         """
-        pending: List[Tuple] = []
+        pending: List[Block] = []
         for start, duration, amount in blocks:
             check_reserve_args(start, duration, amount, "reserved")
             pending.append((start, duration, amount))
-        applied: List[Tuple] = []
+        applied: List[Block] = []
         try:
             for start, duration, amount in pending:
                 self.reserve(start, duration, amount)
@@ -356,7 +438,7 @@ class ProfileBackend:
     # ------------------------------------------------------------------
     # derived transformations (shared)
     # ------------------------------------------------------------------
-    def inverted(self, m: int):
+    def inverted(self, m: int) -> "ProfileBackend":
         """The unavailability profile ``U(t) = m - capacity(t)``.
 
         Raises when capacity exceeds ``m`` anywhere.
@@ -381,7 +463,7 @@ class ProfileBackend:
         caps = self.as_lists()[1]
         return all(a <= b for a, b in zip(caps, caps[1:]))
 
-    def truncated_after(self, horizon):
+    def truncated_after(self, horizon: Time) -> "ProfileBackend":
         """Profile equal to this one before ``horizon`` and constant after.
 
         The constant is the capacity at ``horizon``.  This is the ``I'``
@@ -391,7 +473,8 @@ class ProfileBackend:
             raise InvalidInstanceError("horizon must be >= 0")
         all_times, all_caps = self.as_lists()
         cap_at_h = self.capacity_at(horizon)
-        times, caps = [], []
+        times = []
+        caps = []
         for t, c in zip(all_times, all_caps):
             if t >= horizon:
                 break
@@ -407,12 +490,12 @@ class ProfileBackend:
     # ------------------------------------------------------------------
     # dunder (shared: backends compare by the function they represent)
     # ------------------------------------------------------------------
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, ProfileBackend):
             return NotImplemented
         return self.as_lists() == other.as_lists()
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         times, caps = self.as_lists()
         return hash((tuple(times), tuple(caps)))
 
@@ -422,7 +505,8 @@ class ProfileBackend:
         return f"{type(self).__name__}({parts})"
 
 
-def iter_segments(times: List, caps: List[int], horizon=None) -> Iterator[Segment]:
+def iter_segments(times: Sequence[Time], caps: Sequence[int],
+                  horizon: Optional[Time] = None) -> Iterator[Segment]:
     """Shared ``segments()`` semantics over canonical lists."""
     n = len(times)
     for i in range(n):

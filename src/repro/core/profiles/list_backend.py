@@ -22,8 +22,10 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ...errors import CapacityError, InvalidInstanceError
 from .base import (
+    Block,
     ProfileBackend,
     Segment,
+    Time,
     check_reserve_args,
     iter_segments,
     merge_equal_segments,
@@ -38,7 +40,8 @@ class ListProfile(ProfileBackend):
 
     __slots__ = ("_times", "_caps")
 
-    def __init__(self, times: List, caps: List[int], _validate: bool = True):
+    def __init__(self, times: List[Time], caps: List[int],
+                 _validate: bool = True) -> None:
         if _validate:
             validate_profile_inputs(times, caps)
         self._times = list(times)
@@ -52,7 +55,7 @@ class ListProfile(ProfileBackend):
         clone._caps = list(self._caps)
         return clone
 
-    def as_lists(self) -> Tuple[List, List[int]]:
+    def as_lists(self) -> Tuple[List[Time], List[int]]:
         """Canonical ``(times, caps)`` lists (fresh copies)."""
         return list(self._times), list(self._caps)
 
@@ -63,13 +66,13 @@ class ListProfile(ProfileBackend):
         """Restore the invariant that adjacent segments differ in capacity."""
         self._times, self._caps = merge_equal_segments(self._times, self._caps)
 
-    def _index_at(self, t) -> int:
+    def _index_at(self, t: Time) -> int:
         """Index of the segment containing time ``t >= 0``."""
         if t < 0:
             raise InvalidInstanceError(f"profile queried at negative time {t!r}")
         return bisect_right(self._times, t) - 1
 
-    def _ensure_breakpoint(self, t) -> int:
+    def _ensure_breakpoint(self, t: Time) -> int:
         """Split the segment containing ``t`` so ``t`` is a breakpoint.
 
         Returns the index whose segment now starts at ``t``.
@@ -81,17 +84,26 @@ class ListProfile(ProfileBackend):
         self._caps.insert(i + 1, self._caps[i])
         return i + 1
 
-    def _shift_window(self, start, end, delta: int) -> None:
+    def _shift_window(self, start: Time, end: Time, delta: int) -> None:
         """Add ``delta`` to every segment in ``[start, end)`` and restore
         canonical form *locally*: a uniform delta preserves the inequality
         between interior neighbours, so only the two window boundaries can
         need merging — reserve/add are O(window + log n), not O(n).
+
+        The interior update is a single slice rewrite (one C-level
+        splice instead of ``w`` indexed ``+=``), which keeps wide-window
+        churn competitive with the other backends; the Θ(w) shape
+        itself is the documented trade (see the mutation-cost ledger in
+        :mod:`repro.core.profiles.base`) — going sublinear needs the
+        tree backend's lazy aggregates.
         """
         i = self._ensure_breakpoint(start)
         j = self._ensure_breakpoint(end)
         caps = self._caps
-        for k in range(i, j):
-            caps[k] += delta
+        if j - i == 1:  # the common sweep-local case
+            caps[i] += delta
+        else:
+            caps[i:j] = [c + delta for c in caps[i:j]]
         if caps[j] == caps[j - 1]:
             del self._times[j]
             del caps[j]
@@ -103,13 +115,17 @@ class ListProfile(ProfileBackend):
     # queries
     # ------------------------------------------------------------------
     @property
-    def breakpoints(self) -> Tuple:
+    def breakpoints(self) -> Tuple[Time, ...]:
         """The times at which capacity changes (first is always 0)."""
         return tuple(self._times)
 
-    def capacity_at(self, t) -> int:
+    def capacity_at(self, t: Time) -> int:
         """Number of free processors at time ``t``."""
         return self._caps[self._index_at(t)]
+
+    def segment_count(self) -> int:
+        """Number of segments — O(1)."""
+        return len(self._times)
 
     def final_capacity(self) -> int:
         """Capacity on the unbounded last segment (after every reservation)."""
@@ -123,12 +139,12 @@ class ListProfile(ProfileBackend):
         """Smallest capacity reached anywhere."""
         return min(self._caps)
 
-    def segments(self, horizon=None) -> Iterator[Segment]:
+    def segments(self, horizon: Optional[Time] = None) -> Iterator[Segment]:
         """Yield ``(start, end, capacity)``; the last ``end`` is ``horizon``
         (if given) or ``math.inf``."""
         return iter_segments(self._times, self._caps, horizon)
 
-    def min_capacity(self, start, end) -> int:
+    def min_capacity(self, start: Time, end: Time) -> int:
         """Minimum capacity over the window ``[start, end)``."""
         if end <= start:
             raise InvalidInstanceError("window must have positive length")
@@ -140,7 +156,7 @@ class ListProfile(ProfileBackend):
             j += 1
         return lo
 
-    def area(self, start, end):
+    def area(self, start: Time, end: Time) -> Time:
         """Integral of the capacity over ``[start, end)``.
 
         Bisects to the segment containing ``start`` so the cost is
@@ -166,7 +182,8 @@ class ListProfile(ProfileBackend):
                 total += caps[j] * (hi - lo)
         return total
 
-    def max_capacity_between(self, start, end=None) -> int:
+    def max_capacity_between(self, start: Time,
+                             end: Optional[Time] = None) -> int:
         """Largest capacity on ``[start, end)`` (``end=None`` → infinity);
         bisects to the window like :meth:`min_capacity`."""
         if end is not None and end <= start:
@@ -184,12 +201,13 @@ class ListProfile(ProfileBackend):
             j += 1
         return hi
 
-    def next_breakpoint_after(self, t):
+    def next_breakpoint_after(self, t: Time) -> Optional[Time]:
         """Smallest breakpoint strictly greater than ``t``, or ``None``."""
         i = bisect_right(self._times, t)
         return self._times[i] if i < len(self._times) else None
 
-    def earliest_fit(self, q: int, duration, after=0) -> Optional[object]:
+    def earliest_fit(self, q: int, duration: Time,
+                     after: Time = 0) -> Optional[Time]:
         """Earliest ``s >= after`` such that capacity is ``>= q`` throughout
         ``[s, s + duration)``.
 
@@ -223,7 +241,7 @@ class ListProfile(ProfileBackend):
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def reserve(self, start, duration, amount: int) -> None:
+    def reserve(self, start: Time, duration: Time, amount: int) -> None:
         """Subtract ``amount`` processors over ``[start, start + duration)``.
 
         Raises :class:`~repro.errors.CapacityError` when any covered segment
@@ -240,7 +258,7 @@ class ListProfile(ProfileBackend):
             )
         self._shift_window(start, end, -int(amount))
 
-    def add(self, start, duration, amount: int) -> None:
+    def add(self, start: Time, duration: Time, amount: int) -> None:
         """Add ``amount`` processors over ``[start, start + duration)``.
 
         Inverse of :meth:`reserve`; used for what-if probing (EASY
@@ -251,7 +269,7 @@ class ListProfile(ProfileBackend):
             return
         self._shift_window(start, start + duration, int(amount))
 
-    def prune_before(self, t) -> None:
+    def prune_before(self, t: Time) -> None:
         """Drop breakpoints before ``t`` and re-anchor the frontier
         segment at 0 (see :meth:`ProfileBackend.prune_before` for the
         soundness contract).  One prefix deletion: O(remaining)."""
@@ -263,7 +281,7 @@ class ListProfile(ProfileBackend):
             del self._caps[:i]
         self._times[0] = 0
 
-    def reserve_many(self, blocks: Iterable[Tuple]) -> None:
+    def reserve_many(self, blocks: Iterable[Block]) -> None:
         """Apply many ``(start, duration, amount)`` reservations in one sweep.
 
         All-or-nothing: the combined result is computed first and the
@@ -279,7 +297,8 @@ class ListProfile(ProfileBackend):
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
-    def first_time_area_reaches(self, work, start=0):
+    def first_time_area_reaches(self, work: Time,
+                                start: Time = 0) -> Optional[Time]:
         """Smallest ``T`` with ``area(start, T) >= work``.
 
         Supports the reservation-aware area lower bound

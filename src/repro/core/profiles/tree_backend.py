@@ -38,12 +38,14 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from ...errors import CapacityError, InvalidInstanceError
 from .base import (
+    Block,
     ProfileBackend,
     Segment,
+    Time,
     check_reserve_args,
     merge_equal_segments,
     overlay_reservation_blocks,
@@ -52,7 +54,10 @@ from .base import (
 
 # Deterministic priority stream: treap shape (and therefore performance)
 # is reproducible run to run, while schedules never depend on it.
-_prio = random.Random(0x5EED1E55).random
+_prio: Callable[[], float] = random.Random(0x5EED1E55).random
+
+#: One effective segment: ``(key, end, cap)``; ``end`` may be ``math.inf``.
+_Triple = Tuple[Time, Time, int]
 
 
 class _Node:
@@ -61,7 +66,19 @@ class _Node:
         "mn", "mx", "flen", "farea", "lazy",
     )
 
-    def __init__(self, key, end, cap: int, prio: float):
+    key: Time
+    end: Time
+    cap: int
+    prio: float
+    left: "Optional[_Node]"
+    right: "Optional[_Node]"
+    mn: int
+    mx: int
+    flen: Time
+    farea: Time
+    lazy: int
+
+    def __init__(self, key: Time, end: Time, cap: int, prio: float) -> None:
         self.key = key
         self.end = end
         self.cap = cap
@@ -121,7 +138,8 @@ def _push(node: _Node) -> None:
         node.lazy = 0
 
 
-def _split(node: Optional[_Node], t) -> Tuple[Optional[_Node], Optional[_Node]]:
+def _split(node: Optional[_Node],
+           t: Time) -> Tuple[Optional[_Node], Optional[_Node]]:
     """Split by key: segments starting before ``t`` | starting at/after ``t``."""
     if node is None:
         return None, None
@@ -154,7 +172,9 @@ def _merge(a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
     return b
 
 
-def _cut_rightmost(node: _Node, t) -> Tuple[_Node, Optional[Tuple]]:
+def _cut_rightmost(
+    node: _Node, t: Time
+) -> Tuple[_Node, Optional[Tuple[Time, int]]]:
     """Shrink the rightmost segment to end at ``t`` when it extends past it.
 
     Returns the (re-pulled) subtree plus ``(old_end, cap)`` of the cut
@@ -173,7 +193,7 @@ def _cut_rightmost(node: _Node, t) -> Tuple[_Node, Optional[Tuple]]:
     return node, info
 
 
-def _remove_leftmost(node: _Node) -> Tuple[Optional[_Node], object]:
+def _remove_leftmost(node: _Node) -> Tuple[Optional[_Node], Time]:
     """Delete the leftmost node; returns the new subtree and its ``end``."""
     _push(node)
     if node.left is None:
@@ -183,7 +203,7 @@ def _remove_leftmost(node: _Node) -> Tuple[Optional[_Node], object]:
     return node, end
 
 
-def _extend_rightmost(node: _Node, new_end) -> _Node:
+def _extend_rightmost(node: _Node, new_end: Time) -> _Node:
     """Stretch the rightmost segment's end to ``new_end``."""
     _push(node)
     if node.right is None:
@@ -194,7 +214,7 @@ def _extend_rightmost(node: _Node, new_end) -> _Node:
     return node
 
 
-def _build(triples: List[Tuple]) -> Optional[_Node]:
+def _build(triples: List[_Triple]) -> Optional[_Node]:
     """O(n) treap construction from sorted ``(key, end, cap)`` triples."""
     spine: List[_Node] = []  # rightmost spine, root first
     for key, end, cap in triples:
@@ -218,7 +238,8 @@ class TreeProfile(ProfileBackend):
 
     __slots__ = ("_root",)
 
-    def __init__(self, times: List, caps: List[int], _validate: bool = True):
+    def __init__(self, times: List[Time], caps: List[int],
+                 _validate: bool = True) -> None:
         if _validate:
             validate_profile_inputs(times, caps)
         times, caps = merge_equal_segments(list(times), [int(c) for c in caps])
@@ -237,9 +258,9 @@ class TreeProfile(ProfileBackend):
     # ------------------------------------------------------------------
     # traversal
     # ------------------------------------------------------------------
-    def _in_order(self) -> List[Tuple]:
+    def _in_order(self) -> List[_Triple]:
         """Effective ``(key, end, cap)`` triples, left to right."""
-        out: List[Tuple] = []
+        out: List[_Triple] = []
         stack: List[Tuple[_Node, int]] = []
         node, add = self._root, 0
         while stack or node is not None:
@@ -253,12 +274,12 @@ class TreeProfile(ProfileBackend):
             node = node.right
         return out
 
-    def as_lists(self) -> Tuple[List, List[int]]:
+    def as_lists(self) -> Tuple[List[Time], List[int]]:
         """Canonical ``(times, caps)`` lists (fresh copies)."""
         triples = self._in_order()
         return [t[0] for t in triples], [t[2] for t in triples]
 
-    def segments(self, horizon=None) -> Iterator[Segment]:
+    def segments(self, horizon: Optional[Time] = None) -> Iterator[Segment]:
         """Yield ``(start, end, capacity)``; the last ``end`` is ``horizon``
         (if given) or ``math.inf``."""
         for key, end, cap in self._in_order():
@@ -269,14 +290,14 @@ class TreeProfile(ProfileBackend):
             yield (key, end, cap)
 
     @property
-    def breakpoints(self) -> Tuple:
+    def breakpoints(self) -> Tuple[Time, ...]:
         """The times at which capacity changes (first is always 0)."""
         return tuple(t[0] for t in self._in_order())
 
     # ------------------------------------------------------------------
     # point / aggregate queries
     # ------------------------------------------------------------------
-    def capacity_at(self, t) -> int:
+    def capacity_at(self, t: Time) -> int:
         """Number of free processors at time ``t``."""
         if t < 0:
             raise InvalidInstanceError(f"profile queried at negative time {t!r}")
@@ -310,7 +331,7 @@ class TreeProfile(ProfileBackend):
         """Smallest capacity reached anywhere."""
         return self._root.mn
 
-    def next_breakpoint_after(self, t):
+    def next_breakpoint_after(self, t: Time) -> Optional[Time]:
         """Smallest breakpoint strictly greater than ``t``, or ``None``."""
         node, best = self._root, None
         while node is not None:
@@ -321,7 +342,7 @@ class TreeProfile(ProfileBackend):
                 node = node.right
         return best
 
-    def min_capacity(self, start, end) -> int:
+    def min_capacity(self, start: Time, end: Time) -> int:
         """Minimum capacity over the window ``[start, end)``."""
         if end <= start:
             raise InvalidInstanceError("window must have positive length")
@@ -331,7 +352,8 @@ class TreeProfile(ProfileBackend):
             )
         return _range_min(self._root, 0, 0, math.inf, start, end)
 
-    def max_capacity_between(self, start, end=None) -> int:
+    def max_capacity_between(self, start: Time,
+                             end: Optional[Time] = None) -> int:
         """Largest capacity on ``[start, end)`` (``end=None`` → infinity),
         answered from the ``mx`` subtree aggregates in O(log n).
 
@@ -349,7 +371,7 @@ class TreeProfile(ProfileBackend):
             raise InvalidInstanceError("window must have positive length")
         return _range_max(self._root, 0, 0, math.inf, start, end)
 
-    def area(self, start, end):
+    def area(self, start: Time, end: Time) -> Time:
         """Integral of the capacity over ``[start, end)`` (O(log n))."""
         if end < start:
             raise InvalidInstanceError("area window must be ordered")
@@ -360,12 +382,13 @@ class TreeProfile(ProfileBackend):
     # ------------------------------------------------------------------
     # earliest fit
     # ------------------------------------------------------------------
-    def _next_key(self, t, q: int, want_ge: bool):
+    def _next_key(self, t: Time, q: int, want_ge: bool) -> Optional[Time]:
         """Smallest segment start ``> t`` whose capacity is ``>= q``
         (``want_ge``) or ``< q`` (otherwise); ``None`` when none exists."""
         return _next_key(self._root, 0, t, q, want_ge)
 
-    def earliest_fit(self, q: int, duration, after=0) -> Optional[object]:
+    def earliest_fit(self, q: int, duration: Time,
+                     after: Time = 0) -> Optional[Time]:
         """Earliest ``s >= after`` such that capacity is ``>= q`` throughout
         ``[s, s + duration)``; ``None`` exactly when the final (infinite)
         segment has capacity below ``q``.
@@ -392,7 +415,9 @@ class TreeProfile(ProfileBackend):
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def _split_cut(self, node: Optional[_Node], t):
+    def _split_cut(
+        self, node: Optional[_Node], t: Time
+    ) -> Tuple[Optional[_Node], Optional[_Node]]:
         """Split so the left part covers exactly ``[.., t)``: the segment
         straddling ``t`` (if any) is cut in two."""
         left, right = _split(node, t)
@@ -403,7 +428,7 @@ class TreeProfile(ProfileBackend):
                 right = _merge(_Node(t, old_end, cap, _prio()), right)
         return left, right
 
-    def _coalesce(self, t) -> None:
+    def _coalesce(self, t: Time) -> None:
         """Merge the segments meeting at ``t`` when their capacities agree,
         restoring canonical form after a boundary update."""
         if t == 0 or not (t < math.inf):
@@ -427,7 +452,8 @@ class TreeProfile(ProfileBackend):
             left = _extend_rightmost(left, removed_end)
         self._root = _merge(left, right)
 
-    def _range_update(self, start, end, delta: int, require: int) -> None:
+    def _range_update(self, start: Time, end: Time, delta: int,
+                      require: int) -> None:
         """Shared body of reserve/add: cut out ``[start, end)``, check its
         minimum against ``require``, shift it by ``delta``, stitch back."""
         left, rest = self._split_cut(self._root, start)
@@ -447,7 +473,7 @@ class TreeProfile(ProfileBackend):
         self._coalesce(start)
         self._coalesce(end)
 
-    def reserve(self, start, duration, amount: int) -> None:
+    def reserve(self, start: Time, duration: Time, amount: int) -> None:
         """Subtract ``amount`` processors over ``[start, start + duration)``.
 
         Raises :class:`~repro.errors.CapacityError` when any covered segment
@@ -458,7 +484,7 @@ class TreeProfile(ProfileBackend):
             return
         self._range_update(start, start + duration, -int(amount), int(amount))
 
-    def add(self, start, duration, amount: int) -> None:
+    def add(self, start: Time, duration: Time, amount: int) -> None:
         """Add ``amount`` processors over ``[start, start + duration)``
         (inverse of :meth:`reserve`)."""
         check_reserve_args(start, duration, amount, "added")
@@ -466,7 +492,7 @@ class TreeProfile(ProfileBackend):
             return
         self._range_update(start, start + duration, int(amount), 0)
 
-    def prune_before(self, t) -> None:
+    def prune_before(self, t: Time) -> None:
         """Drop segments before ``t`` and re-anchor the frontier segment
         at 0 (see :meth:`ProfileBackend.prune_before` for the soundness
         contract).
@@ -495,7 +521,7 @@ class TreeProfile(ProfileBackend):
         kept[0] = (0, first_end, first_cap)
         self._root = _build(kept)
 
-    def reserve_many(self, blocks) -> None:
+    def reserve_many(self, blocks: Iterable[Block]) -> None:
         """Apply many ``(start, duration, amount)`` reservations atomically
         in a single sweep.
 
@@ -519,7 +545,8 @@ class TreeProfile(ProfileBackend):
     # ------------------------------------------------------------------
     # derived quantities
     # ------------------------------------------------------------------
-    def first_time_area_reaches(self, work, start=0):
+    def first_time_area_reaches(self, work: Time,
+                                start: Time = 0) -> Optional[Time]:
         """Smallest ``T`` with ``area(start, T) >= work`` (O(log n) descent
         over the area aggregates)."""
         if work <= 0:
@@ -550,7 +577,8 @@ class TreeProfile(ProfileBackend):
             node, add = node.right, child_add
         return None  # pragma: no cover - the last segment is infinite
 
-    def _crossing_time(self, key, start, work, cap):
+    def _crossing_time(self, key: Time, start: Time, work: Time,
+                       cap: int) -> Time:
         """Time within the crossing segment at which the area hits ``work``.
 
         Re-derives the accumulator relative to ``start`` with the same
@@ -566,7 +594,8 @@ class TreeProfile(ProfileBackend):
 # read-only descents (no structural mutation, lazies carried as an offset)
 # ---------------------------------------------------------------------------
 
-def _range_min(node, add, span_lo, span_hi, lo, hi):
+def _range_min(node: Optional[_Node], add: int, span_lo: Time,
+               span_hi: Time, lo: Time, hi: Time) -> Optional[int]:
     """Minimum effective capacity over segments intersecting ``[lo, hi)``;
     the subtree under ``node`` covers exactly ``[span_lo, span_hi)``."""
     if node is None or span_hi <= lo or span_lo >= hi:
@@ -585,7 +614,8 @@ def _range_min(node, add, span_lo, span_hi, lo, hi):
     return best
 
 
-def _range_max(node, add, span_lo, span_hi, lo, hi):
+def _range_max(node: Optional[_Node], add: int, span_lo: Time,
+               span_hi: Time, lo: Time, hi: Time) -> Optional[int]:
     """Maximum effective capacity over segments intersecting ``[lo, hi)``;
     mirror image of :func:`_range_min` over the ``mx`` aggregate."""
     if node is None or span_hi <= lo or span_lo >= hi:
@@ -604,7 +634,8 @@ def _range_max(node, add, span_lo, span_hi, lo, hi):
     return best
 
 
-def _range_area(node, add, span_lo, span_hi, lo, hi):
+def _range_area(node: Optional[_Node], add: int, span_lo: Time,
+                span_hi: Time, lo: Time, hi: Time) -> Time:
     """Capacity-area over ``[lo, hi)`` (finite window) under ``node``."""
     if node is None or span_hi <= lo or span_lo >= hi:
         return 0
@@ -621,7 +652,8 @@ def _range_area(node, add, span_lo, span_hi, lo, hi):
     return total + _range_area(node.right, child_add, node.end, span_hi, lo, hi)
 
 
-def _next_key(node, add, t, q, want_ge):
+def _next_key(node: Optional[_Node], add: int, t: Time, q: int,
+              want_ge: bool) -> Optional[Time]:
     """Smallest key ``> t`` with ``cap >= q`` (``want_ge``) or ``cap < q``."""
     if node is None:
         return None

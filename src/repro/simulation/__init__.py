@@ -29,10 +29,12 @@ from .online_sim import (
 )
 from .replay import (
     DEFAULT_WINDOW,
+    MultiReplayResult,
     ReplayEngine,
     ReplayResult,
     ReplayState,
     replay,
+    replay_policies,
     replay_swf,
 )
 from .timeline import (
@@ -63,7 +65,9 @@ __all__ = [
     "ReplayEngine",
     "ReplayResult",
     "ReplayState",
+    "MultiReplayResult",
     "replay",
+    "replay_policies",
     "replay_swf",
     "DEFAULT_WINDOW",
     "TimelineSummary",

@@ -39,6 +39,33 @@ archives, the synthetic pack) therefore run entirely on machine ints —
 the replay face of the ``timebase="auto"`` fast path, whose scale factor
 a stream cannot compute but which is 1 for every integer trace anyway.
 
+The hot path (the flat-array kernel + calendar queue)
+-----------------------------------------------------
+Two structures bound the per-event cost:
+
+* the availability profile defaults to ``profile_backend="auto"``: the
+  int64 flat-column :class:`~repro.core.profiles.ArrayProfile`, whose
+  O(1) ``prune_before`` lets the engine compact behind the clock on
+  *every* completion instead of every few thousand, keeping the live
+  window at active-jobs size (a trace that turns out non-integral
+  demotes to the exact ``"list"`` backend mid-stream — profile state
+  converts losslessly, so results are unchanged);
+* completions live in a **bucketed calendar queue** — a dict from end
+  time to the jobs finishing then, plus a heap of *distinct* end times —
+  so simultaneous completions cost one heap operation instead of one
+  each, and the per-event peek is a list index.  The PR-4 per-job heap
+  remains available as ``completion_queue="heap"``: it is the A/B
+  reference the ``replay-throughput`` benchmark gate measures against,
+  and both modes are asserted row-identical.
+
+``repro replay`` can also run **several policies at once** — serially,
+or sharded across worker processes with ``--jobs N``
+(:func:`replay_policies`): each policy's replay is independent, workers
+return their per-window aggregates, and the merged JSONL rows are
+written policy by policy in declaration order, so serial and sharded
+output files are byte-identical (volatile wall-clock fields are kept
+out of the merged rows).
+
 Windowed metrics
 ----------------
 Jobs are grouped into fixed-size windows by arrival index (default
@@ -63,16 +90,25 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.job import Job
 from ..core.metrics import BSLD_TAU, bounded_slowdown
-from ..core.profiles import BackendSpec, make_profile
-from ..errors import SchedulingError, TraceFormatError
+from ..core.profiles import BackendSpec, convert_profile, make_profile
+from ..errors import CapacityError, SchedulingError, TraceFormatError
 from .online_sim import POLICIES
 
 #: Default window size (jobs per metrics window).
 DEFAULT_WINDOW = 10_000
 
-#: Default completions between profile compactions.  Pruning is
-#: O(active segments), so a coarse cadence amortises it to O(1) per job.
+#: Default completions between profile compactions for backends whose
+#: ``prune_before`` is O(active segments).  Pruning at a coarse cadence
+#: amortises it to O(1) per job; backends advertising ``CHEAP_PRUNE``
+#: (the array backend's O(1) offset bump) are pruned on every
+#: completion instead, which keeps the live profile at active-window
+#: size and this constant irrelevant to them.
 DEFAULT_PRUNE_INTERVAL = 4096
+
+#: ``totals`` fields excluded from the merged multi-policy JSONL rows:
+#: anything wall-clock-dependent would break the byte-identity of
+#: serial vs sharded output.
+VOLATILE_TOTAL_FIELDS = frozenset({"elapsed_seconds"})
 
 #: Keys of :attr:`ReplayResult.totals` — the metric names a spec's
 #: ``traces`` factor may request (validated in
@@ -123,11 +159,14 @@ class ReplayState:
         return self.profile.fits(job.q, now, job.p)
 
     def start_job(self, job: Job, now) -> None:
-        if not self.can_start_now(job, now):
+        # `reserve` re-validates capacity atomically, so committing costs
+        # one windowed min instead of the former check-then-reserve two.
+        try:
+            self.profile.reserve(now, job.p, job.q)
+        except CapacityError:
             raise SchedulingError(
                 f"job {job.id!r} does not fit at time {now}"
-            )
-        self.profile.reserve(now, job.p, job.q)
+            ) from None
         self.running[job.id] = job
         del self.queue[job.id]
 
@@ -140,6 +179,29 @@ class ReplayState:
     # -- introspection ----------------------------------------------------
     def earliest_start(self, job: Job, now):
         return self.profile.earliest_fit(job.q, job.p, after=now)
+
+
+# ---------------------------------------------------------------------------
+# fused decision-pass dispatch
+# ---------------------------------------------------------------------------
+
+def _fused_policy_kind(policy) -> Optional[str]:
+    """Which fused in-engine loop implements ``policy`` — ``None`` for
+    policies without one (they run through the generic loop).
+
+    Dispatch is by *registered function object*: re-registering a
+    built-in name under a custom function transparently routes it back
+    to the generic loop.
+    """
+    from .online_sim import policy_easy, policy_fcfs, policy_greedy
+
+    if policy is policy_fcfs:
+        return "fcfs"
+    if policy is policy_greedy:
+        return "greedy"
+    if policy is policy_easy:
+        return "easy"
+    return None
 
 
 class _WindowAcc:
@@ -233,35 +295,54 @@ class ReplayEngine:
     policy:
         Registered online policy name (``repro list --kind policies``).
     profile_backend:
-        Availability structure (``"list"``/``"tree"``/class, or ``None``
-        for the module default).  Replay defaults to ``"list"``
-        explicitly: pruning keeps the profile at active-window size,
-        where flat-array splicing beats tree constants by ~3×
-        (``repro bench replay-throughput`` measures it).
+        Availability structure (``"list"``/``"tree"``/``"array"``/class,
+        ``None`` for the module default, or the replay-specific
+        ``"auto"``, the default).  ``"auto"`` starts on the int64
+        flat-array kernel — pruned O(1) behind the clock on every
+        completion, it holds only the active window, where flat columns
+        beat both exact backends — and demotes the live profile to the
+        exact ``"list"`` backend the moment a non-integral job time
+        appears (conversion preserves the represented function, so
+        results are identical; integer traces never demote).
     window:
         Jobs per metrics window (0 disables windowed rows).
     store:
         Optional :class:`~repro.run.store.JsonlStore` (or path) that
         window rows and the final totals row stream to.
     prune_interval:
-        Completions between profile compactions.
+        Completions between profile compactions (cheap-prune backends
+        compact every completion regardless; see
+        :data:`DEFAULT_PRUNE_INTERVAL`).
     bsld_tau:
         Bounded-slowdown runtime threshold.
     record_starts:
         Keep ``{job id: start}`` for the whole run — memory O(n); only
         for differential tests and paper-scale traces.
+    completion_queue:
+        ``"calendar"`` (default) buckets completions by end time with a
+        heap of distinct times; ``"heap"`` is the PR-4 per-job heap,
+        kept as the A/B reference for the throughput benchmark.  Both
+        orderings are identical (same-time completions pop in start
+        order either way).
+    fused_policies:
+        Dispatch built-in policies to their fused in-engine twins
+        (identical semantics, fewer indirection layers; see the module
+        docs).  ``False`` forces the generic registry functions — the
+        A/B reference configuration.
     """
 
     def __init__(
         self,
         m: int,
         policy: str = "easy",
-        profile_backend: BackendSpec = "list",
+        profile_backend: BackendSpec = "auto",
         window: int = DEFAULT_WINDOW,
         store=None,
         prune_interval: int = DEFAULT_PRUNE_INTERVAL,
         bsld_tau=BSLD_TAU,
         record_starts: bool = False,
+        completion_queue: str = "calendar",
+        fused_policies: bool = True,
     ):
         if m < 1:
             raise SchedulingError(f"machine size must be >= 1, got {m!r}")
@@ -269,6 +350,11 @@ class ReplayEngine:
             raise SchedulingError(f"window must be >= 0, got {window!r}")
         if prune_interval < 1:
             raise SchedulingError("prune_interval must be >= 1")
+        if completion_queue not in ("calendar", "heap"):
+            raise SchedulingError(
+                f"completion_queue must be 'calendar' or 'heap', "
+                f"got {completion_queue!r}"
+            )
         self.m = m
         self.policy_name = policy
         self._policy = POLICIES.get(policy)
@@ -277,6 +363,8 @@ class ReplayEngine:
         self.prune_interval = prune_interval
         self.bsld_tau = bsld_tau
         self.record_starts = record_starts
+        self.completion_queue = completion_queue
+        self.fused_policies = fused_policies
         if store is not None and not hasattr(store, "append"):
             from ..run.store import JsonlStore
 
@@ -285,9 +373,42 @@ class ReplayEngine:
 
     # ------------------------------------------------------------------
     def run(self, arrivals: Iterable[Job]) -> ReplayResult:
+        """Replay ``arrivals``; returns the :class:`ReplayResult`.
+
+        Dispatches to the fused hot loop (:meth:`_run_fused`) when the
+        policy is a built-in with a fused twin and the calendar queue is
+        active; the generic loop remains the reference implementation
+        for custom policies, the heap queue and ``fused_policies=False``
+        — both produce identical rows (differential-tested).
+        """
+        if (
+            self.fused_policies
+            and self.completion_queue == "calendar"
+            and _fused_policy_kind(self._policy) is not None
+        ):
+            return self._run_fused(arrivals)
+        return self._run_generic(arrivals)
+
+    def _run_generic(self, arrivals: Iterable[Job]) -> ReplayResult:
         started_clock = _time.perf_counter()
-        state = ReplayState(self.m, self.profile_backend)
-        heap: List[Tuple] = []   # (end time, seq, job id) completions
+        backend: BackendSpec = self.profile_backend
+        auto_backend = backend == "auto"
+        if auto_backend:
+            backend = "array"
+        state = ReplayState(self.m, backend)
+        # `auto` watches for non-integral job times and demotes the live
+        # profile to the exact list backend before they reach the int64
+        # columns; an explicit backend choice is honoured (and loud).
+        watch_times = auto_backend and getattr(
+            state.profile, "CHEAP_PRUNE", False
+        )
+        cheap_prune = getattr(state.profile, "CHEAP_PRUNE", False)
+        use_heap = self.completion_queue == "heap"
+        decide = self._policy
+        queue = state.queue  # the dict object is stable for the run
+        heap: List[Tuple] = []       # heap mode: (end time, seq, job id)
+        buckets: Dict = {}           # calendar mode: end time -> [jobs]
+        time_heap: List = []         # calendar mode: distinct end times
         seq = 0
         now = None
 
@@ -317,6 +438,7 @@ class ReplayEngine:
         peak_running = 0
         peak_segments = 1
         since_prune = 0
+        pruned_to = 0   # completions already compacted behind
 
         def current_window(index: int) -> Optional[_WindowAcc]:
             if not self.window:
@@ -341,15 +463,19 @@ class ReplayEngine:
         it = iter(arrivals)
         pending = next(it, None)
 
-        while pending is not None or heap or state.queue:
-            if pending is None and not heap:
+        running = state.running
+        while pending is not None or heap or time_heap or queue:
+            if pending is None and not heap and not time_heap:
                 raise SchedulingError(
                     f"replay stalled with {len(state.queue)} queued job(s) "
                     "that can never start"
                 )
             # advance the clock to the next event time
             t_arrival = pending.release if pending is not None else None
-            t_completion = heap[0][0] if heap else None
+            if use_heap:
+                t_completion = heap[0][0] if heap else None
+            else:
+                t_completion = time_heap[0] if time_heap else None
             if t_completion is not None and (
                 t_arrival is None or t_completion <= t_arrival
             ):
@@ -358,24 +484,50 @@ class ReplayEngine:
                 now = t_arrival
 
             # 1. completions at `now` free their processors first
-            while heap and heap[0][0] == now:
-                _, _, job_id = heappop(heap)
-                job = state.complete_job(job_id)
-                events += 1
-                completed += 1
-                since_prune += 1
-                last_completion = now
-                w = window_of.pop(job_id, None)
-                if w is not None:
-                    acc = windows[w]
-                    acc.completed += 1
-                    acc.last_completion = now
-                    if acc.done:
-                        emit_done_windows()
+            if use_heap:
+                while heap and heap[0][0] == now:
+                    _, _, job_id = heappop(heap)
+                    state.complete_job(job_id)
+                    events += 1
+                    completed += 1
+                    since_prune += 1
+                    last_completion = now
+                    w = window_of.pop(job_id, None)
+                    if w is not None:
+                        acc = windows[w]
+                        acc.completed += 1
+                        acc.last_completion = now
+                        if acc.done:
+                            emit_done_windows()
+            elif time_heap and time_heap[0] == now:
+                # one bucket holds every job finishing at `now`, in start
+                # order — a single heap pop serves them all
+                heappop(time_heap)
+                for job in buckets.pop(now):
+                    job_id = job.id
+                    del running[job_id]
+                    events += 1
+                    completed += 1
+                    since_prune += 1
+                    last_completion = now
+                    w = window_of.pop(job_id, None)
+                    if w is not None:
+                        acc = windows[w]
+                        acc.completed += 1
+                        acc.last_completion = now
+                        if acc.done:
+                            emit_done_windows()
 
             # 2. arrivals at `now` join the queue in stream order
             while pending is not None and pending.release == now:
                 job = pending
+                if watch_times and not (
+                    type(job.p) is int and type(job.release) is int
+                ):
+                    # non-integral trace: demote the live profile to the
+                    # exact list backend (state converts losslessly)
+                    state.profile = convert_profile(state.profile, "list")
+                    watch_times = cheap_prune = False
                 state.enqueue(job)
                 events += 1
                 acc = current_window(arrived)
@@ -405,11 +557,11 @@ class ReplayEngine:
                     acc.full = True
                 emit_done_windows()
 
-            if len(state.queue) > peak_queue:
-                peak_queue = len(state.queue)
+            if len(queue) > peak_queue:
+                peak_queue = len(queue)
 
             # 3. one decision pass (policies are pass-idempotent)
-            for job in self._policy(state, now) if state.queue else ():
+            for job in decide(state, now) if queue else ():
                 events += 1
                 wait = now - job.release
                 sum_wait += wait
@@ -434,27 +586,497 @@ class ReplayEngine:
                         acc.max_bsld = bsld
                 if result.starts is not None:
                     result.starts[job.id] = now
-                seq += 1
-                heappush(heap, (now + job.p, seq, job.id))
+                end = now + job.p
+                if use_heap:
+                    seq += 1
+                    heappush(heap, (end, seq, job.id))
+                else:
+                    bucket = buckets.get(end)
+                    if bucket is None:
+                        buckets[end] = [job]
+                        heappush(time_heap, end)
+                    else:
+                        bucket.append(job)
 
-            if len(state.running) > peak_running:
-                peak_running = len(state.running)
+            if len(running) > peak_running:
+                peak_running = len(running)
 
             # 4. compact the profile behind the clock (high-water sampled
-            # just before pruning: the honest peak)
-            if since_prune >= self.prune_interval:
+            # just before pruning: the honest peak — cheap-prune backends
+            # compact on every completion event, so the gauge is sampled
+            # on a cadence)
+            if cheap_prune:
+                # O(1) prune and O(1) size probe: sample before every
+                # compaction, so the peak gauge is exact
+                if completed != pruned_to:
+                    pruned_to = completed
+                    segments = state.profile.segment_count()
+                    if segments > peak_segments:
+                        peak_segments = segments
+                    state.profile.prune_before(now)
+            elif since_prune >= self.prune_interval:
                 since_prune = 0
-                segments = len(state.profile.breakpoints)
+                segments = state.profile.segment_count()
                 if segments > peak_segments:
                     peak_segments = segments
                 state.profile.prune_before(now)
 
         if self.window:
             emit_done_windows(force=True)
-        segments = len(state.profile.breakpoints)
+        segments = state.profile.segment_count()
         if segments > peak_segments:
             peak_segments = segments
 
+        return self._finalize(
+            result, emitted, started_clock,
+            arrived=arrived, events=events, total_work=total_work,
+            pmax=pmax, latest_lb_finish=latest_lb_finish,
+            last_completion=last_completion, sum_wait=sum_wait,
+            max_wait=max_wait, sum_slowdown=sum_slowdown,
+            sum_bsld=sum_bsld, max_bsld=max_bsld, peak_queue=peak_queue,
+            peak_running=peak_running, peak_segments=peak_segments,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_fused(self, arrivals: Iterable[Job]) -> ReplayResult:
+        """The fused hot loop: the built-in policy's decision pass is
+        inlined into the event loop, placement goes through the
+        profile's single-bisect :meth:`~repro.core.profiles.base.
+        ProfileBackend.try_reserve`, EASY's shadow reservation is
+        replaced by the equivalent three-window queries (no mutation
+        churn), and the calendar queue stores Job objects directly so
+        there is no separate running dict.  Semantically identical to
+        :meth:`_run_generic` — the differential tests and the
+        ``replay-throughput`` identity matrix assert equal rows."""
+        started_clock = _time.perf_counter()
+        m = self.m
+        backend: BackendSpec = self.profile_backend
+        auto_backend = backend == "auto"
+        if auto_backend:
+            backend = "array"
+        profile = make_profile([0], [m], backend)
+        watch_times = auto_backend and getattr(profile, "CHEAP_PRUNE", False)
+        cheap_prune = getattr(profile, "CHEAP_PRUNE", False)
+        kind = _fused_policy_kind(self._policy)
+        easy = kind == "easy"
+        greedy = kind == "greedy"
+
+        try_reserve = profile.try_reserve
+        reserve_fitting = profile.reserve_fitting
+        earliest_fit = profile.earliest_fit
+        min_capacity = profile.min_capacity
+        capacity_at = profile.capacity_at
+        fits = profile.fits
+        prune = profile.prune_before
+        seg_count = profile.segment_count
+
+        queue: Dict[object, Job] = {}
+        buckets: Dict = {}           # end time -> jobs finishing then
+        time_heap: List = []         # distinct end times
+        now = None
+        blocked_id: object = None    # easy: memoised blocked head ...
+        blocked_until = 0            # ... and its exact earliest fit
+        # arrival-side accumulators of the window currently filling —
+        # arrivals are strictly sequential by index, so these live in
+        # locals and flush into the _WindowAcc at rollover/stream end
+        cur_acc = None
+        wa_arrived = wa_work = wa_pmax = wa_latest = 0
+        wa_first = None
+
+        window = self.window
+        prune_interval = self.prune_interval
+        bsld_tau = self.bsld_tau
+        store = self.store
+        windows: Dict[int, _WindowAcc] = {}
+        #: live jobs only; values are the accumulator objects themselves
+        window_of: Dict[object, _WindowAcc] = {}
+        emitted: List[Dict] = []
+        next_emit = 0
+        result = ReplayResult(
+            policy=self.policy_name, m=m, window_size=window,
+            starts={} if self.record_starts else None,
+        )
+        record = result.starts
+
+        # totals
+        arrived = 0
+        completed = 0
+        total_work = 0
+        pmax = 0
+        latest_lb_finish = 0
+        last_completion = 0
+        sum_wait = 0
+        max_wait = 0
+        sum_slowdown = 0
+        sum_bsld = 0
+        max_bsld = 0.0
+        peak_queue = 0
+        running_count = 0
+        peak_running = 0
+        peak_segments = 1
+        since_prune = 0
+        pruned_to = 0   # completions already compacted behind
+
+        def emit_done_windows(force: bool = False) -> None:
+            nonlocal next_emit
+            while next_emit in windows and (windows[next_emit].done or force):
+                acc = windows.pop(next_emit)
+                if acc.arrived:
+                    row = acc.row(m)
+                    emitted.append(row)
+                    if store is not None:
+                        store.append(row)
+                next_emit += 1
+
+        it = iter(arrivals)
+        pending = next(it, None)
+        t_arrival = pending.release if pending is not None else None
+
+        while pending is not None or time_heap or queue:
+            if pending is None and not time_heap:
+                raise SchedulingError(
+                    f"replay stalled with {len(queue)} queued job(s) "
+                    "that can never start"
+                )
+            # clock advance fused with completion processing: when the
+            # next completion is due it *is* the event
+            if time_heap:
+                tc = time_heap[0]
+                if t_arrival is None or tc <= t_arrival:
+                    now = tc
+                    # 1. completions at `now` free their processors first
+                    heappop(time_heap)
+                    finished = buckets.pop(now)
+                    n_finished = len(finished)
+                    completed += n_finished
+                    since_prune += n_finished
+                    running_count -= n_finished
+                    last_completion = now
+                    if window:
+                        for job in finished:
+                            acc = window_of.pop(job.id)
+                            acc.completed += 1
+                            acc.last_completion = now
+                            if acc.full and acc.completed == acc.arrived:
+                                emit_done_windows()
+                else:
+                    now = t_arrival
+            else:
+                now = t_arrival
+
+            # 2. arrivals at `now` join the queue in stream order
+            while t_arrival == now and pending is not None:
+                job = pending
+                if watch_times and not (
+                    type(job.p) is int and type(job.release) is int
+                ):
+                    # non-integral trace: demote to the exact list
+                    # backend (conversion preserves the function)
+                    profile = convert_profile(profile, "list")
+                    watch_times = cheap_prune = False
+                    try_reserve = profile.try_reserve
+                    reserve_fitting = profile.reserve_fitting
+                    earliest_fit = profile.earliest_fit
+                    min_capacity = profile.min_capacity
+                    capacity_at = profile.capacity_at
+                    fits = profile.fits
+                    prune = profile.prune_before
+                    seg_count = profile.segment_count
+                jq = job.q
+                if jq > m:
+                    raise SchedulingError(
+                        f"job {job.id!r} requires {jq} processors but the "
+                        f"machine only has {m}"
+                    )
+                queue[job.id] = job
+                # the queue only grows during the arrival phase, so
+                # sampling after each enqueue sees every high-water mark
+                qlen = len(queue)
+                if qlen > peak_queue:
+                    peak_queue = qlen
+                jp = job.p
+                rel = job.release
+                area = jp * jq
+                finish = rel + jp
+                if window:
+                    if cur_acc is None:
+                        w = arrived // window
+                        cur_acc = windows[w] = _WindowAcc(w)
+                        wa_arrived = wa_work = wa_pmax = wa_latest = 0
+                        wa_first = rel
+                    window_of[job.id] = cur_acc
+                    wa_arrived += 1
+                    wa_work += area
+                    if jp > wa_pmax:
+                        wa_pmax = jp
+                    if finish > wa_latest:
+                        wa_latest = finish
+                    if wa_arrived == window:
+                        acc = cur_acc
+                        acc.arrived = window
+                        acc.first_release = wa_first
+                        acc.work = wa_work
+                        acc.pmax = wa_pmax
+                        acc.latest_lb_finish = wa_latest
+                        acc.full = True
+                        cur_acc = None
+                arrived += 1
+                total_work += area
+                if jp > pmax:
+                    pmax = jp
+                if finish > latest_lb_finish:
+                    latest_lb_finish = finish
+                pending = next(it, None)
+                if pending is not None:
+                    t_arrival = pending.release
+                    continue
+                t_arrival = None
+                if window:
+                    # the stream ended: flush the partial trailing
+                    # window, then every open window is full
+                    if cur_acc is not None:
+                        acc = cur_acc
+                        acc.arrived = wa_arrived
+                        acc.first_release = wa_first
+                        acc.work = wa_work
+                        acc.pmax = wa_pmax
+                        acc.latest_lb_finish = wa_latest
+                        cur_acc = None
+                    for acc in windows.values():
+                        acc.full = True
+                    emit_done_windows()
+
+            # 3. one inlined decision pass (identical to the registered
+            # policy; see _fused_policy_kind).  The per-start bookkeeping
+            # block is intentionally repeated in each branch: a shared
+            # closure would turn every hot counter into a cell variable
+            # (slowing the whole loop), and the fused-vs-generic
+            # differential tests pin all copies to _run_generic anyway.
+            if queue:
+                if easy:
+                    # Blocked-head memo: while `blocked_id` heads the
+                    # queue, `blocked_until` is its exact earliest fit.
+                    # It stays exact because inside this loop the profile
+                    # only ever *loses* capacity (no shadow mutation, no
+                    # `add`), and each commit is either a head start —
+                    # which changes the head id, missing the memo — or a
+                    # shadow-checked backfill, which by construction
+                    # leaves the head fitting at `blocked_until` while
+                    # capacity loss cannot move an earliest fit earlier.
+                    # So `now < blocked_until` proves the head probe
+                    # fails and phase 2 may reuse the cached value.
+                    # phase 1: heads
+                    head = None
+                    while queue:
+                        head = next(iter(queue.values()))
+                        if blocked_id == head.id and now < blocked_until:
+                            break
+                        jp = head.p
+                        if not try_reserve(now, jp, head.q):
+                            break
+                        del queue[head.id]
+                        running_count += 1
+                        wait = now - head.release
+                        sum_wait += wait
+                        if wait > max_wait:
+                            max_wait = wait
+                        sum_slowdown += (wait + jp) / jp
+                        den = jp if jp > bsld_tau else bsld_tau
+                        bsld = float(wait + jp) / float(den)
+                        if bsld < 1.0:
+                            bsld = 1.0
+                        sum_bsld += bsld
+                        if bsld > max_bsld:
+                            max_bsld = bsld
+                        if window:
+                            acc = window_of[head.id]
+                            acc.started += 1
+                            acc.sum_wait += wait
+                            if wait > acc.max_wait:
+                                acc.max_wait = wait
+                            acc.sum_bsld += bsld
+                            if bsld > acc.max_bsld:
+                                acc.max_bsld = bsld
+                        if record is not None:
+                            record[head.id] = now
+                        end = now + jp
+                        bucket = buckets.get(end)
+                        if bucket is None:
+                            buckets[end] = [head]
+                            heappush(time_heap, end)
+                        else:
+                            bucket.append(head)
+                    if len(queue) > 1:
+                        # phase 2: the head's shadow reservation,
+                        # expressed as window queries — a backfill
+                        # candidate fits under the shadow iff each of
+                        # the <=3 sub-windows clears its demand.  (With
+                        # no candidates behind the head the shadow can
+                        # start nothing, so it is skipped outright.)
+                        hp = head.p
+                        hq = head.q
+                        if blocked_id == head.id:
+                            s_head = blocked_until
+                        else:
+                            s_head = earliest_fit(hq, hp, after=now)
+                            if s_head is None:
+                                raise SchedulingError(
+                                    f"job {head.id!r} can never start"
+                                )
+                            blocked_id = head.id
+                            blocked_until = s_head
+                        h_end = s_head + hp
+                        # Every candidate's window contains `now`, and
+                        # the shadow starts strictly after `now`
+                        # (s_head > now — the head just failed to fit),
+                        # so a width above the capacity at `now` cannot
+                        # start: one int compare screens most blocked
+                        # candidates before any window query.
+                        cap_now = capacity_at(now)
+                        backfill = iter(list(queue.values()))
+                        next(backfill)  # the head itself
+                        for job in backfill:
+                            jq = job.q
+                            if jq > cap_now:
+                                continue
+                            jp = job.p
+                            j_end = now + jp
+                            if s_head >= j_end:
+                                ok = fits(jq, now, jp)
+                            else:
+                                lim = j_end if j_end < h_end else h_end
+                                ok = (
+                                    min_capacity(s_head, lim) >= jq + hq
+                                    and (s_head <= now
+                                         or min_capacity(now, s_head) >= jq)
+                                    and (j_end <= h_end
+                                         or min_capacity(h_end, j_end) >= jq)
+                                )
+                            if ok:
+                                cap_now -= jq
+                                reserve_fitting(now, jp, jq)
+                                del queue[job.id]
+                                running_count += 1
+                                wait = now - job.release
+                                sum_wait += wait
+                                if wait > max_wait:
+                                    max_wait = wait
+                                sum_slowdown += (wait + jp) / jp
+                                den = jp if jp > bsld_tau else bsld_tau
+                                bsld = float(wait + jp) / float(den)
+                                if bsld < 1.0:
+                                    bsld = 1.0
+                                sum_bsld += bsld
+                                if bsld > max_bsld:
+                                    max_bsld = bsld
+                                if window:
+                                    acc = window_of[job.id]
+                                    acc.started += 1
+                                    acc.sum_wait += wait
+                                    if wait > acc.max_wait:
+                                        acc.max_wait = wait
+                                    acc.sum_bsld += bsld
+                                    if bsld > acc.max_bsld:
+                                        acc.max_bsld = bsld
+                                if record is not None:
+                                    record[job.id] = now
+                                end = now + jp
+                                bucket = buckets.get(end)
+                                if bucket is None:
+                                    buckets[end] = [job]
+                                    heappush(time_heap, end)
+                                else:
+                                    bucket.append(job)
+                else:
+                    # fcfs / greedy: one ordered sweep; fcfs stops at
+                    # the first job that does not fit
+                    for job in list(queue.values()):
+                        jp = job.p
+                        if not try_reserve(now, jp, job.q):
+                            if greedy:
+                                continue
+                            break
+                        del queue[job.id]
+                        running_count += 1
+                        wait = now - job.release
+                        sum_wait += wait
+                        if wait > max_wait:
+                            max_wait = wait
+                        sum_slowdown += (wait + jp) / jp
+                        den = jp if jp > bsld_tau else bsld_tau
+                        bsld = float(wait + jp) / float(den)
+                        if bsld < 1.0:
+                            bsld = 1.0
+                        sum_bsld += bsld
+                        if bsld > max_bsld:
+                            max_bsld = bsld
+                        if window:
+                            acc = window_of[job.id]
+                            acc.started += 1
+                            acc.sum_wait += wait
+                            if wait > acc.max_wait:
+                                acc.max_wait = wait
+                            acc.sum_bsld += bsld
+                            if bsld > acc.max_bsld:
+                                acc.max_bsld = bsld
+                        if record is not None:
+                            record[job.id] = now
+                        end = now + jp
+                        bucket = buckets.get(end)
+                        if bucket is None:
+                            buckets[end] = [job]
+                            heappush(time_heap, end)
+                        else:
+                            bucket.append(job)
+
+            if running_count > peak_running:
+                peak_running = running_count
+
+            # 4. compact the profile behind the clock (completion events
+            # only: capacity history only accrues when jobs finish).
+            # segment_count is O(1), so the peak gauge samples before
+            # every compaction and is exact.
+            if cheap_prune:
+                if completed != pruned_to:
+                    pruned_to = completed
+                    segments = seg_count()
+                    if segments > peak_segments:
+                        peak_segments = segments
+                    prune(now)
+            elif since_prune >= prune_interval:
+                since_prune = 0
+                segments = seg_count()
+                if segments > peak_segments:
+                    peak_segments = segments
+                prune(now)
+
+        if window:
+            emit_done_windows(force=True)
+        segments = seg_count()
+        if segments > peak_segments:
+            peak_segments = segments
+
+        # the loop only exits fully drained, so every job contributed
+        # exactly one arrival, one start and one completion event
+        return self._finalize(
+            result, emitted, started_clock,
+            arrived=arrived, events=3 * arrived, total_work=total_work,
+            pmax=pmax, latest_lb_finish=latest_lb_finish,
+            last_completion=last_completion, sum_wait=sum_wait,
+            max_wait=max_wait, sum_slowdown=sum_slowdown,
+            sum_bsld=sum_bsld, max_bsld=max_bsld, peak_queue=peak_queue,
+            peak_running=peak_running, peak_segments=peak_segments,
+        )
+
+    # ------------------------------------------------------------------
+    def _finalize(
+        self, result: ReplayResult, emitted: List[Dict], started_clock,
+        *, arrived, events, total_work, pmax, latest_lb_finish,
+        last_completion, sum_wait, max_wait, sum_slowdown, sum_bsld,
+        max_bsld, peak_queue, peak_running, peak_segments,
+    ) -> ReplayResult:
+        """Assemble the totals row (shared by both loops, so the fused
+        and generic paths cannot drift)."""
         makespan = last_completion
         lb = max(pmax, _exact_ratio(total_work, self.m), latest_lb_finish)
         result.windows = emitted
@@ -534,3 +1156,169 @@ def replay_swf(
     result.totals["skipped_lines"] = stream.n_skipped
     result.totals["clipped_jobs"] = stream.n_clipped
     return result
+
+
+# ---------------------------------------------------------------------------
+# sharded multi-policy replay
+# ---------------------------------------------------------------------------
+
+#: Prefix of a synthetic scenario-pack source (``synth:<profile>[:<n>]``).
+SYNTH_PREFIX = "synth:"
+
+#: Job count of a synthetic source that names no ``:<n>`` (shared by the
+#: CLI and the sharded runner so the default cannot drift).
+DEFAULT_SYNTH_JOBS = 100_000
+
+
+def parse_synth_source(source: str) -> Tuple[str, Optional[int]]:
+    """Split ``synth:<profile>[:<n>]`` into ``(profile, n-or-None)``.
+
+    Raises :class:`~repro.errors.TraceFormatError` on unknown profiles
+    or a non-integer length, so the CLI and the sharded runner reject
+    malformed sources with the same message.
+    """
+    from ..workloads.swf import SYNTH_PROFILES
+
+    parts = source.split(":")
+    profile = parts[1] if len(parts) > 1 else ""
+    if profile not in SYNTH_PROFILES:
+        raise TraceFormatError(
+            f"unknown synthetic profile {profile!r}; known: "
+            f"{', '.join(SYNTH_PROFILES)}"
+        )
+    if len(parts) > 2:
+        try:
+            return profile, int(parts[2])
+        except ValueError:
+            raise TraceFormatError(
+                f"synthetic trace length {parts[2]!r} is not an integer "
+                "(expected synth:<profile>[:<n>])"
+            ) from None
+    return profile, None
+
+
+@dataclass
+class MultiReplayResult:
+    """Outcome of a multi-policy replay (serial or sharded).
+
+    ``results`` maps each policy to its :class:`ReplayResult` (in the
+    declaration order of the run); ``rows`` is the merged JSONL row list
+    — per-window rows then a totals row per policy, policies in
+    declaration order, volatile wall-clock fields stripped — which is
+    byte-identical between serial and sharded executions.
+    """
+
+    m: int
+    results: Dict[str, ReplayResult] = field(default_factory=dict)
+    rows: List[Dict] = field(default_factory=list)
+
+
+def _merged_policy_rows(policy: str, result: ReplayResult) -> List[Dict]:
+    """The deterministic JSONL rows one policy contributes."""
+    rows: List[Dict] = []
+    for window_row in result.windows:
+        row = {"key": f"{policy}/{window_row['key']}", "policy": policy}
+        row.update(
+            (k, v) for k, v in window_row.items() if k != "key"
+        )
+        rows.append(row)
+    totals = {
+        k: v for k, v in result.totals.items()
+        if k not in VOLATILE_TOTAL_FIELDS
+    }
+    rows.append({"key": f"{policy}/totals", "policy": policy, **totals})
+    return rows
+
+
+def _run_policy_shard(payload: Tuple) -> Tuple[str, ReplayResult]:
+    """One worker: replay ``source`` under a single policy.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle it; the payload re-creates the arrival stream inside the
+    worker (streams themselves are not picklable).
+    """
+    source, policy, m, n, max_jobs, seed, engine_kwargs = payload
+    if isinstance(source, str) and source.startswith(SYNTH_PREFIX):
+        from ..workloads.swf import synth_swf_jobs
+
+        profile, parsed_n = parse_synth_source(source)
+        jobs_n = n if n is not None else (parsed_n or DEFAULT_SYNTH_JOBS)
+        if max_jobs is not None:
+            jobs_n = min(jobs_n, max_jobs)
+        machine = m or 256
+        engine = ReplayEngine(machine, policy=policy, **engine_kwargs)
+        result = engine.run(
+            synth_swf_jobs(profile, jobs_n, m=machine, seed=seed)
+        )
+    else:
+        result = replay_swf(
+            source, policy=policy, m=m, max_jobs=max_jobs, **engine_kwargs
+        )
+    return policy, result
+
+
+def replay_policies(
+    source,
+    policies: Iterable[str] = ("easy",),
+    m: Optional[int] = None,
+    jobs: int = 1,
+    store=None,
+    n: Optional[int] = None,
+    max_jobs: Optional[int] = None,
+    seed: int = 0,
+    **engine_kwargs,
+) -> MultiReplayResult:
+    """Replay one trace under several policies — sharded when asked.
+
+    Each policy's replay consumes an *independent* stream of the same
+    source (an SWF path or ``synth:<profile>[:<n>]``), so the K policies
+    are embarrassingly parallel: ``jobs > 1`` runs them on a process
+    pool, one worker per policy.  Workers return their per-window
+    aggregates, and the merged rows are assembled **policy by policy in
+    declaration order** with wall-clock fields stripped, so the JSONL
+    written to ``store`` is byte-identical between ``jobs=1`` and any
+    sharded execution (a test and the ``replay-throughput`` benchmark
+    gate both assert this).
+
+    ``engine_kwargs`` pass through to :class:`ReplayEngine` (window,
+    profile_backend, record_starts, ...).  Returns a
+    :class:`MultiReplayResult`.
+    """
+    policy_list = list(policies)
+    if not policy_list:
+        raise SchedulingError("replay needs at least one policy")
+    if len(set(policy_list)) != len(policy_list):
+        raise SchedulingError(f"duplicate policies in {policy_list}")
+    for name in policy_list:
+        POLICIES.get(name)  # loud, early resolution
+    if jobs < 1:
+        raise SchedulingError(f"jobs must be >= 1, got {jobs!r}")
+    if store is not None and not hasattr(store, "append"):
+        from ..run.store import JsonlStore
+
+        store = JsonlStore(store)
+
+    payloads = [
+        (source, policy, m, n, max_jobs, seed, dict(engine_kwargs))
+        for policy in policy_list
+    ]
+    if jobs == 1 or len(policy_list) == 1:
+        outcomes = [_run_policy_shard(p) for p in payloads]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(jobs, len(policy_list))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() preserves submission order: merged rows come out in
+            # declaration order no matter which shard finishes first
+            outcomes = list(pool.map(_run_policy_shard, payloads))
+
+    merged = MultiReplayResult(m=outcomes[0][1].m)
+    for policy, result in outcomes:
+        merged.results[policy] = result
+        rows = _merged_policy_rows(policy, result)
+        merged.rows.extend(rows)
+        if store is not None:
+            for row in rows:
+                store.append(row)
+    return merged

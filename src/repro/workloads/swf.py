@@ -535,37 +535,76 @@ def synth_swf_jobs(profile: str, n: int, m: int = 256,
     if m < 2:
         raise TraceFormatError("synthetic trace needs m >= 2")
     rng = random.Random(f"synth-swf:{profile}:{m}:{seed}")
+    # Bounded draws are inlined rejection sampling over getrandbits —
+    # the exact algorithm (and therefore the exact bit stream) of
+    # rng.randint(a, b) == a + _randbelow(b - a + 1), minus the
+    # per-call randrange plumbing, which at millions of draws per
+    # replay is a measurable slice of pipeline cost.  Every existing
+    # trace stays bit-identical (a differential test regenerates
+    # prefixes and the bench's cross-scale gates lean on it).
+    getrandbits = rng.getrandbits
+    make_job = Job.trusted
     # widths: powers of two up to m/4 (m/2 for heavy), biased narrow
     width_exp_max = max(1, m.bit_length() - 3)
+    n_width = width_exp_max + 1
+    k_width = n_width.bit_length()
+    n_heavy = max(1, m.bit_length() - 2) + 1
+    k_heavy = n_heavy.bit_length()
     load_pct = {"steady": 70, "bursty": 80, "heavy": 95}[profile]
+    load_denom = load_pct * m
+    heavy = profile == "heavy"
+    bursty = profile == "bursty"
     t = 0
     burst_left = 0
     owed_area = 0
     for i in range(1, n + 1):
-        if profile == "heavy":
-            exp = rng.randint(0, max(1, m.bit_length() - 2))
+        if heavy:
+            exp = getrandbits(k_heavy)
+            while exp >= n_heavy:
+                exp = getrandbits(k_heavy)
             q = min(m, 2 ** exp)
             # log-uniform runtimes: 30 s .. 1 day
             p = int(math.exp(rng.uniform(math.log(30), math.log(86_400))))
         else:
-            q = 2 ** rng.randint(0, width_exp_max)
-            p = rng.randint(60, 3600)
+            r = getrandbits(k_width)
+            while r >= n_width:
+                r = getrandbits(k_width)
+            q = 2 ** r
+            p = getrandbits(12)  # randint(60, 3600): 3541 values
+            while p >= 3541:
+                p = getrandbits(12)
+            p += 60
         area = p * q
-        if profile == "bursty":
+        if bursty:
             if burst_left == 0:
-                burst_left = rng.randint(4, 64)
+                burst_left = getrandbits(6)  # randint(4, 64): 61 values
+                while burst_left >= 61:
+                    burst_left = getrandbits(6)
+                burst_left += 4
                 # quiet gap repaying the previous burst's backlog at the
                 # target load, with +-100% jitter
-                mean_gap = (owed_area * 100) // (load_pct * m)
-                t += rng.randint(0, max(2, 2 * mean_gap))
+                mean_gap = (owed_area * 100) // load_denom
+                gap = 2 * mean_gap
+                n_gap = (gap if gap > 2 else 2) + 1
+                k_gap = n_gap.bit_length()
+                r = getrandbits(k_gap)
+                while r >= n_gap:
+                    r = getrandbits(k_gap)
+                t += r
                 owed_area = 0
             burst_left -= 1
             owed_area += area
         else:
             # per-job gap with mean area/(load * m): offered load ~ target
-            mean_gap = (area * 100) // (load_pct * m)
-            t += rng.randint(0, max(2, 2 * mean_gap))
-        yield Job(id=i, p=p, q=q, release=t)
+            mean_gap = (area * 100) // load_denom
+            gap = 2 * mean_gap
+            n_gap = (gap if gap > 2 else 2) + 1
+            k_gap = n_gap.bit_length()
+            r = getrandbits(k_gap)
+            while r >= n_gap:
+                r = getrandbits(k_gap)
+            t += r
+        yield make_job(i, p, q, t)
 
 
 def synth_swf_instance(profile: str, n: int = 1000, m: int = 256,

@@ -1,15 +1,17 @@
-"""The profile-backend protocol: both implementations, one behaviour.
+"""The profile-backend protocol: three implementations, one behaviour.
 
-Three layers of evidence that :class:`TreeProfile` is a drop-in for
-:class:`ListProfile`:
+Three layers of evidence that :class:`TreeProfile` and
+:class:`ArrayProfile` are drop-ins for :class:`ListProfile`:
 
 * *property round-trips* — reserve-then-add restores the profile, queries
   agree with brute-force references, Fraction/float breakpoints and
-  zero-capacity tails survive, all parametrized over both backends;
-* *cross-backend equivalence* — identical op sequences leave both
-  backends representing the same function, query for query;
+  zero-capacity tails survive, all parametrized over the backends (the
+  array backend joins wherever times are integral — its int64 columns
+  are an explicit contract, asserted loud in ``TestArrayIntOnly``);
+* *cross-backend equivalence* — identical op sequences leave every
+  backend representing the same function, query for query;
 * *scheduler differential* — LSRC, FCFS, conservative backfilling and
-  shelf produce **identical schedules** under either backend on 50+
+  shelf produce **identical schedules** under any backend on 50+
   randomized instances with mixed int/Fraction times.
 """
 
@@ -27,6 +29,7 @@ from repro.algorithms import (
 )
 from repro.core import ReservationInstance
 from repro.core.profiles import (
+    ArrayProfile,
     ListProfile,
     ProfileBackend,
     TreeProfile,
@@ -42,7 +45,10 @@ from repro.errors import CapacityError, InvalidInstanceError
 
 from conftest import NaiveCapacity, random_resa
 
-BACKENDS = [ListProfile, TreeProfile]
+BACKENDS = [ListProfile, TreeProfile, ArrayProfile]
+#: Backends accepting Fraction/float breakpoints (the array backend's
+#: integer-grid contract is asserted separately in TestArrayIntOnly).
+EXACT_TIME_BACKENDS = [ListProfile, TreeProfile]
 
 
 @pytest.fixture(params=BACKENDS, ids=lambda cls: cls.__name__)
@@ -51,17 +57,23 @@ def backend(request):
     return request.param
 
 
+def skip_unless_exact_times(backend):
+    if backend is ArrayProfile:
+        pytest.skip("array backend is integer-grid only (by contract)")
+
+
 # ---------------------------------------------------------------------------
 # registry / selection
 # ---------------------------------------------------------------------------
 
 class TestRegistry:
     def test_registry_names(self):
-        assert {"list", "tree"} <= set(available_backends())
+        assert {"list", "tree", "array"} <= set(available_backends())
 
     def test_resolve_by_name_class_and_none(self):
         assert resolve_backend("list") is ListProfile
         assert resolve_backend("tree") is TreeProfile
+        assert resolve_backend("array") is ArrayProfile
         assert resolve_backend(TreeProfile) is TreeProfile
         assert resolve_backend(None) is get_default_backend()
 
@@ -121,6 +133,27 @@ class TestBackendBasics:
         with pytest.raises(InvalidInstanceError):
             backend([0], [1.5])
 
+    def test_try_reserve(self, backend):
+        p = backend.constant(4)
+        assert p.try_reserve(2, 3, 3) is True
+        assert p.capacity_at(3) == 1
+        snapshot = p.copy()
+        # a failing probe must leave the profile untouched
+        assert p.try_reserve(0, 10, 2) is False
+        assert p == snapshot
+        assert p.as_lists() == snapshot.as_lists()
+        # zero amount fits without mutating
+        assert p.try_reserve(0, 10, 0) is True
+        assert p == snapshot
+
+    def test_reserve_fitting_matches_reserve(self, backend):
+        a = backend.from_segments([(0, 5), (4, 2), (9, 6)])
+        b = a.copy()
+        a.reserve(1, 6, 2)
+        b.reserve_fitting(1, 6, 2)
+        assert a == b
+        assert a.as_lists() == b.as_lists()
+
     def test_merges_equal_segments(self, backend):
         assert backend([0, 1, 2], [3, 3, 4]).breakpoints == (0, 2)
 
@@ -152,6 +185,7 @@ class TestBackendBasics:
         assert p.area(0, 100) == 15
 
     def test_fraction_times(self, backend):
+        skip_unless_exact_times(backend)
         p = backend.constant(3)
         p.reserve(Fraction(1, 3), Fraction(1, 6), 2)
         assert p.capacity_at(Fraction(1, 3)) == 1
@@ -160,6 +194,7 @@ class TestBackendBasics:
         assert p.area(0, 1) == 3 - 2 * Fraction(1, 6)
 
     def test_float_times(self, backend):
+        skip_unless_exact_times(backend)
         p = backend.constant(2)
         p.reserve(0.5, 1.25, 1)
         assert p.capacity_at(0.5) == 1
@@ -170,10 +205,12 @@ class TestBackendBasics:
     def test_cross_backend_equality_and_hash(self):
         a = ListProfile.from_segments([(0, 2), (1, 3)])
         b = TreeProfile.from_segments([(0, 2), (1, 3)])
-        assert a == b
-        assert hash(a) == hash(b)
+        c = ArrayProfile.from_segments([(0, 2), (1, 3)])
+        assert a == b == c
+        assert hash(a) == hash(b) == hash(c)
         b.add(5, 1, 1)
         assert a != b
+        assert a == c
 
     def test_protocol_subclass(self, backend):
         assert issubclass(backend, ProfileBackend)
@@ -193,6 +230,8 @@ class TestBackendBasics:
 class TestReserveMany:
     def test_matches_sequential(self, backend):
         blocks = [(0, 4, 2), (2, 3, 1), (Fraction(7, 2), 2, 3)]
+        if backend is ArrayProfile:
+            blocks = [(0, 4, 2), (2, 3, 1), (4, 2, 3)]
         batch = backend.constant(8)
         batch.reserve_many(blocks)
         seq = backend.constant(8)
@@ -281,6 +320,7 @@ class TestMaxCapacityBetween:
         assert p.max_capacity_between(100) == 4
 
     def test_fraction_windows(self, backend):
+        skip_unless_exact_times(backend)
         p = backend([0, Fraction(3, 2), 3], [2, 7, 1])
         assert p.max_capacity_between(0, Fraction(3, 2)) == 2
         assert p.max_capacity_between(1, 2) == 7
@@ -395,6 +435,8 @@ def _cast(value: int, kind: str):
 )
 def test_reserve_add_roundtrip(cls, m, holds, kind):
     """reserve-then-add (in reverse) restores the original profile."""
+    if cls is ArrayProfile:
+        kind = "int"  # the array backend's integer-grid contract
     p = cls.constant(m)
     applied = []
     for start, dur, amount in holds:
@@ -456,23 +498,28 @@ def test_backend_earliest_fit_matches_naive(cls, m, holds, q, duration, after):
     kind=time_kinds,
 )
 def test_backends_agree_segmentwise(m, holds, kind):
-    """Identical op sequences leave both backends representing the same
-    function — segments, aggregates, areas and fits included."""
-    lp, tp = ListProfile.constant(m), TreeProfile.constant(m)
+    """Identical op sequences leave every backend representing the same
+    function — segments, aggregates, areas and fits included (the array
+    backend joins on integer-timed sequences)."""
+    profiles = [ListProfile.constant(m), TreeProfile.constant(m)]
+    if kind == "int":
+        profiles.append(ArrayProfile.constant(m))
+    lp = profiles[0]
     for start, dur, amount in holds:
         start, dur = _cast(start, kind), _cast(dur, kind)
         if lp.min_capacity(start, start + dur) >= amount:
-            lp.reserve(start, dur, amount)
-            tp.reserve(start, dur, amount)
-    assert list(lp.segments()) == list(tp.segments())
-    assert lp.breakpoints == tp.breakpoints
-    assert lp.min_capacity_overall() == tp.min_capacity_overall()
-    assert lp.max_capacity() == tp.max_capacity()
-    assert lp.final_capacity() == tp.final_capacity()
-    for a in range(0, 24, 5):
-        assert lp.area(a, a + 7) == tp.area(a, a + 7)
-        assert lp.first_time_area_reaches(11, start=a) == tp.first_time_area_reaches(11, start=a)
-    assert lp.is_nondecreasing() == tp.is_nondecreasing()
+            for p in profiles:
+                p.reserve(start, dur, amount)
+    for tp in profiles[1:]:
+        assert list(lp.segments()) == list(tp.segments())
+        assert lp.breakpoints == tp.breakpoints
+        assert lp.min_capacity_overall() == tp.min_capacity_overall()
+        assert lp.max_capacity() == tp.max_capacity()
+        assert lp.final_capacity() == tp.final_capacity()
+        for a in range(0, 24, 5):
+            assert lp.area(a, a + 7) == tp.area(a, a + 7)
+            assert lp.first_time_area_reaches(11, start=a) == tp.first_time_area_reaches(11, start=a)
+        assert lp.is_nondecreasing() == tp.is_nondecreasing()
 
 
 # ---------------------------------------------------------------------------
@@ -520,4 +567,101 @@ def test_schedulers_identical_across_backends(name, factory):
         b.verify()
         assert a.starts == b.starts, f"{name} diverged on seed {seed}"
         assert a.makespan == b.makespan
+        if seed % 2 != 0:  # integer-timed instances: the array backend too
+            c = factory("array").schedule(inst)
+            c.verify()
+            assert c.starts == a.starts, (
+                f"{name} (array) diverged on seed {seed}"
+            )
         checked += 1
+
+
+# ---------------------------------------------------------------------------
+# the array backend's integer-grid contract
+# ---------------------------------------------------------------------------
+
+class TestArrayIntOnly:
+    def test_construction_rejects_non_integral_times(self):
+        with pytest.raises(InvalidInstanceError, match="integer"):
+            ArrayProfile([0, 1.5], [3, 2])
+        with pytest.raises(InvalidInstanceError, match="integer"):
+            ArrayProfile([0, Fraction(1, 2)], [3, 2])
+
+    def test_construction_rejects_non_int64_times(self):
+        with pytest.raises(InvalidInstanceError, match="int64"):
+            ArrayProfile([0, 2**70], [3, 2])
+
+    def test_mutation_rejects_non_integral_times(self):
+        p = ArrayProfile.constant(4)
+        with pytest.raises(InvalidInstanceError, match="integer"):
+            p.reserve(Fraction(1, 2), 1, 1)
+        with pytest.raises(InvalidInstanceError, match="integer"):
+            p.add(0, 1.5, 1)
+        with pytest.raises(InvalidInstanceError, match="integer"):
+            p.try_reserve(0.5, 1, 1)
+        with pytest.raises(InvalidInstanceError, match="integer"):
+            p.reserve_many([(Fraction(1, 3), 1, 1)])
+        assert p == ArrayProfile.constant(4)  # all loud failures, no state
+
+    def test_queries_accept_any_numeric(self):
+        p = ArrayProfile.from_segments([(0, 4), (2, 1), (5, 4)])
+        assert p.capacity_at(Fraction(5, 2)) == 1
+        assert p.min_capacity(1.5, 3.5) == 1
+        assert p.max_capacity_between(Fraction(1, 2), 6) == 4
+        assert p.area(Fraction(3, 2), Fraction(5, 2)) == Fraction(5, 2)
+        assert p.earliest_fit(4, 2, after=Fraction(7, 2)) == 5
+
+    def test_cheap_prune_flag_and_offset_compaction(self):
+        assert ArrayProfile.CHEAP_PRUNE is True
+        assert not getattr(ListProfile, "CHEAP_PRUNE", False)
+        p = ArrayProfile.constant(8)
+        t = 0
+        for k in range(2000):
+            p.reserve(t, 3, 1)
+            t += 5
+            p.prune_before(t)  # O(1) offset bump per event
+            assert len(p.breakpoints) <= 4
+        # the dead prefix must have been reclaimed along the way
+        assert len(p._times) < 2000
+
+    def test_fast_mutators_validate_like_reserve(self):
+        """try_reserve/reserve_fitting skip only the capacity recheck —
+        argument validation must match reserve (review regression)."""
+        p = ArrayProfile.constant(4)
+        with pytest.raises(InvalidInstanceError, match="non-negative"):
+            p.try_reserve(0, 5, -2)
+        with pytest.raises(InvalidInstanceError, match="non-negative"):
+            p.reserve_fitting(0, 5, -2)
+        with pytest.raises(InvalidInstanceError):
+            p.try_reserve(-1, 5, 1)
+        with pytest.raises(InvalidInstanceError):
+            p.try_reserve(0, 0, 1)
+        assert p == ArrayProfile.constant(4)
+
+    def test_mutations_reject_int64_overflow(self):
+        """Out-of-range integer times must raise the backend's loud
+        error, never a raw OverflowError (review regression)."""
+        p = ArrayProfile.constant(4)
+        for fn in (p.reserve, p.add, p.try_reserve, p.reserve_fitting):
+            with pytest.raises(InvalidInstanceError, match="int64"):
+                fn(2**70, 5, 1)
+            with pytest.raises(InvalidInstanceError, match="int64"):
+                fn(2**62, 2**62, 1)
+        assert p == ArrayProfile.constant(4)
+        # loud even when the capacity screen would fail first
+        narrow = ArrayProfile.constant(1)
+        with pytest.raises(InvalidInstanceError, match="int64"):
+            narrow.try_reserve(2**70, 5, 2)
+
+    def test_segment_count_matches_breakpoints(self):
+        for cls in BACKENDS:
+            p = cls([0, 4, 9], [3, 1, 5])
+            assert p.segment_count() == len(p.breakpoints) == 3
+            p.prune_before(5)
+            assert p.segment_count() == len(p.breakpoints)
+
+    def test_integral_subtypes_are_coerced(self):
+        p = ArrayProfile.constant(3)
+        p.reserve(True, 2, 1)  # bools are Integral: coerced, not rejected
+        assert p.capacity_at(1) == 2
+        assert p.capacity_at(0) == 3

@@ -22,10 +22,17 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cli import main
 from repro.core.metrics import summarize
-from repro.core.profiles import ListProfile, TreeProfile
+from repro.core.profiles import ArrayProfile, ListProfile, TreeProfile
 from repro.errors import SchedulingError, TraceFormatError
 from repro.run import ExperimentSpec, Runner, TraceSpec, dumps_spec, loads_spec
-from repro.simulation import OnlineSimulation, ReplayEngine, replay, replay_swf
+from repro.simulation import (
+    OnlineSimulation,
+    ReplayEngine,
+    replay,
+    replay_policies,
+    replay_swf,
+)
+from repro.simulation.replay import parse_synth_source
 from repro.workloads import (
     SYNTH_PROFILES,
     iter_swf,
@@ -213,7 +220,7 @@ class TestSynthPack:
 # prune_before soundness (differential vs the unpruned reference)
 # ---------------------------------------------------------------------------
 
-@pytest.mark.parametrize("cls", [ListProfile, TreeProfile])
+@pytest.mark.parametrize("cls", [ListProfile, TreeProfile, ArrayProfile])
 class TestPruneBefore:
     def test_post_frontier_queries_unchanged(self, cls):
         rng = random.Random(17)
@@ -282,6 +289,63 @@ class TestPruneBefore:
         profile.prune_before(15)
         assert profile.as_lists() == once
 
+    def test_prune_on_constant_profile_is_noop(self, cls):
+        profile = cls.constant(6)
+        profile.prune_before(12345)
+        assert profile.as_lists() == ([0], [6])
+
+    def test_prune_past_frontier_then_reserve(self, cls):
+        # pruning far past every breakpoint leaves the (re-anchored)
+        # tail segment; the profile must stay fully usable
+        profile = cls([0, 5, 9], [4, 1, 3])
+        profile.prune_before(50)
+        assert profile.as_lists() == ([0], [3])
+        profile.reserve(60, 5, 3)
+        assert profile.capacity_at(62) == 0
+        assert profile.earliest_fit(3, 2, after=55) == 55
+
+    def test_repeated_prunes_at_same_t_after_mutation(self, cls):
+        profile = cls([0, 10, 20], [4, 2, 8])
+        profile.prune_before(12)
+        profile.reserve(15, 10, 2)
+        snapshot = profile.as_lists()
+        profile.prune_before(12)   # same frontier again: no change
+        assert profile.as_lists() == snapshot
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cls=st.sampled_from([ListProfile, TreeProfile, ArrayProfile]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    frontier=st.integers(min_value=0, max_value=220),
+)
+def test_prune_preserves_post_frontier_segments(cls, seed, frontier):
+    """Property: after ``prune_before(t)`` the profile equals the
+    unpruned reference restricted to ``[t, inf)`` — segment for segment
+    (the pre-frontier part collapses into the re-anchored first
+    segment, whose capacity must match the reference *at* ``t``)."""
+    rng = random.Random(seed)
+    times = sorted(rng.sample(range(1, 200), rng.randint(0, 12)))
+    caps = [rng.randint(0, 9) for _ in range(len(times) + 1)]
+    profile = cls([0] + times, caps)
+    reference = profile.copy()
+    profile.prune_before(frontier)
+    ref_t, ref_c = reference.as_lists()
+    got_t, got_c = profile.as_lists()
+    # reference restricted to [frontier, inf): the segment containing
+    # the frontier, re-anchored to 0, then everything after it
+    i = 0
+    for k, t in enumerate(ref_t):
+        if t <= frontier:
+            i = k
+    want_t = [0] + ref_t[i + 1:]
+    want_c = ref_c[i:]
+    assert got_t == want_t
+    assert got_c == want_c
+    # prune is idempotent at the same frontier
+    profile.prune_before(frontier)
+    assert profile.as_lists() == (got_t, got_c)
+
 
 # ---------------------------------------------------------------------------
 # the rolling-horizon engine
@@ -336,6 +400,15 @@ class TestReplayEngine:
         ]
         assert rows[-1]["n_jobs"] == 120
 
+    def test_short_run_peak_segments_is_real(self):
+        """Sub-interval runs must still report the live-window peak,
+        not the post-drain size (review regression: the cheap-prune
+        gauge samples O(1) segment_count before every compaction)."""
+        result = replay(
+            synth_swf_jobs("steady", 400, m=16, seed=0), 16, window=0
+        )
+        assert result.totals["peak_profile_segments"] > 1
+
     def test_memory_stays_bounded(self):
         result = replay(
             synth_swf_jobs("steady", 4000, m=64, seed=0), 64,
@@ -378,17 +451,19 @@ _job_rows = st.lists(
 @given(
     rows=_job_rows,
     policy=st.sampled_from(["fcfs", "greedy", "easy", "conservative"]),
-    backend=st.sampled_from(["list", "tree"]),
+    backend=st.sampled_from(["list", "tree", "array", "auto"]),
     compress=st.booleans(),
 )
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=80, deadline=None)
 def test_streamed_replay_is_byte_identical_to_in_memory(
     tmp_path_factory, rows, policy, backend, compress
 ):
     """The tentpole guarantee: chunked gzip/plain ``iter_swf`` ingestion
     through the pruning replay engine reproduces ``read_swf`` +
     ``OnlineSimulation`` exactly — schedules byte for byte, metrics
-    int-exact — for every policy x backend combination."""
+    int-exact — for every policy x backend combination (including the
+    int64 array kernel and the auto selector, whose fused decision
+    passes this differential therefore also covers)."""
     m = 8
     submit = 0
     swf_rows = []
@@ -406,8 +481,11 @@ def test_streamed_replay_is_byte_identical_to_in_memory(
         path.write_text(text)
 
     instance = read_swf(text).instance
+    # the in-memory engine has no "auto"; integer traces make "array"
+    # its exact equivalent
+    ref_backend = "array" if backend == "auto" else backend
     reference = OnlineSimulation(
-        instance, policy=policy, profile_backend=backend
+        instance, policy=policy, profile_backend=ref_backend
     ).run()
     streamed = replay_swf(
         path, policy=policy, profile_backend=backend,
@@ -462,6 +540,17 @@ class TestTracesFactor:
         parallel = Runner(jobs=2).run(spec)
         assert serial.rows == parallel.rows
 
+    def test_backends_factor_sweeps_array(self):
+        """The spec's profile_backends factor reaches the replay
+        engine; every backend must agree on the replay metrics."""
+        spec = self._spec(profile_backends=("list", "tree", "array"))
+        result = Runner().run(spec)
+        assert len(result.rows) == 3
+        reference = result.rows[0]
+        for row in result.rows[1:]:
+            assert row["makespan"] == reference["makespan"]
+            assert row["utilization"] == reference["utilization"]
+
     def test_file_trace_source(self, tmp_path):
         path = str(tmp_path / "t.swf")
         save_swf_trace(path, synth_swf_jobs("steady", 60, m=16, seed=0), 16)
@@ -495,6 +584,23 @@ class TestTracesFactor:
 # ---------------------------------------------------------------------------
 
 class TestReplayCLI:
+    def test_multi_policy_sharded_equals_serial(self, capsys, tmp_path):
+        serial_out = str(tmp_path / "serial.jsonl")
+        sharded_out = str(tmp_path / "sharded.jsonl")
+        assert main([
+            "replay", "synth:steady:1500", "-m", "32",
+            "-p", "easy,greedy", "--window", "500", "-o", serial_out,
+        ]) == 0
+        assert "2 policies replayed (serial)" in capsys.readouterr().out
+        assert main([
+            "replay", "synth:steady:1500", "-m", "32",
+            "-p", "easy,greedy", "--jobs", "2", "--window", "500",
+            "-o", sharded_out,
+        ]) == 0
+        assert "2 worker processes" in capsys.readouterr().out
+        assert (open(serial_out, "rb").read()
+                == open(sharded_out, "rb").read())
+
     def test_synth_source(self, capsys, tmp_path):
         out = str(tmp_path / "rows.jsonl")
         code = main([
@@ -522,3 +628,135 @@ class TestReplayCLI:
 
     def test_missing_file_errors(self, capsys):
         assert main(["replay", "/no/such/trace.swf"]) == 1
+
+
+# ---------------------------------------------------------------------------
+# engine configurations: fused vs generic, calendar vs heap, auto demotion
+# ---------------------------------------------------------------------------
+
+class TestEngineConfigurations:
+    @pytest.mark.parametrize("policy", ["fcfs", "greedy", "easy"])
+    def test_fused_equals_generic_rows(self, policy):
+        """The fused in-engine decision passes must reproduce the
+        registered policy functions row for row (windows included)."""
+        jobs = list(synth_swf_jobs("bursty", 3000, m=64, seed=5))
+        fused = ReplayEngine(64, policy=policy, window=500,
+                             record_starts=True).run(jobs)
+        generic = ReplayEngine(64, policy=policy, window=500,
+                               fused_policies=False,
+                               record_starts=True).run(jobs)
+        assert fused.starts == generic.starts
+        assert fused.windows == generic.windows
+        strip = lambda t: {k: v for k, v in t.items()  # noqa: E731
+                           if k != "elapsed_seconds"}
+        assert strip(fused.totals) == strip(generic.totals)
+
+    def test_calendar_equals_heap_queue(self):
+        jobs = list(synth_swf_jobs("steady", 2000, m=32, seed=2))
+        calendar = ReplayEngine(32, policy="easy", fused_policies=False,
+                                record_starts=True).run(jobs)
+        heap = ReplayEngine(32, policy="easy", fused_policies=False,
+                            completion_queue="heap",
+                            record_starts=True).run(jobs)
+        assert calendar.starts == heap.starts
+        assert calendar.windows == heap.windows
+
+    def test_unknown_completion_queue_rejected(self):
+        with pytest.raises(SchedulingError, match="completion_queue"):
+            ReplayEngine(8, completion_queue="ring")
+
+    def test_conservative_routes_to_generic_loop(self):
+        # no fused twin: dispatch must fall back, not crash
+        jobs = list(synth_swf_jobs("steady", 300, m=16, seed=0))
+        result = ReplayEngine(16, policy="conservative").run(jobs)
+        assert result.totals["n_jobs"] == 300
+
+    def test_auto_demotes_on_float_times(self):
+        """A non-integral trace under the default auto backend demotes
+        the live profile to the list backend mid-stream and still
+        reproduces the in-memory engine exactly."""
+        from repro.core.job import Job
+
+        jobs = [
+            Job(id=1, p=10, q=4, release=0),
+            Job(id=2, p=7.5, q=6, release=2.25),   # first non-int job
+            Job(id=3, p=3, q=8, release=4),
+            Job(id=4, p=2.5, q=2, release=4),
+        ]
+        from repro.core.instance import RigidInstance
+
+        streamed = replay(jobs, 8, policy="easy", record_starts=True)
+        reference = OnlineSimulation(
+            RigidInstance(m=8, jobs=tuple(jobs)), policy="easy"
+        ).run()
+        assert streamed.starts == reference.schedule.starts
+
+    def test_explicit_array_backend_is_loud_on_float_times(self):
+        from repro.core.job import Job
+        from repro.errors import InvalidInstanceError
+
+        jobs = [Job(id=1, p=1.5, q=2, release=0)]
+        with pytest.raises(InvalidInstanceError, match="integer"):
+            replay(jobs, 4, policy="easy", profile_backend="array")
+
+
+# ---------------------------------------------------------------------------
+# sharded multi-policy replay
+# ---------------------------------------------------------------------------
+
+class TestReplayPolicies:
+    def test_serial_equals_sharded_rows_and_store(self, tmp_path):
+        serial_path = tmp_path / "serial.jsonl"
+        sharded_path = tmp_path / "sharded.jsonl"
+        serial = replay_policies(
+            "synth:steady", ["easy", "greedy", "fcfs"], m=32, n=2000,
+            jobs=1, store=str(serial_path), window=500,
+        )
+        sharded = replay_policies(
+            "synth:steady", ["easy", "greedy", "fcfs"], m=32, n=2000,
+            jobs=3, store=str(sharded_path), window=500,
+        )
+        assert serial.rows == sharded.rows
+        assert serial_path.read_bytes() == sharded_path.read_bytes()
+        assert list(serial.results) == ["easy", "greedy", "fcfs"]
+        # merged rows carry the policy and strip wall-clock fields
+        for row in serial.rows:
+            assert "elapsed_seconds" not in row
+            assert row["policy"] in ("easy", "greedy", "fcfs")
+        totals_keys = [r["key"] for r in serial.rows if r["key"].endswith("/totals")]
+        assert totals_keys == ["easy/totals", "greedy/totals", "fcfs/totals"]
+
+    def test_results_match_single_policy_runs(self):
+        multi = replay_policies("synth:bursty", ["easy", "greedy"], m=32,
+                                n=800, window=0)
+        for policy in ("easy", "greedy"):
+            single = replay(
+                synth_swf_jobs("bursty", 800, m=32, seed=0), 32,
+                policy=policy, window=0,
+            )
+            strip = lambda t: {k: v for k, v in t.items()  # noqa: E731
+                               if k != "elapsed_seconds"}
+            assert strip(multi.results[policy].totals) == strip(single.totals)
+
+    def test_file_source(self, tmp_path):
+        path = str(tmp_path / "t.swf")
+        save_swf_trace(path, synth_swf_jobs("steady", 120, m=16, seed=0), 16)
+        multi = replay_policies(path, ["fcfs", "easy"], jobs=2, window=0)
+        assert multi.m == 16
+        assert multi.results["fcfs"].totals["n_jobs"] == 120
+
+    def test_duplicate_and_unknown_policies_rejected(self):
+        with pytest.raises(SchedulingError, match="duplicate"):
+            replay_policies("synth:steady", ["easy", "easy"], n=10)
+        with pytest.raises(SchedulingError, match="unknown"):
+            replay_policies("synth:steady", ["warp-drive"], n=10)
+        with pytest.raises(SchedulingError, match="at least one"):
+            replay_policies("synth:steady", [], n=10)
+
+    def test_parse_synth_source(self):
+        assert parse_synth_source("synth:steady:500") == ("steady", 500)
+        assert parse_synth_source("synth:heavy") == ("heavy", None)
+        with pytest.raises(TraceFormatError, match="unknown synthetic"):
+            parse_synth_source("synth:warp")
+        with pytest.raises(TraceFormatError, match="not an integer"):
+            parse_synth_source("synth:steady:many")
