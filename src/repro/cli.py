@@ -277,11 +277,31 @@ def _cmd_swf(args) -> int:
     return 0
 
 
+def _warn_demotion(policy: str, totals: dict) -> None:
+    """Surface a mid-stream backend demotion on stderr.
+
+    The engine's ``ReplayDemotionWarning`` fires in-process, but a
+    sharded replay demotes inside a worker where the warning dies with
+    the process — the totals record is the channel that survives, so
+    the CLI reports from it unconditionally.
+    """
+    record = totals.get("demoted_to_list_at")
+    if record:
+        print(
+            f"warning: [{policy}] profile backend 'auto' demoted to "
+            f"'list' at job {record['job']!r} (release "
+            f"{record['release']!r}): non-integral job times; results "
+            f"are unchanged but the int64 fast path is off from there",
+            file=sys.stderr,
+        )
+
+
 def _cmd_replay(args) -> int:
     from .simulation.replay import (
         DEFAULT_SYNTH_JOBS,
         ReplayEngine,
         parse_synth_source,
+        replay_epochs,
         replay_policies,
         replay_swf,
     )
@@ -291,12 +311,7 @@ def _cmd_replay(args) -> int:
     if not policies:
         print("error: no policy given", file=sys.stderr)
         return 2
-    if args.jobs > 1 and len(policies) == 1:
-        print(
-            "note: --jobs shards one worker per policy; a single-policy "
-            "replay runs serially",
-            file=sys.stderr,
-        )
+    batch = "auto" if args.batch is None else args.batch
     n = None
     if args.trace.startswith("synth:"):
         # synth:<profile>[:<n>] replays the scenario pack directly — no
@@ -318,10 +333,11 @@ def _cmd_replay(args) -> int:
         multi = replay_policies(
             args.trace, policies, m=args.machines, jobs=args.jobs,
             store=args.out, n=n, max_jobs=args.max_jobs, seed=args.seed,
-            window=args.window, profile_backend=args.backend,
+            window=args.window, profile_backend=args.backend, batch=batch,
         )
         for policy in policies:
             t = multi.results[policy].totals
+            _warn_demotion(policy, t)
             print(
                 f"{policy:>14}: {t['n_jobs']} jobs on m={multi.m}  "
                 f"Cmax={t['makespan']}  util={t['utilization']:.3f}  "
@@ -336,25 +352,43 @@ def _cmd_replay(args) -> int:
             print(f"{len(multi.rows)} merged rows written to {args.out}")
         return 0
 
-    kwargs = dict(
-        policy=policies[0],
-        window=args.window,
-        store=args.out,
-        profile_backend=args.backend,
-    )
-    if n is not None:
-        m = args.machines or 256
-        engine = ReplayEngine(m, **kwargs)
-        result = engine.run(synth_swf_jobs(profile, n, m=m, seed=args.seed))
-    else:
-        result = replay_swf(
-            args.trace, m=args.machines, max_jobs=args.max_jobs, **kwargs
+    if args.jobs > 1:
+        # single policy + --jobs: shard the trace itself into time
+        # epochs; stitched output is byte-identical to a serial run
+        result = replay_epochs(
+            args.trace, policy=policies[0], epochs=args.jobs,
+            m=args.machines, n=n, max_jobs=args.max_jobs, seed=args.seed,
+            store=args.out, window=args.window,
+            profile_backend=args.backend, batch=batch,
         )
+        shard_note = f"  [{args.jobs} epoch workers]"
+    else:
+        kwargs = dict(
+            policy=policies[0],
+            window=args.window,
+            store=args.out,
+            profile_backend=args.backend,
+            batch=batch,
+        )
+        if n is not None:
+            m = args.machines or 256
+            engine = ReplayEngine(m, **kwargs)
+            result = engine.run(
+                synth_swf_jobs(profile, n, m=m, seed=args.seed)
+            )
+        else:
+            result = replay_swf(
+                args.trace, m=args.machines, max_jobs=args.max_jobs,
+                **kwargs
+            )
+        shard_note = ""
     t = result.totals
+    _warn_demotion(policies[0], t)
     print(
         f"replayed {t['n_jobs']} jobs with {policies[0]} on m={result.m}: "
         f"Cmax={t['makespan']}  util={t['utilization']:.3f}  "
         f"mean_wait={t['mean_wait']:.6g}  ratio_lb={t['ratio_lb']:.4f}"
+        f"{shard_note}"
     )
     print(
         f"bounded memory: peak queue {t['peak_queue_length']}, "
@@ -483,9 +517,9 @@ def _metric_names() -> List[str]:
 
 
 def _backend_names() -> List[str]:
-    from .core.profiles import available_backends
+    from .core.profiles import backend_details
 
-    return available_backends()
+    return backend_details()
 
 
 #: ``repro list --kind`` dispatch; the argparse choices derive from this.
@@ -603,9 +637,10 @@ def build_parser() -> argparse.ArgumentParser:
              "replay several policies (see 'repro list --kind policies')",
     )
     p.add_argument("-j", "--jobs", type=int, default=1,
-                   help="worker processes for multi-policy replay "
-                        "(one shard per policy; output is byte-identical "
-                        "to serial)")
+                   help="worker processes: multi-policy replay shards one "
+                        "worker per policy; a single-policy replay shards "
+                        "the trace itself into N time epochs (output is "
+                        "byte-identical to serial either way)")
     p.add_argument("-m", "--machines", type=int,
                    help="machine size (default: the trace's MaxProcs "
                         "header; 256 for synthetic profiles)")
@@ -617,6 +652,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile backend (default: auto — the int64 "
                         "array kernel, demoting to 'list' on "
                         "non-integral traces)")
+    p.add_argument("--batch", dest="batch", action="store_true",
+                   default=None,
+                   help="force the batched columnar decision engine "
+                        "(default: auto — on whenever numpy and the "
+                        "array kernel are available)")
+    p.add_argument("--no-batch", dest="batch", action="store_false",
+                   help="pin the scalar fused engine (the A/B baseline)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for synth:<profile> traces")
     p.add_argument("-o", "--out",

@@ -87,7 +87,12 @@ from __future__ import annotations
 from typing import Dict, List, Type, Union
 
 from ...errors import InvalidInstanceError
-from .array_backend import ArrayProfile
+from .array_backend import (
+    NUMPY_DISABLE_ENV,
+    ArrayProfile,
+    numpy_module,
+    vector_info,
+)
 from .base import ProfileBackend, Segment, Time
 from .list_backend import ListProfile
 from .tree_backend import TreeProfile
@@ -122,6 +127,32 @@ def register_backend(name: str, backend: Type[ProfileBackend]) -> None:
 def available_backends() -> List[str]:
     """Sorted registry names."""
     return sorted(_BACKENDS)
+
+
+def backend_details() -> List[str]:
+    """Sorted registry names, annotated with runtime capabilities.
+
+    The ``array`` row reports whether its vectorised (numpy) path is
+    active — the feature ``repro list --kind backends`` surfaces so a
+    deployment can tell at a glance which kernel its replays run on.
+    """
+    info = vector_info()
+    rows = []
+    for name in available_backends():
+        if _BACKENDS[name] is ArrayProfile:
+            if info["active"]:
+                detail = f"vectorized: numpy {info['numpy_version']}"
+            elif info["disabled_by_env"]:
+                detail = (
+                    f"vectorized: off (disabled via {NUMPY_DISABLE_ENV}; "
+                    f"scalar fallback)"
+                )
+            else:
+                detail = "vectorized: off (numpy not importable; scalar fallback)"
+            rows.append(f"{name}  [{detail}]")
+        else:
+            rows.append(name)
+    return rows
 
 
 def resolve_backend(spec: BackendSpec = None) -> Type[ProfileBackend]:
@@ -197,6 +228,10 @@ __all__ = [
     "ArrayProfile",
     "register_backend",
     "available_backends",
+    "backend_details",
+    "numpy_module",
+    "vector_info",
+    "NUMPY_DISABLE_ENV",
     "resolve_backend",
     "set_default_backend",
     "get_default_backend",

@@ -1,0 +1,361 @@
+"""Differential tests for the batched decision engine, the vectorized
+many-job profile queries, and epoch-sharded single-trace replay.
+
+The invariants here are the PR's contract: the batched columnar loop,
+the scalar fused loop and the epoch-sharded stitcher all produce
+byte-identical rows (modulo volatile wall-clock fields), and every
+vectorized many-query equals its scalar per-job loop exactly.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import _warn_demotion, main
+from repro.core.job import Job
+from repro.core.profiles import ArrayProfile, ListProfile, TreeProfile
+from repro.errors import InvalidInstanceError, SchedulingError
+from repro.simulation.replay import (
+    ReplayEngine,
+    epoch_boundaries,
+    replay_epochs,
+)
+
+#: wall-clock fields that legitimately differ between identical runs
+VOLATILE = {"elapsed_seconds"}
+
+
+def _trim(result):
+    totals = {k: v for k, v in result.totals.items() if k not in VOLATILE}
+    return totals, result.windows, result.starts
+
+
+def _jobs_from_rows(rows, m):
+    """(gap, runtime, procs) tuples -> released Job list."""
+    jobs = []
+    t = 0
+    for i, (gap, p, q) in enumerate(rows):
+        t += gap
+        jobs.append(Job.trusted(i, p, min(q, m), t))
+    return jobs
+
+
+_trace_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),    # submit gap (0 => ties)
+        st.integers(min_value=1, max_value=40),   # runtime
+        st.integers(min_value=1, max_value=16),   # processors
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+_policies = st.sampled_from(["fcfs", "greedy", "easy"])
+
+
+# ---------------------------------------------------------------------------
+# batched engine == scalar fused engine
+# ---------------------------------------------------------------------------
+
+class TestBatchedEngineIdentity:
+    @given(rows=_trace_rows, policy=_policies, window=st.sampled_from([0, 7]))
+    @settings(max_examples=60, deadline=None)
+    def test_batched_equals_scalar(self, rows, policy, window):
+        """The satellite property: batched earliest-fit decisions equal
+        the scalar per-job path across random traces x all policies —
+        totals, window rows and every recorded start."""
+        m = 16
+        jobs = _jobs_from_rows(rows, m)
+        scalar = ReplayEngine(
+            m, policy=policy, window=window, batch=False,
+            record_starts=True,
+        ).run(jobs)
+        batched = ReplayEngine(
+            m, policy=policy, window=window, batch=True,
+            record_starts=True,
+        ).run(jobs)
+        assert _trim(batched) == _trim(scalar)
+
+    def test_batch_auto_inactive_without_numpy(self, monkeypatch):
+        """numpy absent => lossless fallback to the scalar fused path
+        (same results, batched loop never entered)."""
+        import importlib
+
+        replay_mod = importlib.import_module("repro.simulation.replay")
+
+        jobs = _jobs_from_rows([(1, 5, 4), (0, 3, 8), (2, 7, 2)], 8)
+        with_numpy = ReplayEngine(8, batch=True, record_starts=True).run(jobs)
+
+        monkeypatch.setattr(replay_mod, "numpy_module", lambda: None)
+        engine = ReplayEngine(8, batch=True, record_starts=True)
+        assert engine._batch_active(None) is False
+        without = engine.run(jobs)
+        assert _trim(without) == _trim(with_numpy)
+
+    def test_batch_false_pins_scalar(self):
+        engine = ReplayEngine(8, batch=False)
+        assert engine._batch_active(None) is False
+
+    def test_batch_rejects_garbage(self):
+        with pytest.raises(SchedulingError):
+            ReplayEngine(8, batch="yes")
+
+    def test_non_array_backend_disables_batch(self):
+        engine = ReplayEngine(8, batch="auto", profile_backend="list")
+        assert engine._batch_active(None) is False
+
+    def test_demotion_identical_under_batch(self):
+        """A trace that demotes mid-stream (non-integral times) leaves
+        the batched run with the same demotion record and the same
+        schedule as the scalar run."""
+        jobs = [
+            Job(0, 5, 4, 0),
+            Job(1, 3, 2, 1.5),     # forces auto -> list demotion
+            Job(2, 7, 8, 3.0),
+        ]
+        results = {}
+        for batch in (False, True):
+            with pytest.warns(RuntimeWarning):
+                results[batch] = ReplayEngine(
+                    8, batch=batch, record_starts=True
+                ).run(jobs)
+        assert _trim(results[True]) == _trim(results[False])
+        record = results[True].totals["demoted_to_list_at"]
+        assert record == {"job": 1, "release": 1.5}
+
+
+# ---------------------------------------------------------------------------
+# vectorized many-queries == scalar loops
+# ---------------------------------------------------------------------------
+
+def _random_profile(cls, seed, m=32):
+    rng = random.Random(seed)
+    profile = cls([0], [m])
+    t = 0
+    for _ in range(rng.randrange(0, 25)):
+        t += rng.randrange(0, 4)
+        p = rng.randrange(1, 12)
+        q = rng.randrange(1, m + 1)
+        if profile.fits(q, t, p):
+            profile.reserve(t, p, q)
+    return profile
+
+
+class TestManyQueries:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        start=st.integers(min_value=0, max_value=40),
+        batch=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=33),
+                      st.integers(min_value=1, max_value=20)),
+            min_size=1, max_size=8,
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_fits_many_at_equals_scalar(self, seed, start, batch):
+        profile = _random_profile(ArrayProfile, seed)
+        widths = [q for q, _ in batch]
+        durations = [p for _, p in batch]
+        expect = [profile.fits(q, start, p) for q, p in batch]
+        assert profile.fits_many_at(start, widths, durations) == expect
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        after=st.integers(min_value=0, max_value=40),
+        batch=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=32),
+                      st.integers(min_value=1, max_value=20)),
+            min_size=1, max_size=8,
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_earliest_fit_many_equals_scalar(self, seed, after, batch):
+        """The batched earliest-fit sweep returns exactly the per-job
+        scalar answers, in input order."""
+        profile = _random_profile(ArrayProfile, seed)
+        widths = [q for q, _ in batch]
+        durations = [p for _, p in batch]
+        expect = [
+            profile.earliest_fit(q, p, after=after) for q, p in batch
+        ]
+        assert profile.earliest_fit_many(widths, durations, after=after) \
+            == expect
+
+    @pytest.mark.parametrize("cls", [ListProfile, TreeProfile])
+    def test_generic_fits_many_at_matches_array(self, cls):
+        generic = _random_profile(cls, 7)
+        vector = _random_profile(ArrayProfile, 7)
+        batch = [(4, 3), (33, 1), (1, 50), (16, 2), (0, 1)]
+        widths = [q for q, _ in batch]
+        durations = [p for _, p in batch]
+        for start in range(0, 30, 3):
+            assert generic.fits_many_at(start, widths, durations) == \
+                vector.fits_many_at(start, widths, durations)
+
+    def test_fits_many_at_length_mismatch(self):
+        profile = ArrayProfile([0], [8])
+        with pytest.raises(InvalidInstanceError):
+            profile.fits_many_at(0, [1, 2], [3])
+
+    def test_try_reserve_many_commits_all_or_nothing(self):
+        profile = ArrayProfile([0], [8])
+        before = profile.as_lists()
+        # second block cannot fit at t=0 alongside the first
+        assert profile.try_reserve_many(0, [(3, 5), (2, 6)]) is False
+        assert profile.as_lists() == before
+        # (p=3, q=5) occupies [0,3); (p=2, q=3) occupies [0,2)
+        assert profile.try_reserve_many(0, [(3, 5), (2, 3)]) is True
+        assert profile.min_capacity(0, 2) == 8 - 5 - 3
+        assert profile.min_capacity(2, 3) == 8 - 5
+        assert profile.min_capacity(3, 10) == 8
+
+
+# ---------------------------------------------------------------------------
+# epoch-sharded replay == serial replay
+# ---------------------------------------------------------------------------
+
+class TestEpochBoundaries:
+    @given(
+        gaps=st.lists(st.integers(min_value=0, max_value=3),
+                      min_size=0, max_size=80),
+        epochs=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_cuts_are_quiescent_and_increasing(self, gaps, epochs):
+        releases = []
+        t = 0
+        for gap in gaps:
+            t += gap
+            releases.append(t)
+        cuts = epoch_boundaries(releases, epochs)
+        assert cuts == sorted(set(cuts))
+        assert len(cuts) <= epochs - 1
+        for c in cuts:
+            assert 0 < c < len(releases)
+            # a cut never splits a run of equal release times
+            assert releases[c] != releases[c - 1]
+
+    def test_trivial_cases(self):
+        assert epoch_boundaries([], 4) == []
+        assert epoch_boundaries([0, 1, 2], 1) == []
+        # one long tie cannot be cut at all
+        assert epoch_boundaries([5] * 20, 4) == []
+
+
+class TestEpochShardedReplay:
+    @given(
+        rows=_trace_rows,
+        policy=_policies,
+        epochs=st.sampled_from([2, 3, 7]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sharded_equals_serial(self, rows, policy, epochs):
+        """The satellite property: epoch-sharded replay (K in {2,3,7})
+        is identical to serial — totals, window-aggregate rows, starts."""
+        m = 16
+        jobs = _jobs_from_rows(rows, m)
+        serial = ReplayEngine(
+            m, policy=policy, window=7, record_starts=True
+        ).run(jobs)
+        sharded = replay_epochs(
+            jobs, policy=policy, epochs=epochs, m=m,
+            use_processes=False, window=7, record_starts=True,
+        )
+        assert _trim(sharded) == _trim(serial)
+
+    def test_process_relay_store_is_byte_identical(self, tmp_path):
+        """The real multiprocess relay: stitched JSONL equals the serial
+        engine's file row for row once volatile fields are dropped."""
+        serial_path = tmp_path / "serial.jsonl"
+        epoch_path = tmp_path / "epochs.jsonl"
+        from repro.workloads.swf import synth_swf_jobs
+
+        jobs = list(synth_swf_jobs("steady", 3000, m=64, seed=11))
+        ReplayEngine(
+            64, policy="easy", window=400, store=str(serial_path)
+        ).run(jobs)
+        replay_epochs(
+            "synth:steady:3000", policy="easy", epochs=3, m=64, seed=11,
+            store=str(epoch_path), use_processes=True, window=400,
+        )
+
+        def rows(path):
+            out = []
+            for line in path.read_text().splitlines():
+                row = json.loads(line)
+                for key in VOLATILE:
+                    row.pop(key, None)
+                out.append(row)
+            return out
+
+        assert rows(epoch_path) == rows(serial_path)
+
+    def test_demotion_record_crosses_epochs(self):
+        """A demotion in epoch 0 rides the checkpoint relay: the final
+        totals carry the original offending job, and the schedule is
+        the serial one."""
+        jobs = [Job(i, 4, 2, i) for i in range(8)]
+        jobs[1] = Job(1, 4, 2, 0.5)
+        serial = ReplayEngine(8, record_starts=True).run(jobs)
+        sharded = replay_epochs(
+            jobs, epochs=3, m=8, use_processes=False, record_starts=True,
+        )
+        assert _trim(sharded) == _trim(serial)
+        assert sharded.totals["demoted_to_list_at"] == \
+            {"job": 1, "release": 0.5}
+
+    def test_rejects_bad_arguments(self):
+        jobs = [Job.trusted(0, 1, 1, 0)]
+        with pytest.raises(SchedulingError):
+            replay_epochs(jobs, epochs=0, m=4)
+        with pytest.raises(SchedulingError):
+            replay_epochs(jobs, epochs=2)  # in-memory list needs m=
+        with pytest.raises(SchedulingError):
+            replay_epochs(jobs, epochs=2, m=4, completion_queue="heap")
+
+    def test_checkpoint_config_mismatch_is_loud(self):
+        jobs = [Job.trusted(i, 3, 2, i) for i in range(6)]
+        first = ReplayEngine(8).run_slice(jobs[:3], drain=False)
+        other = ReplayEngine(8, policy="fcfs")
+        with pytest.raises(SchedulingError):
+            other.run_slice(jobs[3:], resume=first.checkpoint)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestReplayCli:
+    def test_single_policy_epoch_sharding(self, capsys):
+        assert main([
+            "replay", "synth:steady:800", "-p", "easy", "-j", "2",
+            "--window", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 epoch workers" in out
+
+    def test_no_batch_flag(self, capsys):
+        assert main([
+            "replay", "synth:steady:400", "-p", "easy", "--no-batch",
+            "--window", "0",
+        ]) == 0
+        assert "replayed 400 jobs" in capsys.readouterr().out
+
+    def test_list_backends_reports_vector_path(self, capsys):
+        assert main(["list", "--kind", "backends"]) == 0
+        out = capsys.readouterr().out
+        assert "array" in out
+        assert "vectorized" in out
+
+    def test_demotion_warning_is_printed(self, capsys):
+        _warn_demotion("easy", {
+            "demoted_to_list_at": {"job": "j42", "release": 7.5},
+        })
+        err = capsys.readouterr().err
+        assert "'j42'" in err and "7.5" in err and "demoted" in err
+
+    def test_no_demotion_no_warning(self, capsys):
+        _warn_demotion("easy", {"n_jobs": 3})
+        assert capsys.readouterr().err == ""
