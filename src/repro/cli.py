@@ -522,6 +522,12 @@ def _backend_names() -> List[str]:
     return backend_details()
 
 
+def _lint_rule_names() -> List[str]:
+    from .devtools.lint import RULES
+
+    return [f"{rule.code} ({rule.name}): {rule.summary}" for rule in RULES]
+
+
 #: ``repro list --kind`` dispatch; the argparse choices derive from this.
 _LIST_LOADERS = {
     "algorithms": available_schedulers,
@@ -529,6 +535,7 @@ _LIST_LOADERS = {
     "policies": _policy_names,
     "metrics": _metric_names,
     "backends": _backend_names,
+    "lint-rules": _lint_rule_names,
 }
 
 _LIST_KINDS = tuple(_LIST_LOADERS)
@@ -548,6 +555,12 @@ def _cmd_list(args) -> int:
     for name in _list_names(args.kind):
         print(name)
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .devtools.lint.cli import run as run_lint_cli
+
+    return run_lint_cli(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -714,6 +727,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="which registry to list (default: algorithms)",
     )
     p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST invariant checks: determinism, int-grid exactness, "
+             "backend-protocol drift (rules: repro list --kind lint-rules)",
+    )
+    from .devtools.lint.cli import build_parser as _build_lint_parser
+
+    _build_lint_parser(p)
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

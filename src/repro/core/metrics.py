@@ -247,7 +247,8 @@ def _register_builtin_metrics() -> None:
     # specs can ask for exactly the columns they need
     for field_name in ScheduleMetrics.__dataclass_fields__:
         _BUILTIN_EXTRACTORS[field_name] = METRICS.register(
-            field_name,
+            field_name,  # repro: noqa RPL501 -- one name per dataclass field
+
             (lambda f: lambda schedule: getattr(summarize(schedule), f))(
                 field_name
             ),

@@ -732,11 +732,13 @@ class ArrayProfile(ProfileBackend):
             if seg_end == math.inf:
                 if cap == 0:
                     return None
-                return lo + (work - acc) / cap
+                # list-backend division parity: type-identical answers
+                return lo + (work - acc) / cap  # repro: noqa RPL202
             gain = cap * (seg_end - lo)
             if acc + gain >= work:
                 if cap == 0:
                     return seg_end
-                return lo + (work - acc) / cap
+                # list-backend division parity: type-identical answers
+                return lo + (work - acc) / cap  # repro: noqa RPL202
             acc += gain
         return None  # pragma: no cover - the last segment is infinite

@@ -33,6 +33,16 @@ derived operations (``fits``, ``inverted``, ``truncated_after``, equality,
 hashing, the constructors) are shared here so all backends agree on their
 semantics by construction.
 
+The protocol is *enforced*, not just documented: ``repro lint`` compares
+every backend listed in ``[tool.repro-lint.protocol]`` against this
+class — a missing primitive is RPL301, a signature that drifts from the
+declaration here is RPL302, a public method a backend grows that the
+protocol never declared is RPL303, and an inherited fallback where the
+config demands an override (the array backend's hot paths) is RPL304.
+To extend the protocol, declare the primitive here first (body =
+docstring + ``raise NotImplementedError``), then implement it in every
+backend in the same CI run.
+
 Mutation-cost tradeoff (the ``_shift_window`` ledger)
 -----------------------------------------------------
 A ``reserve``/``add`` over a window covering ``w`` of the profile's ``n``
@@ -171,6 +181,8 @@ class ProfileBackend:
 
     Subclasses implement the primitives marked ``NotImplementedError``;
     everything else is derived here so backends share exact semantics.
+    ``repro lint`` (rules RPL301–RPL304) keeps registered backends
+    aligned with the primitive set and signatures declared here.
     """
 
     __slots__ = ()

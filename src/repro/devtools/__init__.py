@@ -1,0 +1,9 @@
+"""Developer-facing tooling that ships with the source tree.
+
+Nothing in this package is needed to *run* the library — it holds the
+repository's own quality gates.  Today that is :mod:`repro.devtools.lint`,
+the AST-based invariant checker behind ``repro lint`` (see the README's
+"Static analysis" section for the rule catalog).
+"""
+
+from __future__ import annotations

@@ -1,0 +1,50 @@
+"""Import-alias resolution for AST checkers.
+
+Rules match *fully-qualified* names (``time.time``, ``concurrent.
+futures.ProcessPoolExecutor``), but source refers to them through
+whatever aliases its imports created (``import time as _time``,
+``from concurrent.futures import ProcessPoolExecutor``).  This module
+builds one alias map per module — imports anywhere in the file count,
+because engine code imports executors lazily inside functions — and
+resolves ``Name``/``Attribute`` chains through it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+class ImportMap:
+    """Alias → fully-qualified dotted name for one module."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else bound
+                    self.aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports never shadow stdlib names
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Fully-qualified dotted name of an expression, or ``None`` for
+        anything that is not a plain ``Name``/``Attribute`` chain."""
+        parts = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        head = self.aliases.get(cursor.id, cursor.id)
+        parts.append(head)
+        return ".".join(reversed(parts))

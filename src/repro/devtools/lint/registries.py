@@ -1,0 +1,161 @@
+"""RPL5xx — registry hygiene.
+
+The policy/workload/metric registries are looked up by *string name*
+from CLI flags and experiment-grid YAML.  Greppability is the contract:
+``repro run --policy easy-backfill`` must lead to the registration site
+with a plain text search.
+
+* **RPL501** — a registration call whose name argument is not a string
+  literal (f-strings and computed names defeat grep).  Forwarding
+  wrappers are exempt: a name argument that is itself a parameter of an
+  enclosing function just passes a caller's literal through.
+* **RPL502** — the same literal name registered twice in the same
+  registry (the second call silently wins or raises, depending on
+  ``overwrite``).  Cross-file; scoped by ``registry-duplicate-paths``
+  so tests may deliberately re-register fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from .config import LintConfig
+from .model import Violation
+from .source import SourceFile
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _register_callee(
+    node: ast.Call, source: SourceFile, config: LintConfig
+) -> Optional[str]:
+    """A stable registry key when ``node`` is a registration call, else
+    ``None``.  The key resolves through import aliases so the same
+    registry dedupes across modules."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in config.register_names:
+            return source.imports.resolve(func) or func.id
+        return None
+    if isinstance(func, ast.Attribute) and func.attr in config.register_names:
+        receiver = source.imports.resolve(func.value)
+        if receiver is None and isinstance(func.value, ast.Name):
+            receiver = func.value.id
+        if receiver is None:
+            return None
+        return f"{receiver}.{func.attr}"
+    return None
+
+
+def _name_argument(node: ast.Call) -> Optional[ast.expr]:
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+@dataclass(frozen=True)
+class RegisterCall:
+    """One registration with a literal name, for cross-file dedup."""
+
+    registry: str
+    name: str
+    path: str
+    line: int
+    col: int
+
+
+def _scan(
+    source: SourceFile, config: LintConfig
+) -> Iterator[Tuple[ast.Call, Optional[ast.expr], str, FrozenSet[str]]]:
+    """Yield ``(call, name_arg, registry_key, enclosing_params)`` for
+    every registration call in the module."""
+
+    def walk(
+        node: ast.AST, params: FrozenSet[str]
+    ) -> Iterator[Tuple[ast.Call, Optional[ast.expr], str, FrozenSet[str]]]:
+        for child in ast.iter_child_nodes(node):
+            child_params = params
+            if isinstance(child, _DEF_NODES):
+                args = child.args
+                named = args.posonlyargs + args.args + args.kwonlyargs
+                child_params = params | frozenset(a.arg for a in named)
+            if isinstance(child, ast.Call):
+                registry = _register_callee(child, source, config)
+                if registry is not None:
+                    yield child, _name_argument(child), registry, params
+            yield from walk(child, child_params)
+
+    yield from walk(source.tree, frozenset())
+
+
+def check_register_literals(
+    source: SourceFile, config: LintConfig
+) -> Iterator[Violation]:
+    """RPL501 — per-file literal-name check."""
+    for call, name_arg, registry, params in _scan(source, config):
+        if name_arg is None:
+            continue  # decorator form: register()(fn) names via __name__
+        if isinstance(name_arg, ast.Constant) and isinstance(
+            name_arg.value, str
+        ):
+            continue
+        if isinstance(name_arg, ast.Name) and name_arg.id in params:
+            continue  # forwarding wrapper passes a caller's name through
+        short = registry.rsplit(".", 1)[-1]
+        yield Violation(
+            source.rel,
+            name_arg.lineno,
+            name_arg.col_offset,
+            "RPL501",
+            f"{short}() name is not a string literal; registry names are "
+            "the grep contract between CLI flags and code — register "
+            "each name literally (or suppress with a justification)",
+        )
+
+
+def collect_register_calls(
+    source: SourceFile, config: LintConfig
+) -> List[RegisterCall]:
+    """Literal registrations in this module, for the cross-file RPL502
+    duplicate check."""
+    calls: List[RegisterCall] = []
+    for call, name_arg, registry, _params in _scan(source, config):
+        if isinstance(name_arg, ast.Constant) and isinstance(
+            name_arg.value, str
+        ):
+            calls.append(
+                RegisterCall(
+                    registry=registry,
+                    name=name_arg.value,
+                    path=source.rel,
+                    line=name_arg.lineno,
+                    col=name_arg.col_offset,
+                )
+            )
+    return calls
+
+
+def duplicate_violations(
+    calls: List[RegisterCall],
+) -> Iterator[Violation]:
+    """RPL502 — every registration after the first of the same literal
+    name in the same registry."""
+    first: Dict[Tuple[str, str], RegisterCall] = {}
+    for call in calls:
+        key = (call.registry, call.name)
+        origin = first.setdefault(key, call)
+        if origin is not call:
+            yield Violation(
+                call.path,
+                call.line,
+                call.col,
+                "RPL502",
+                f"duplicate registration of {call.name!r} in "
+                f"{call.registry.rsplit('.', 1)[-1]}() (first registered "
+                f"at {origin.path}:{origin.line})",
+            )

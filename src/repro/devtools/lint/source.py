@@ -1,0 +1,51 @@
+"""The per-file parse product every checker consumes."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from .imports import ImportMap
+from .suppress import Suppression, parse_suppressions
+
+
+@dataclass
+class SourceFile:
+    """One parsed module: path, AST, imports and suppressions."""
+
+    #: absolute location on disk
+    abspath: Path
+    #: POSIX path relative to the config root (the span path in output)
+    rel: str
+    text: str
+    tree: ast.Module
+    imports: ImportMap
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, abspath: Path, rel: str) -> Optional["SourceFile"]:
+        """Parse ``abspath``; ``None`` when the file is not valid Python
+        (the engine reports that separately)."""
+        text = abspath.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(abspath))
+        except SyntaxError:
+            return None
+        return cls(
+            abspath=abspath,
+            rel=rel,
+            text=text,
+            tree=tree,
+            imports=ImportMap(tree),
+            suppressions=parse_suppressions(text),
+        )
+
+    def in_any(self, prefixes: Tuple[str, ...]) -> bool:
+        """Whether this file lives under any of the given POSIX path
+        prefixes (a prefix may name the file itself)."""
+        for prefix in prefixes:
+            if self.rel == prefix or self.rel.startswith(prefix.rstrip("/") + "/"):
+                return True
+        return False

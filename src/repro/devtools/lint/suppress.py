@@ -1,0 +1,122 @@
+"""``# repro: noqa`` suppression parsing.
+
+Two forms, both carrying explicit rule codes (exact ``RPL203`` or a
+family ``RPL2xx``) and an optional ``--``-separated justification:
+
+* inline — suppresses matching violations on the comment's line::
+
+      return lo + (work - acc) / cap  # repro: noqa RPL202 -- why
+
+* region — a ``noqa-begin`` / ``noqa-end`` pair suppresses matching
+  violations on every line between the markers (inclusive)::
+
+      # repro: noqa-begin RPL2xx -- float metric accounting
+      ...
+      # repro: noqa-end RPL2xx
+
+A bare ``# repro: noqa`` (no codes) suppresses every rule on its line;
+regions must name codes.  Comments are found with :mod:`tokenize`, so a
+``#`` inside a string never reads as a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .model import CODE_RE, FAMILY_RE
+
+_MARKER_RE = re.compile(r"#\s*repro:\s*noqa(?P<kind>-begin|-end)?(?P<rest>[^#]*)")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One suppressed line range with its code selectors."""
+
+    start: int
+    end: int
+    #: exact codes ("RPL203") and family prefixes ("RPL2"); empty = all
+    codes: Tuple[str, ...]
+    prefixes: Tuple[str, ...]
+
+    def matches(self, line: int, code: str) -> bool:
+        if not self.start <= line <= self.end:
+            return False
+        if not self.codes and not self.prefixes:
+            return True
+        return code in self.codes or any(
+            code.startswith(prefix) for prefix in self.prefixes
+        )
+
+
+class SuppressionError(ValueError):
+    """A malformed suppression comment (loud beats silently ignored)."""
+
+
+def _parse_selectors(rest: str, line: int) -> Tuple[List[str], List[str]]:
+    codes: List[str] = []
+    prefixes: List[str] = []
+    spec = rest.split("--", 1)[0]  # anything after -- is justification
+    for token in re.split(r"[\s,]+", spec.strip()):
+        if not token:
+            continue
+        if CODE_RE.match(token):
+            codes.append(token)
+        elif FAMILY_RE.match(token):
+            prefixes.append(token[:4])
+        else:
+            raise SuppressionError(
+                f"line {line}: unrecognised rule selector {token!r} in "
+                "suppression comment (expected RPLnnn or RPLnxx)"
+            )
+    return codes, prefixes
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Every suppression declared in ``source``.
+
+    Raises :class:`SuppressionError` on malformed selectors, a region
+    without codes, or an unterminated/unmatched region marker.
+    """
+    suppressions: List[Suppression] = []
+    open_regions: List[Tuple[int, Tuple[str, ...], Tuple[str, ...]]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []  # the engine reports the parse error itself
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _MARKER_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        codes, prefixes = _parse_selectors(match.group("rest"), line)
+        kind = match.group("kind")
+        if kind is None:
+            suppressions.append(Suppression(line, line, tuple(codes), tuple(prefixes)))
+        elif kind == "-begin":
+            if not codes and not prefixes:
+                raise SuppressionError(
+                    f"line {line}: noqa-begin must name rule codes"
+                )
+            open_regions.append((line, tuple(codes), tuple(prefixes)))
+        else:
+            if not open_regions:
+                raise SuppressionError(
+                    f"line {line}: noqa-end without a matching noqa-begin"
+                )
+            start, r_codes, r_prefixes = open_regions.pop()
+            suppressions.append(Suppression(start, line, r_codes, r_prefixes))
+    if open_regions:
+        raise SuppressionError(
+            f"line {open_regions[-1][0]}: noqa-begin region never closed"
+        )
+    return suppressions
+
+
+def is_suppressed(suppressions: List[Suppression], line: int, code: str) -> bool:
+    return any(s.matches(line, code) for s in suppressions)

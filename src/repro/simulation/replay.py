@@ -641,7 +641,7 @@ class ReplayEngine:
         max_wait = 0
         sum_slowdown = 0
         sum_bsld = 0
-        max_bsld = 0.0
+        max_bsld = 0.0  # repro: noqa RPL201 -- bsld gauge is float by definition
         peak_queue = 0
         peak_running = 0
         peak_segments = 1
@@ -987,7 +987,7 @@ class ReplayEngine:
         max_wait = 0
         sum_slowdown = 0
         sum_bsld = 0
-        max_bsld = 0.0
+        max_bsld = 0.0  # repro: noqa RPL201 -- bsld gauge is float by definition
         peak_queue = 0
         running_count = 0
         peak_running = 0
@@ -1196,11 +1196,14 @@ class ReplayEngine:
                         sum_wait += wait
                         if wait > max_wait:
                             max_wait = wait
+                        # repro: noqa-begin RPL2xx -- slowdown/bsld gauges are
+                        # float aggregates; grid times never read them back
                         sum_slowdown += (wait + jp) / jp
                         den = jp if jp > bsld_tau else bsld_tau
                         bsld = float(wait + jp) / float(den)
                         if bsld < 1.0:
                             bsld = 1.0
+                        # repro: noqa-end RPL2xx
                         sum_bsld += bsld
                         if bsld > max_bsld:
                             max_bsld = bsld
@@ -1277,11 +1280,14 @@ class ReplayEngine:
                                 sum_wait += wait
                                 if wait > max_wait:
                                     max_wait = wait
+                                # repro: noqa-begin RPL2xx -- float slowdown/
+                                # bsld gauges; never read back into grid times
                                 sum_slowdown += (wait + jp) / jp
                                 den = jp if jp > bsld_tau else bsld_tau
                                 bsld = float(wait + jp) / float(den)
                                 if bsld < 1.0:
                                     bsld = 1.0
+                                # repro: noqa-end RPL2xx
                                 sum_bsld += bsld
                                 if bsld > max_bsld:
                                     max_bsld = bsld
@@ -1318,11 +1324,14 @@ class ReplayEngine:
                         sum_wait += wait
                         if wait > max_wait:
                             max_wait = wait
+                        # repro: noqa-begin RPL2xx -- slowdown/bsld gauges are
+                        # float aggregates; grid times never read them back
                         sum_slowdown += (wait + jp) / jp
                         den = jp if jp > bsld_tau else bsld_tau
                         bsld = float(wait + jp) / float(den)
                         if bsld < 1.0:
                             bsld = 1.0
+                        # repro: noqa-end RPL2xx
                         sum_bsld += bsld
                         if bsld > max_bsld:
                             max_bsld = bsld
@@ -1509,7 +1518,7 @@ class ReplayEngine:
         max_wait = 0
         sum_slowdown = 0
         sum_bsld = 0
-        max_bsld = 0.0
+        max_bsld = 0.0  # repro: noqa RPL201 -- bsld gauge is float by definition
         peak_queue = 0
         running_count = 0
         peak_running = 0
@@ -1844,6 +1853,7 @@ class ReplayEngine:
                         # wait == 0 exactly, so the float block collapses
                         # (x/x == 1.0 and the clamp floors jp/tau): the
                         # same 1.0 the scalar engines accumulate
+                        # repro: noqa-begin RPL2xx -- float gauge updates
                         sum_slowdown += 1.0
                         sum_bsld += 1.0
                         if 1.0 > max_bsld:
@@ -1854,6 +1864,7 @@ class ReplayEngine:
                             wacc.sum_bsld += 1.0
                             if 1.0 > wacc.max_bsld:
                                 wacc.max_bsld = 1.0
+                        # repro: noqa-end RPL2xx
                         else:
                             wacc = None
                         if record is not None:
@@ -1955,6 +1966,7 @@ class ReplayEngine:
                             kidx = b_idx[k]
                             del queue[kidx]
                             running_count += 1
+                            # repro: noqa-begin RPL2xx -- float gauge updates
                             sum_slowdown += 1.0  # wait == 0 exactly
                             sum_bsld += 1.0
                             if 1.0 > max_bsld:
@@ -1965,6 +1977,7 @@ class ReplayEngine:
                                 acc.sum_bsld += 1.0
                                 if 1.0 > acc.max_bsld:
                                     acc.max_bsld = 1.0
+                            # repro: noqa-end RPL2xx
                             else:
                                 acc = None
                             if record is not None:
@@ -1994,11 +2007,14 @@ class ReplayEngine:
                             sum_wait += wait
                             if wait > max_wait:
                                 max_wait = wait
+                            # repro: noqa-begin RPL2xx -- float slowdown/bsld
+                            # gauges; never read back into grid times
                             sum_slowdown += (wait + jp) / jp
                             den = jp if jp > bsld_tau else bsld_tau
                             bsld = float(wait + jp) / float(den)
                             if bsld < 1.0:
                                 bsld = 1.0
+                            # repro: noqa-end RPL2xx
                             sum_bsld += bsld
                             if bsld > max_bsld:
                                 max_bsld = bsld
@@ -2036,11 +2052,14 @@ class ReplayEngine:
                             sum_wait += wait
                             if wait > max_wait:
                                 max_wait = wait
+                            # repro: noqa-begin RPL2xx -- float slowdown/bsld
+                            # gauges; never read back into grid times
                             sum_slowdown += (wait + jp) / jp
                             den = jp if jp > bsld_tau else bsld_tau
                             bsld = float(wait + jp) / float(den)
                             if bsld < 1.0:
                                 bsld = 1.0
+                            # repro: noqa-end RPL2xx
                             sum_bsld += bsld
                             if bsld > max_bsld:
                                 max_bsld = bsld
@@ -2110,11 +2129,14 @@ class ReplayEngine:
                             sum_wait += wait
                             if wait > max_wait:
                                 max_wait = wait
+                            # repro: noqa-begin RPL2xx -- float slowdown/bsld
+                            # gauges; never read back into grid times
                             sum_slowdown += (wait + jp) / jp
                             den = jp if jp > bsld_tau else bsld_tau
                             bsld = float(wait + jp) / float(den)
                             if bsld < 1.0:
                                 bsld = 1.0
+                            # repro: noqa-end RPL2xx
                             sum_bsld += bsld
                             if bsld > max_bsld:
                                 max_bsld = bsld

@@ -154,7 +154,13 @@ def _register_synth_swf_profiles() -> None:
             f"Materialised {profile_name!r} synthetic SWF trace "
             f"(see repro.workloads.swf.synth_swf_jobs)."
         )
-        register_workload(f"swf-{profile_name}", _make, overwrite=True)
+        # one name per SYNTH_PROFILES entry; the literal profile names
+        # are greppable in workloads/swf.py
+        register_workload(
+            f"swf-{profile_name}",  # repro: noqa RPL501
+            _make,
+            overwrite=True,
+        )
 
 
 _register_synth_swf_profiles()
