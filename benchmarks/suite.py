@@ -566,6 +566,78 @@ def _run_batched_gate(
             raise SystemExit(1)
 
 
+def _run_journal_overhead(
+    repeats: int, small_n: int, m: int, seed: int,
+    profile: str, scenarios: Dict,
+) -> None:
+    """Measure the durable journal's cost (record-only, never a gate).
+
+    Interleaves the journal-free replay against the journaled one on the
+    same trace, best-of-N, and records the overhead percentage in the
+    trajectory — durability costs what it costs, and the number should
+    be visible, not gated.  What *is* asserted here is the contract that
+    makes the journal safe to ship: journaled and plain runs emit
+    identical window rows and identical deterministic totals (the
+    journal wraps the engine, it never reaches into it), so with no
+    ``--journal`` flag the overhead is exactly zero.
+    """
+    import shutil
+    import tempfile
+
+    from repro.durability import replay_journaled
+    from repro.simulation import replay
+    from repro.workloads.swf import synth_swf_jobs
+
+    source = f"synth:{profile}:{small_n}"
+    interval = max(small_n // 10, 1)
+    best_plain = best_journaled = None
+    plain = journaled = None
+    for _ in range(max(repeats, 3)):
+        t0 = time.perf_counter()
+        plain = replay(
+            synth_swf_jobs(profile, small_n, m=m, seed=seed), m,
+            policy="easy",
+        )
+        best_plain = (time.perf_counter() - t0 if best_plain is None
+                      else min(best_plain, time.perf_counter() - t0))
+        tmp = tempfile.mkdtemp(prefix="bench-journal-")
+        try:
+            t0 = time.perf_counter()
+            journaled = replay_journaled(
+                source, os.path.join(tmp, "journal"), policy="easy",
+                m=m, seed=seed, snapshot_interval=interval,
+            )
+            elapsed = time.perf_counter() - t0
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        best_journaled = (elapsed if best_journaled is None
+                          else min(best_journaled, elapsed))
+    assert plain is not None and journaled is not None
+    volatile = {"elapsed_seconds"}
+    assert journaled.windows == plain.windows, (
+        "journaled replay's window rows diverged from the plain engine"
+    )
+    assert (
+        {k: v for k, v in journaled.totals.items() if k not in volatile}
+        == {k: v for k, v in plain.totals.items() if k not in volatile}
+    ), "journaled replay's totals diverged from the plain engine"
+    overhead_pct = round((best_journaled / best_plain - 1.0) * 100, 1)
+    scenarios[f"journal_overhead_{small_n // 1000}k"] = {
+        "jobs": small_n,
+        "snapshot_interval": interval,
+        "jobs_per_sec_plain": round(small_n / best_plain),
+        "jobs_per_sec_journaled": round(small_n / best_journaled),
+        "overhead_pct": overhead_pct,
+        "identical_rows": True,
+        "gated": False,
+    }
+    print(
+        f"  journal overhead: {overhead_pct:+.1f}% "
+        f"({round(small_n / best_journaled):,} jobs/s journaled vs "
+        f"{round(small_n / best_plain):,} plain; record-only)"
+    )
+
+
 def bench_replay_throughput(
     quick: bool, repeats: int, out_dir: Optional[pathlib.Path]
 ) -> Dict:
@@ -597,6 +669,10 @@ def bench_replay_throughput(
       stay flat across the 10x scale jump (the bounded-memory gate);
       backend selectable via :data:`REPLAY_BACKEND_ENV` for the CI
       matrix.
+    * ``journal_overhead_100k`` — record-only: the durable journal's
+      cost vs the journal-free engine on the same trace, plus the
+      assertion that both emit identical rows (see
+      :func:`_run_journal_overhead`); never gated.
     * ``ingest_100k_gz`` — parse-only pass of a gzipped 100k-job SWF
       file through the chunked streaming reader.
     * ``identity_100k`` — the byte-identity matrix: for every built-in
@@ -664,6 +740,8 @@ def bench_replay_throughput(
         _run_serial_gate(repeats, small_n, m, seed, profile, scenarios)
         print(f"batched/epoch gate: synth:{profile}:{small_n} on m={m} ...")
         _run_batched_gate(repeats, small_n, m, seed, profile, scenarios)
+        print(f"journal overhead: synth:{profile}:{small_n} on m={m} ...")
+        _run_journal_overhead(repeats, small_n, m, seed, profile, scenarios)
 
     # -- bounded-memory legs at 1M jobs ---------------------------------
     for policy in policies:

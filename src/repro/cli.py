@@ -326,6 +326,49 @@ def _cmd_replay(args) -> int:
         if args.max_jobs is not None:
             n = min(n, args.max_jobs)
 
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal DIR", file=sys.stderr)
+        return 2
+    if args.journal:
+        if len(policies) > 1 or args.jobs > 1:
+            print(
+                "error: --journal covers a single-policy, single-process "
+                "replay (drop --jobs / extra policies)",
+                file=sys.stderr,
+            )
+            return 2
+        from .durability import DEFAULT_SNAPSHOT_INTERVAL, replay_journaled
+        from .errors import JournalError
+
+        interval = (args.snapshot_interval
+                    if args.snapshot_interval is not None
+                    else DEFAULT_SNAPSHOT_INTERVAL)
+        try:
+            result = replay_journaled(
+                args.trace, args.journal, policy=policies[0],
+                m=args.machines, n=n, max_jobs=args.max_jobs,
+                seed=args.seed, store=args.out, resume=args.resume,
+                snapshot_interval=interval, window=args.window,
+                profile_backend=args.backend, batch=batch,
+            )
+        except JournalError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        t = result.totals
+        _warn_demotion(policies[0], t)
+        print(
+            f"replayed {t['n_jobs']} jobs with {policies[0]} on "
+            f"m={result.m}: Cmax={t['makespan']}  "
+            f"util={t['utilization']:.3f}  "
+            f"mean_wait={t['mean_wait']:.6g}  ratio_lb={t['ratio_lb']:.4f}"
+            f"  [journal: {args.journal}]"
+        )
+        if args.out:
+            print(
+                f"{t['windows']} window rows + totals written to {args.out}"
+            )
+        return 0
+
     if len(policies) > 1:
         # multi-policy mode: K independent replays of the same source,
         # sharded onto worker processes with --jobs; merged JSONL rows
@@ -361,6 +404,13 @@ def _cmd_replay(args) -> int:
             store=args.out, window=args.window,
             profile_backend=args.backend, batch=batch,
         )
+        for rec in result.recoveries:
+            print(
+                f"warning: epoch {rec['epoch']} worker healed "
+                f"(attempt {rec['attempt']}, {rec['action']}): "
+                f"{rec['error']}",
+                file=sys.stderr,
+            )
         shard_note = f"  [{args.jobs} epoch workers]"
     else:
         kwargs = dict(
@@ -528,6 +578,12 @@ def _lint_rule_names() -> List[str]:
     return [f"{rule.code} ({rule.name}): {rule.summary}" for rule in RULES]
 
 
+def _failpoint_names() -> List[str]:
+    from .devtools import failpoints
+
+    return failpoints.describe()
+
+
 #: ``repro list --kind`` dispatch; the argparse choices derive from this.
 _LIST_LOADERS = {
     "algorithms": available_schedulers,
@@ -536,6 +592,7 @@ _LIST_LOADERS = {
     "metrics": _metric_names,
     "backends": _backend_names,
     "lint-rules": _lint_rule_names,
+    "failpoints": _failpoint_names,
 }
 
 _LIST_KINDS = tuple(_LIST_LOADERS)
@@ -676,6 +733,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for synth:<profile> traces")
     p.add_argument("-o", "--out",
                    help="JSONL store for window rows + totals")
+    p.add_argument("--journal", metavar="DIR",
+                   help="durable journal directory: window rows and "
+                        "periodic checkpoints are logged so a killed run "
+                        "resumes byte-identically with --resume "
+                        "(single policy, --jobs 1)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume a journaled run from its latest "
+                        "committed snapshot (requires --journal)")
+    p.add_argument("--snapshot-interval", type=int, default=None,
+                   metavar="N",
+                   help="jobs replayed between journal snapshots "
+                        "(default 100000)")
     p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("info", help="characterize a workload")

@@ -17,6 +17,7 @@ families and leaves only the everywhere-rules RPL4xx/RPL5xx active)::
     ]                                                   #   of its methods)
     registry-register-names = ["register", ...]         # RPL501/RPL502
     registry-duplicate-paths = ["src/repro"]            # RPL502 scope
+    durable-write-paths = ["src/repro/durability", ...] # RPL402 scope
 
     [tool.repro-lint.protocol]                          # RPL3xx
     base = "src/repro/core/profiles/base.py::ProfileBackend"
@@ -82,6 +83,7 @@ class LintConfig:
     require_override: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     register_names: Tuple[str, ...] = DEFAULT_REGISTER_NAMES
     registry_duplicate_paths: Tuple[str, ...] = ()
+    durable_write_paths: Tuple[str, ...] = ()
 
 
 def _string_list(table: Dict[str, object], key: str) -> Tuple[str, ...]:
@@ -169,6 +171,7 @@ def load_config(pyproject: Path) -> LintConfig:
         require_override=require_override,
         register_names=register_names or DEFAULT_REGISTER_NAMES,
         registry_duplicate_paths=_string_list(table, "registry-duplicate-paths"),
+        durable_write_paths=_string_list(table, "durable-write-paths"),
     )
 
 

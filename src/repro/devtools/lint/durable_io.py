@@ -1,0 +1,93 @@
+"""RPL402 — atomic publication of durable files.
+
+The durability layer's crash-safety argument rests on one discipline:
+every file a crash-recovery scan or a concurrent reader may observe —
+checkpoints, journal segments, snapshots, rewritten stores — is
+published whole, via :mod:`repro.durability.atomic` (write to a
+same-directory tmp file, fsync, ``os.replace``).  A truncating
+``open(path, "w")`` in those modules silently reintroduces the
+half-written-file window the kill-anywhere tests exist to rule out, and
+nothing fails until a crash lands inside it.
+
+The rule flags, inside the configured ``durable-write-paths``:
+
+* ``open(...)`` calls whose literal mode contains ``w`` or ``x``
+  (append mode is exempt — appends are the journal's own format, and a
+  torn append is what the recovery scan repairs);
+* ``Path.write_bytes`` / ``Path.write_text`` style attribute calls,
+  which truncate by definition.
+
+The atomic helper's own tmp-file leg carries a ``noqa`` with its
+justification — the one place the pattern is load-bearing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .config import LintConfig
+from .model import Violation
+from .source import SourceFile
+
+_WRITE_ATTRS = frozenset({"write_bytes", "write_text"})
+
+
+def _literal_mode(node: ast.Call) -> Optional[str]:
+    """The mode argument of an ``open`` call, when given as a string
+    literal (positionally or as ``mode=``); ``None`` when absent or
+    dynamic — a dynamic mode is not flagged rather than guessed at."""
+    mode: Optional[ast.expr] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _is_open(node: ast.Call, source: SourceFile) -> bool:
+    if isinstance(node.func, ast.Name) and node.func.id == "open":
+        return True
+    resolved = source.imports.resolve(node.func)
+    return resolved in {"io.open", "os.fdopen", "gzip.open"}
+
+
+def check_durable_io(
+    source: SourceFile, config: LintConfig
+) -> Iterator[Violation]:
+    if not source.in_any(config.durable_write_paths):
+        return
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _is_open(node, source):
+            mode = _literal_mode(node)
+            if mode is not None and any(c in mode for c in "wx"):
+                yield Violation(
+                    source.rel,
+                    node.lineno,
+                    node.col_offset,
+                    "RPL402",
+                    f"truncating open(..., {mode!r}) on a durable path; a "
+                    "crash mid-write leaves a half-written file for the "
+                    "recovery scan — publish via repro.durability.atomic "
+                    "(tmp + os.replace) instead",
+                )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WRITE_ATTRS
+        ):
+            yield Violation(
+                source.rel,
+                node.lineno,
+                node.col_offset,
+                "RPL402",
+                f".{node.func.attr}() truncates in place on a durable "
+                "path; publish via repro.durability.atomic "
+                "(tmp + os.replace) instead",
+            )

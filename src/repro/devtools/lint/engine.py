@@ -16,6 +16,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
 
 from .config import LintConfig, resolve_config
 from .determinism import check_determinism
+from .durable_io import check_durable_io
 from .exactness import check_exactness
 from .model import Violation, expand_rule_selector
 from .multiproc import check_multiproc
@@ -36,6 +37,7 @@ CheckFn = Callable[[SourceFile, LintConfig], Iterator[Violation]]
 #: Per-file checkers, run on every scanned module in order.
 PER_FILE_CHECKS: Sequence[CheckFn] = (
     check_determinism,
+    check_durable_io,
     check_exactness,
     check_multiproc,
     check_register_literals,

@@ -142,6 +142,14 @@ RULES: Tuple[Rule, ...] = (
         "sharded replay/runner contract: worker callables are module-level "
         "so ProcessPoolExecutor can pickle them",
     ),
+    Rule(
+        "RPL402",
+        "non-atomic-durable-write",
+        "truncating write to a durable file outside the atomic helper",
+        "crash-safety contract: files a crash-recovery scan or another "
+        "process may read are published via repro.durability.atomic "
+        "(tmp + os.replace), never open(..., 'w'/'wb') in place",
+    ),
     # -- RPL5xx: registry hygiene ------------------------------------------
     Rule(
         "RPL501",

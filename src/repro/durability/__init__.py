@@ -1,0 +1,38 @@
+"""Durability layer: crash-safe replay and atomic file publication.
+
+Three pieces, each usable on its own:
+
+* :mod:`repro.durability.atomic` — tmp + ``os.replace`` publication of
+  every durable file (enforced by lint rule RPL402);
+* :mod:`repro.durability.journal` — an append-only journal of
+  CRC-framed records with snapshot-rolled segments and a recovery scan
+  that truncates torn tails;
+* :mod:`repro.durability.journaled` — the journaled replay driver
+  behind ``repro replay --journal DIR`` / ``--resume``, whose invariant
+  is kill-anywhere byte-identity: SIGKILL the process at any registered
+  failpoint (:mod:`repro.devtools.failpoints`), resume, and the JSONL
+  output equals an uninterrupted run's byte for byte.
+"""
+
+from .atomic import atomic_pickle, atomic_write_bytes, atomic_write_text
+from .journal import (
+    JOURNAL_VERSION,
+    Journal,
+    JournalRecovery,
+    JournalScan,
+    scan_journal,
+)
+from .journaled import DEFAULT_SNAPSHOT_INTERVAL, replay_journaled
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "DEFAULT_SNAPSHOT_INTERVAL",
+    "Journal",
+    "JournalRecovery",
+    "JournalScan",
+    "atomic_pickle",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "replay_journaled",
+    "scan_journal",
+]

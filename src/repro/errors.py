@@ -72,5 +72,36 @@ class SearchBudgetExceeded(SchedulingError):
         self.incumbent = incumbent
 
 
+class ReplayRelayError(SchedulingError):
+    """The epoch-checkpoint relay between sharded replay workers broke.
+
+    Raised by a successor epoch when its predecessor published a
+    structured failure record, stopped heartbeating (died without
+    publishing anything), or exceeded the relay's bounded wait.  The
+    self-healing orchestrator catches it, retries the failed epoch, and
+    degrades to serial re-execution before giving up.
+    """
+
+
+class JournalError(ReproError):
+    """A replay journal directory cannot be used as requested.
+
+    Examples: creating a journal in a non-empty directory, resuming
+    from a directory with no journal, or resuming with an engine
+    configuration that does not match the journal's recorded header.
+    """
+
+
+class JournalCorruptError(JournalError):
+    """A journal failed validation *before* its recoverable tail.
+
+    A torn tail — an incomplete or CRC-failing final record in the last
+    segment — is expected after a crash and is truncated silently; this
+    error means damage anywhere else (a mid-file CRC mismatch, a
+    non-JSON payload, a snapshot whose bytes no longer match the marker
+    record), which re-execution cannot repair.
+    """
+
+
 class TraceFormatError(ReproError, ValueError):
     """A workload trace file (for example SWF) could not be parsed."""

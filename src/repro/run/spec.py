@@ -483,9 +483,10 @@ def loads_spec(text: str) -> ExperimentSpec:
 
 
 def save_spec(spec: ExperimentSpec, path: str) -> str:
-    """Write a spec JSON file; returns the path."""
-    with open(path, "w") as fh:
-        fh.write(dumps_spec(spec))
+    """Write a spec JSON file atomically; returns the path."""
+    from ..durability.atomic import atomic_write_text
+
+    atomic_write_text(path, dumps_spec(spec))
     return path
 
 

@@ -5,8 +5,11 @@ that two runs computing the same grid produce byte-identical files —
 the property the serial-vs-parallel determinism test pins down.
 
 A store survives killed runs: rows are flushed per line, and a torn
-final line (the signature of a mid-write crash) is skipped with a
-warning on load instead of poisoning the resume.
+final line (the signature of a mid-write crash) is *repaired* on load —
+the partial line is truncated away (or its missing newline restored)
+with a warning, so the next append starts a fresh line instead of
+concatenating onto the wreckage.  Mid-file damage is only skipped, never
+truncated: truncating there would discard the good rows after it.
 """
 
 from __future__ import annotations
@@ -14,7 +17,9 @@ from __future__ import annotations
 import json
 import os
 import warnings
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
+
+from ..devtools.failpoints import fire
 
 
 class JsonlStore:
@@ -27,30 +32,58 @@ class JsonlStore:
         return os.path.exists(self.path)
 
     def load(self) -> List[Dict]:
-        """All parseable rows, in file order.
+        """All parseable rows, in file order, repairing a torn tail.
 
-        Lines that fail to parse are skipped with a warning: a torn tail
-        line is expected after a killed run, and one bad line must not
+        A torn trailing line — the signature of a mid-write crash — is
+        truncated off the file with a warning so the store is again a
+        clean sequence of newline-terminated rows; a trailing row whose
+        newline alone went missing gets it restored (a JSON object only
+        parses at its final brace, so a parseable unterminated tail is
+        the complete row).  Mid-file lines that fail to parse are
+        skipped with a warning but left in place: one bad line must not
         discard an otherwise resumable store.
         """
         if not self.exists():
             return []
+        with open(self.path, "rb") as fh:
+            data = fh.read()
         rows: List[Dict] = []
-        with open(self.path) as fh:
-            for lineno, line in enumerate(fh, 1):
-                line = line.strip()
-                if not line:
-                    continue
+        lines = data.splitlines(keepends=True)
+        offset = 0
+        for lineno, raw in enumerate(lines, 1):
+            last = lineno == len(lines)
+            stripped = raw.strip()
+            if stripped:
+                row: Optional[Dict] = None
                 try:
-                    row = json.loads(line)
-                except json.JSONDecodeError:
-                    warnings.warn(
-                        f"{self.path}:{lineno}: skipping unparseable row "
-                        f"(torn write from an interrupted run?)"
-                    )
-                    continue
-                if isinstance(row, dict):
+                    parsed = json.loads(stripped.decode("utf-8"))
+                    if isinstance(parsed, dict):
+                        row = parsed
+                except (UnicodeDecodeError, ValueError):
+                    row = None
+                if row is None:
+                    if last:
+                        warnings.warn(
+                            f"{self.path}:{lineno}: truncating torn "
+                            "trailing row (interrupted run); resuming "
+                            "from the intact prefix"
+                        )
+                        os.truncate(self.path, offset)
+                    else:
+                        warnings.warn(
+                            f"{self.path}:{lineno}: skipping unparseable "
+                            "row (torn write from an interrupted run?)"
+                        )
+                else:
+                    if last and not raw.endswith(b"\n"):
+                        warnings.warn(
+                            f"{self.path}:{lineno}: restoring missing "
+                            "newline on trailing row (interrupted run)"
+                        )
+                        with open(self.path, "a") as fh:
+                            fh.write("\n")
                     rows.append(row)
+            offset += len(raw)
         return rows
 
     def keys(self) -> Set[str]:
@@ -62,6 +95,7 @@ class JsonlStore:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        fire("store.append")
         with open(self.path, "a") as fh:
             fh.write(json.dumps(row, sort_keys=True) + "\n")
             fh.flush()

@@ -117,9 +117,11 @@ from ..core.profiles import (
     resolve_backend,
 )
 from ..core.profiles.array_backend import _INT64_MAX
+from ..devtools.failpoints import fire
 from ..errors import (
     CapacityError,
     InvalidInstanceError,
+    ReplayRelayError,
     SchedulingError,
     TraceFormatError,
 )
@@ -401,6 +403,11 @@ class ReplayResult:
     #: :meth:`ReplayEngine.run_slice` with ``drain=False`` (epoch
     #: sharding); ``None`` on every fully-drained run.
     checkpoint: Optional[ReplayCheckpoint] = None
+    #: structured records of epoch-worker failures that were healed
+    #: (retried or re-executed serially) by :func:`replay_epochs`.
+    #: Deliberately *not* part of ``totals``: recovery metadata is
+    #: volatile and must never break serial-vs-sharded byte identity.
+    recoveries: List[Dict] = field(default_factory=list)
 
     @property
     def n_jobs(self) -> int:
@@ -2458,7 +2465,27 @@ def replay_policies(
 #: Seconds an epoch worker waits for its predecessor's checkpoint before
 #: giving up (a deadlock backstop, not a tuning knob — the relay normally
 #: resolves in milliseconds once the predecessor finishes its slice).
+#: Also the parent orchestrator's per-epoch hang budget.
 EPOCH_RELAY_TIMEOUT = 600.0
+
+#: Seconds without a heartbeat update before a worker is presumed dead.
+#: A live worker beats every :data:`EPOCH_HEARTBEAT_INTERVAL` from a
+#: daemon thread, so staleness means the *process* died (a kill, an
+#: OOM) without publishing either its checkpoint or an error record —
+#: the liveness hole that previously left successors waiting for the
+#: full relay timeout.
+EPOCH_LIVENESS_TIMEOUT = 30.0
+
+#: Seconds between heartbeat touches by a live epoch worker.
+EPOCH_HEARTBEAT_INTERVAL = 0.1
+
+#: Default retry budget for a failed epoch worker before the
+#: orchestrator degrades to serial re-execution in the parent.
+EPOCH_MAX_RETRIES = 2
+
+#: Base of the exponential backoff between epoch retries (seconds):
+#: attempt ``i`` sleeps ``EPOCH_RETRY_BACKOFF * 2**(i-1)``.
+EPOCH_RETRY_BACKOFF = 0.25
 
 
 def epoch_boundaries(releases: "List", epochs: int) -> List[int]:
@@ -2491,40 +2518,147 @@ def epoch_boundaries(releases: "List", epochs: int) -> List[int]:
     return cuts
 
 
-def _epoch_ckpt_paths(relay_dir: str, k: int) -> Tuple[str, str]:
+def _epoch_ckpt_paths(relay_dir: str, k: int) -> Tuple[str, str, str]:
     import os
 
     return (
         os.path.join(relay_dir, f"ckpt-{k:04d}.pkl"),
         os.path.join(relay_dir, f"ckpt-{k:04d}.err"),
+        os.path.join(relay_dir, f"hb-{k:04d}"),
     )
 
 
-def _await_epoch_checkpoint(relay_dir: str, k: int) -> ReplayCheckpoint:
+class _EpochHeartbeat:
+    """Daemon thread touching an epoch worker's heartbeat file.
+
+    A live worker refreshes the file's mtime every
+    :data:`EPOCH_HEARTBEAT_INTERVAL`; a successor (or the parent
+    orchestrator) that sees no mtime *change* for the liveness timeout
+    may presume the process dead.  Only changes are compared, against
+    the monotonic clock — wall-clock time never enters the judgment.
+    """
+
+    def __init__(self, path: str) -> None:
+        import threading
+
+        self._path = path
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def _touch(self) -> None:
+        import os
+
+        with open(self._path, "a"):
+            pass
+        os.utime(self._path)
+
+    def _beat(self) -> None:
+        while not self._stop.wait(EPOCH_HEARTBEAT_INTERVAL):
+            try:
+                self._touch()
+            except OSError:
+                return
+
+    def start(self) -> None:
+        try:
+            self._touch()
+        except OSError:
+            return
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=1.0)
+
+
+def _mark_epoch_error(relay_dir: str, k: int, exc: BaseException) -> None:
+    """Publish a structured error record for epoch ``k``.
+
+    Successors fail fast with the recorded cause, and the parent
+    orchestrator's retry loop knows what it is healing.  Atomic, so a
+    reader never sees a half-written record; local import because the
+    durability package itself imports this module.
+    """
+    import json
+
+    from ..durability.atomic import atomic_write_bytes
+
+    _, err_path, _ = _epoch_ckpt_paths(relay_dir, k)
+    record = {"epoch": k, "type": type(exc).__name__, "error": str(exc)}
+    fire("epoch.error.mark")
+    try:
+        atomic_write_bytes(
+            err_path, json.dumps(record, sort_keys=True).encode("utf-8")
+        )
+    except OSError:
+        pass
+
+
+def _await_epoch_checkpoint(
+    relay_dir: str,
+    k: int,
+    timeout: float = EPOCH_RELAY_TIMEOUT,
+    liveness_timeout: float = EPOCH_LIVENESS_TIMEOUT,
+) -> ReplayCheckpoint:
     """Block until epoch ``k``'s checkpoint file appears, then load it.
 
-    An ``.err`` marker from the predecessor aborts immediately (failure
-    cascades down the relay instead of deadlocking every successor).
+    Fails fast instead of deadlocking on a dead predecessor:
+
+    * an ``.err`` record aborts immediately with the recorded cause;
+    * a heartbeat that stops updating for ``liveness_timeout`` seconds
+      means the predecessor died (kill, OOM) without publishing either
+      its checkpoint or an error record — previously that hole left
+      every successor waiting out the full relay timeout;
+    * ``timeout`` still bounds the total wait regardless.
     """
+    import json
     import os
     import pickle
 
-    path, err_path = _epoch_ckpt_paths(relay_dir, k)
-    deadline = _time.monotonic() + EPOCH_RELAY_TIMEOUT
+    path, err_path, hb_path = _epoch_ckpt_paths(relay_dir, k)
+    start = _time.monotonic()
+    deadline = start + timeout
+    last_beat_ns: Optional[int] = None
+    last_change = start
     while not os.path.exists(path):
         if os.path.exists(err_path):
-            raise SchedulingError(
-                f"epoch worker {k} failed; successor cannot resume"
+            try:
+                with open(err_path, "rb") as fh:
+                    cause = json.loads(fh.read().decode("utf-8"))
+            except (OSError, ValueError):
+                cause = {}
+            detail = (
+                f": {cause.get('type')}: {cause.get('error')}"
+                if cause else ""
             )
-        if _time.monotonic() > deadline:
-            raise SchedulingError(
-                f"timed out waiting for epoch {k}'s checkpoint"
+            raise ReplayRelayError(
+                f"epoch worker {k} failed{detail}"
+            )
+        now = _time.monotonic()
+        try:
+            beat_ns: Optional[int] = os.stat(hb_path).st_mtime_ns
+        except OSError:
+            beat_ns = None
+        if beat_ns != last_beat_ns:
+            last_beat_ns = beat_ns
+            last_change = now
+        elif now - last_change > liveness_timeout:
+            raise ReplayRelayError(
+                f"epoch worker {k} stopped heartbeating (no update for "
+                f"{liveness_timeout:.1f}s) without publishing a "
+                "checkpoint or an error record — presumed dead"
+            )
+        if now > deadline:
+            raise ReplayRelayError(
+                f"timed out after {timeout:.1f}s waiting for epoch "
+                f"{k}'s checkpoint"
             )
         _time.sleep(0.002)
     with open(path, "rb") as fh:
         ckpt = pickle.load(fh)
     if not isinstance(ckpt, ReplayCheckpoint):
-        raise SchedulingError(
+        raise ReplayRelayError(
             f"epoch relay file {path!r} did not contain a checkpoint"
         )
     return ckpt
@@ -2533,16 +2667,17 @@ def _await_epoch_checkpoint(relay_dir: str, k: int) -> ReplayCheckpoint:
 def _publish_epoch_checkpoint(
     relay_dir: str, k: int, ckpt: ReplayCheckpoint
 ) -> None:
-    """Write epoch ``k``'s checkpoint atomically (tmp + rename), so a
-    polling successor never observes a half-written pickle."""
-    import os
-    import pickle
+    """Publish epoch ``k``'s checkpoint atomically (tmp + rename), so a
+    polling successor never observes a half-written pickle.  Double
+    publishes — a healed re-execution racing an abandoned worker — are
+    benign: both compute byte-identical state and ``os.replace`` is
+    atomic, so either write yields the same readable file.
+    """
+    from ..durability.atomic import atomic_pickle
 
-    path, _ = _epoch_ckpt_paths(relay_dir, k)
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as fh:
-        pickle.dump(ckpt, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp, path)
+    path, _, _ = _epoch_ckpt_paths(relay_dir, k)
+    fire("epoch.checkpoint.publish")
+    atomic_pickle(path, ckpt)
 
 
 def _run_epoch_shard(payload: Tuple) -> Tuple[int, List[Dict], Dict, Optional[Dict]]:
@@ -2550,31 +2685,167 @@ def _run_epoch_shard(payload: Tuple) -> Tuple[int, List[Dict], Dict, Optional[Di
     this slice's arrivals, publish the new frontier.
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
-    can pickle it.  Returns ``(k, window rows, totals, starts)`` —
-    totals are empty for every non-final epoch (the counters ride the
-    checkpoint relay instead, which is what makes the final totals
-    identical to a serial run's).
+    can pickle it (the parent also calls it directly for serial
+    fallback after the retry budget is spent).  Returns ``(k, window
+    rows, totals, starts)`` — totals are empty for every non-final
+    epoch (the counters ride the checkpoint relay instead, which is
+    what makes the final totals identical to a serial run's).
     """
-    k, final, jobs, relay_dir, m, policy, engine_kwargs = payload
+    (k, final, jobs, relay_dir, m, policy, engine_kwargs,
+     liveness_timeout, relay_timeout) = payload
+    heartbeat = _EpochHeartbeat(_epoch_ckpt_paths(relay_dir, k)[2])
+    heartbeat.start()
     try:
+        fire("epoch.slice.run")
         resume = None
         if k > 0:
-            resume = _await_epoch_checkpoint(relay_dir, k - 1)
+            resume = _await_epoch_checkpoint(
+                relay_dir, k - 1,
+                timeout=relay_timeout, liveness_timeout=liveness_timeout,
+            )
         engine = ReplayEngine(m, policy=policy, **engine_kwargs)
         result = engine.run_slice(jobs, resume=resume, drain=final)
         if not final:
             assert result.checkpoint is not None
             _publish_epoch_checkpoint(relay_dir, k, result.checkpoint)
         return k, result.windows, result.totals, result.starts
-    except BaseException:
-        # leave a marker so successors stop polling and fail fast
-        _, err_path = _epoch_ckpt_paths(relay_dir, k)
+    except BaseException as exc:
+        # structured marker: successors stop polling and fail fast,
+        # the orchestrator records what it healed
+        _mark_epoch_error(relay_dir, k, exc)
+        raise
+    finally:
+        heartbeat.stop()
+
+
+class _EpochHungError(ReplayRelayError):
+    """An epoch worker exceeded the orchestrator's hang budget without
+    returning, failing, or breaking the pool — internal to the healing
+    loop, which responds by recreating the pool and retrying."""
+
+
+def _replay_epochs_processes(
+    payloads: List[Tuple],
+    relay_dir: str,
+    max_retries: int,
+    retry_backoff: float,
+    epoch_timeout: float,
+) -> Tuple[List[Tuple[int, List[Dict], Dict, Optional[Dict]]], List[Dict]]:
+    """Run epoch shards in a process pool, healing failed workers.
+
+    Epochs are all submitted up front (pipelining: worker startup and
+    arrival deserialisation overlap the predecessor's replay) but
+    reaped strictly in order.  When epoch ``k`` fails — its worker
+    raised, was killed (the pool breaks wholesale), or hung past
+    ``epoch_timeout`` — the orchestrator heals it instead of failing
+    the run: clear the error marker, recreate the pool if it broke,
+    back off exponentially, and resubmit, up to ``max_retries``
+    attempts; after that, degrade to serial re-execution of just that
+    epoch in the parent process (its predecessor's checkpoint is
+    already on disk, so nothing upstream is recomputed).  Successor
+    workers that failed fast on ``k``'s error marker are healed the
+    same way when their turn comes, at which point the repaired
+    predecessor checkpoint lets them succeed immediately.
+
+    Returns ``(outcomes, recoveries)`` — outcomes in epoch order, and
+    one structured record per healing action (``action`` is ``retry``
+    or ``serial-fallback``).  Recoveries are reported on the result,
+    never written to stores: recovery metadata is volatile and must not
+    break serial-vs-sharded byte identity.
+    """
+    import os
+    from concurrent.futures import (
+        BrokenExecutor,
+        ProcessPoolExecutor,
+    )
+    from concurrent.futures import (
+        TimeoutError as _FuturesTimeout,
+    )
+
+    k_eff = len(payloads)
+    outcomes: List[Tuple[int, List[Dict], Dict, Optional[Dict]]] = []
+    recoveries: List[Dict] = []
+    pool = ProcessPoolExecutor(max_workers=k_eff)
+    futures: Dict[int, object] = {}
+
+    def _clear_err(k: int) -> None:
+        _, err_path, _ = _epoch_ckpt_paths(relay_dir, k)
         try:
-            with open(err_path, "wb"):
-                pass
+            os.unlink(err_path)
         except OSError:
             pass
-        raise
+
+    def _submit(k: int) -> None:
+        _clear_err(k)
+        futures[k] = pool.submit(_run_epoch_shard, payloads[k])
+
+    def _reap(k: int) -> Tuple[int, List[Dict], Dict, Optional[Dict]]:
+        deadline = _time.monotonic() + epoch_timeout
+        fut = futures[k]
+        while True:
+            try:
+                return fut.result(timeout=0.05)  # type: ignore[attr-defined]
+            except _FuturesTimeout:
+                if _time.monotonic() > deadline:
+                    raise _EpochHungError(
+                        f"epoch worker {k} still running after "
+                        f"{epoch_timeout:.1f}s — presumed hung"
+                    ) from None
+
+    try:
+        for k in range(k_eff):
+            _submit(k)
+        for k in range(k_eff):
+            attempt = 0
+            while True:
+                try:
+                    outcomes.append(_reap(k))
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    broken = isinstance(
+                        exc, (BrokenExecutor, _EpochHungError)
+                    )
+                    if broken:
+                        # a SIGKILLed worker breaks the whole pool; a
+                        # hung worker poisons its slot — either way,
+                        # start a fresh pool and resubmit everything
+                        # still outstanding
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(max_workers=k_eff)
+                    if attempt <= max_retries:
+                        recoveries.append({
+                            "epoch": k,
+                            "attempt": attempt,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "action": "retry",
+                        })
+                        _time.sleep(retry_backoff * (2 ** (attempt - 1)))
+                        _submit(k)
+                        if broken:
+                            for j in range(k + 1, k_eff):
+                                _submit(j)
+                        continue
+                    # budget spent: re-execute just this epoch in the
+                    # parent, off the predecessor checkpoint already on
+                    # disk — the run degrades, it does not fail
+                    recoveries.append({
+                        "epoch": k,
+                        "attempt": attempt,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "action": "serial-fallback",
+                    })
+                    _clear_err(k)
+                    outcomes.append(_run_epoch_shard(payloads[k]))
+                    if broken:
+                        # the successors' futures died with the old
+                        # pool; give them to the fresh one
+                        for j in range(k + 1, k_eff):
+                            _submit(j)
+                    break
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return outcomes, recoveries
 
 
 def _materialize_trace(
@@ -2636,6 +2907,10 @@ def replay_epochs(
     seed: int = 0,
     store=None,
     use_processes: bool = True,
+    max_retries: int = EPOCH_MAX_RETRIES,
+    retry_backoff: float = EPOCH_RETRY_BACKOFF,
+    liveness_timeout: float = EPOCH_LIVENESS_TIMEOUT,
+    epoch_timeout: float = EPOCH_RELAY_TIMEOUT,
     **engine_kwargs,
 ) -> ReplayResult:
     """Epoch-sharded replay of **one** policy on one trace.
@@ -2657,6 +2932,20 @@ def replay_epochs(
     startup, arrival deserialisation and row marshalling with the
     predecessor's replay, which is where multi-core wall-clock goes.
     On a single core ``use_processes=False`` is the honest choice.
+
+    The process path **self-heals**: a worker that raises, is killed,
+    or hangs past ``epoch_timeout`` is retried with exponential backoff
+    (``retry_backoff * 2**(attempt-1)``) up to ``max_retries`` times,
+    then degraded to serial re-execution of just that epoch in the
+    parent — the run completes with identical output either way, and
+    each healing action is recorded in
+    :attr:`ReplayResult.recoveries` (never in stores: recovery
+    metadata is volatile).  Workers heartbeat every
+    :data:`EPOCH_HEARTBEAT_INTERVAL`; a successor whose predecessor
+    stops beating for ``liveness_timeout`` without publishing a
+    checkpoint or error record raises
+    :class:`~repro.errors.ReplayRelayError` instead of waiting out the
+    relay timeout.
 
     ``engine_kwargs`` pass through to :class:`ReplayEngine` (window,
     profile_backend, batch, record_starts, ...); ``store`` receives the
@@ -2696,6 +2985,7 @@ def replay_epochs(
         return result
 
     outcomes: List[Tuple[int, List[Dict], Dict, Optional[Dict]]]
+    recoveries: List[Dict] = []
     if not use_processes:
         # same relay, no files: hand each checkpoint to the next slice
         # directly — the reference implementation the process path is
@@ -2710,16 +3000,21 @@ def replay_epochs(
             outcomes.append((k, result.windows, result.totals, result.starts))
     else:
         import tempfile
-        from concurrent.futures import ProcessPoolExecutor
 
-        with tempfile.TemporaryDirectory(prefix="repro-epochs-") as relay:
+        # abandoned hung workers may still write relay files after
+        # healing finishes; their late scribbles must not turn cleanup
+        # into an error
+        with tempfile.TemporaryDirectory(
+            prefix="repro-epochs-", ignore_cleanup_errors=True
+        ) as relay:
             payloads = [
                 (k, k == k_eff - 1, chunk, relay, machine, policy,
-                 dict(engine_kwargs))
+                 dict(engine_kwargs), liveness_timeout, epoch_timeout)
                 for k, chunk in enumerate(slices)
             ]
-            with ProcessPoolExecutor(max_workers=k_eff) as pool:
-                outcomes = list(pool.map(_run_epoch_shard, payloads))
+            outcomes, recoveries = _replay_epochs_processes(
+                payloads, relay, max_retries, retry_backoff, epoch_timeout
+            )
 
     outcomes.sort(key=lambda item: item[0])
     windows: List[Dict] = []
@@ -2742,6 +3037,7 @@ def replay_epochs(
         totals=totals,
         windows=windows,
         starts=starts,
+        recoveries=recoveries,
     )
     if store is not None:
         for row in windows:

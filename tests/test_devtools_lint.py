@@ -409,6 +409,74 @@ def test_pool_module_level_worker_is_clean(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# RPL402 atomic durable writes
+# ---------------------------------------------------------------------------
+
+DURABLE_CONFIG = """
+durable-write-paths = ["src/store"]
+"""
+
+DURABLE_SRC = """
+    import json
+    from pathlib import Path
+
+    def publish(path, rows):
+        with open(path, "w") as fh:
+            json.dump(rows, fh)
+
+    def publish_bytes(path, blob):
+        with open(path, mode="wb") as fh:
+            fh.write(blob)
+
+    def publish_path(path, text):
+        Path(path).write_text(text)
+"""
+
+
+def test_truncating_writes_on_durable_paths_fire(tmp_path):
+    project = make_project(
+        tmp_path, {"src/store/out.py": DURABLE_SRC}, DURABLE_CONFIG
+    )
+    assert codes(run_lint([project / "src"])) == [
+        "RPL402", "RPL402", "RPL402",
+    ]
+
+
+def test_same_file_outside_durable_scope_is_clean(tmp_path):
+    project = make_project(
+        tmp_path, {"src/other/out.py": DURABLE_SRC}, DURABLE_CONFIG
+    )
+    assert run_lint([project / "src"]).clean
+
+
+def test_appends_reads_and_noqa_are_clean(tmp_path):
+    project = make_project(
+        tmp_path,
+        {
+            "src/store/out.py": """
+                import os
+
+                def journal_append(path, line):
+                    # appends are the journal's own format: exempt
+                    with open(path, "a") as fh:
+                        fh.write(line)
+
+                def load(path):
+                    with open(path) as fh:
+                        return fh.read()
+
+                def tmp_leg(path, data):
+                    with open(path + ".tmp", "wb") as fh:  # repro: noqa RPL402 -- atomic helper tmp leg
+                        fh.write(data)
+                    os.replace(path + ".tmp", path)
+            """
+        },
+        DURABLE_CONFIG,
+    )
+    assert run_lint([project / "src"]).clean
+
+
+# ---------------------------------------------------------------------------
 # RPL5xx registry hygiene
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,418 @@
+"""Crash-safety of the durability layer, asserted the honest way.
+
+The kill matrix SIGKILLs a *subprocess* replay at every registered
+failpoint on the journaled path (nothing is flushed, no ``atexit`` runs
+— a real ``kill -9``), resumes in-process, and asserts the JSONL store
+is byte-identical to an uninterrupted run's.  Corruption tests damage
+journal bytes directly: a mid-file bit flip must reject loudly
+(:class:`JournalCorruptError`), while the same damage at the tail is a
+torn write and recovers cleanly.  The epoch tests kill and hang sharded
+replay workers and assert the self-healing orchestrator still produces
+serial-identical output, recording what it healed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from contextlib import nullcontext
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.devtools import failpoints
+from repro.devtools.failpoints import FailpointError
+from repro.durability import Journal, replay_journaled, scan_journal
+from repro.errors import JournalCorruptError, JournalError, ReplayRelayError
+from repro.run.store import JsonlStore
+from repro.simulation.replay import (
+    ReplayEngine,
+    _await_epoch_checkpoint,
+    replay_epochs,
+)
+from repro.workloads.swf import synth_swf_jobs
+
+SRC_ROOT = Path(repro.__file__).resolve().parents[1]
+
+TRACE = "synth:steady:3000"
+M = 64
+WINDOW = 500
+INTERVAL = 800  # 4 slices, 3 snapshots over the 3000-job trace
+
+_CHILD = f"""
+import sys
+from repro.durability import replay_journaled
+replay_journaled(
+    "{TRACE}", sys.argv[1], policy="easy", m={M}, store=sys.argv[2],
+    snapshot_interval={INTERVAL}, window={WINDOW},
+)
+"""
+
+
+@pytest.fixture(autouse=True)
+def _reset_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+def _journaled(journal_dir, store, **kwargs):
+    return replay_journaled(
+        TRACE, journal_dir, policy="easy", m=M, store=store,
+        snapshot_interval=INTERVAL, window=WINDOW, **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_store_bytes(tmp_path_factory) -> bytes:
+    """The uninterrupted journaled run's JSONL store, byte for byte."""
+    base = tmp_path_factory.mktemp("reference")
+    store = base / "rows.jsonl"
+    replay_journaled(
+        TRACE, str(base / "journal"), policy="easy", m=M, store=str(store),
+        snapshot_interval=INTERVAL, window=WINDOW,
+    )
+    return store.read_bytes()
+
+
+def _spawn_killed_run(journal_dir, store, spec: str) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+    env[failpoints.ENV_VAR] = spec
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(journal_dir), str(store)],
+        env=env, capture_output=True, text=True,
+    )
+    return proc.returncode
+
+
+# ---------------------------------------------------------------------------
+# kill-anywhere byte identity
+# ---------------------------------------------------------------------------
+
+KILL_SPECS = (
+    "replay.slice.start:after=1",
+    "replay.slice.commit:after=1",
+    "journal.record.append:after=4",
+    "journal.record.torn",
+    "journal.snapshot.write:after=1",
+    "journal.snapshot.rename:after=1",
+    "journal.snapshot.marker:after=1",
+    "journal.commit",
+    "store.append:after=3",
+)
+
+
+@pytest.mark.parametrize("spec", KILL_SPECS, ids=lambda s: s.split(":")[0])
+def test_kill_anywhere_resume_is_byte_identical(
+    tmp_path, spec, reference_store_bytes
+):
+    journal_dir = tmp_path / "journal"
+    store = tmp_path / "rows.jsonl"
+    rc = _spawn_killed_run(journal_dir, store, spec)
+    assert rc == -signal.SIGKILL, f"failpoint {spec!r} never fired (rc={rc})"
+    with pytest.warns(UserWarning) if "torn" in spec else nullcontext():
+        result = _journaled(str(journal_dir), str(store), resume=True)
+    assert store.read_bytes() == reference_store_bytes
+    assert result.totals["n_jobs"] == 3000
+
+
+def test_double_kill_then_resume(tmp_path, reference_store_bytes):
+    """Two kills at different sites, then a clean resume, same bytes."""
+    journal_dir = tmp_path / "journal"
+    store = tmp_path / "rows.jsonl"
+    assert _spawn_killed_run(
+        journal_dir, store, "journal.snapshot.marker:after=1"
+    ) == -signal.SIGKILL
+    # the resume itself is killed right before the final commit record
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+    env[failpoints.ENV_VAR] = "journal.commit"
+    child = _CHILD.replace("store=sys.argv[2],", "store=sys.argv[2], resume=True,")
+    proc = subprocess.run(
+        [sys.executable, "-c", child, str(journal_dir), str(store)],
+        env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == -signal.SIGKILL
+    _journaled(str(journal_dir), str(store), resume=True)
+    assert store.read_bytes() == reference_store_bytes
+
+
+# ---------------------------------------------------------------------------
+# journal lifecycle and corruption
+# ---------------------------------------------------------------------------
+
+
+def _complete_journal(tmp_path):
+    journal_dir = tmp_path / "journal"
+    store = tmp_path / "rows.jsonl"
+    _journaled(str(journal_dir), str(store))
+    return journal_dir, store
+
+
+def test_committed_resume_is_a_pure_read(tmp_path, reference_store_bytes):
+    journal_dir, store = _complete_journal(tmp_path)
+    before = sorted(
+        (p.name, p.stat().st_size) for p in journal_dir.iterdir()
+    )
+    result = _journaled(str(journal_dir), str(store), resume=True)
+    after = sorted((p.name, p.stat().st_size) for p in journal_dir.iterdir())
+    assert before == after
+    assert store.read_bytes() == reference_store_bytes
+    assert result.totals["n_jobs"] == 3000
+
+
+def test_fresh_run_refuses_existing_journal(tmp_path):
+    journal_dir, store = _complete_journal(tmp_path)
+    with pytest.raises(JournalError, match="already contains a journal"):
+        _journaled(str(journal_dir), str(store))
+
+
+def test_resume_rejects_mismatched_config(tmp_path):
+    journal_dir, store = _complete_journal(tmp_path)
+    with pytest.raises(JournalError, match="does not match"):
+        replay_journaled(
+            TRACE, str(journal_dir), policy="fcfs", m=M, store=str(store),
+            snapshot_interval=INTERVAL, window=WINDOW, resume=True,
+        )
+
+
+def test_resume_of_nothing_is_loud(tmp_path):
+    with pytest.raises(JournalError, match="no journal"):
+        _journaled(str(tmp_path / "absent"), None, resume=True)
+
+
+def test_mid_file_bit_flip_rejects_loudly(tmp_path):
+    journal_dir, _ = _complete_journal(tmp_path)
+    seg0 = journal_dir / "seg-00000000.wal"
+    data = bytearray(seg0.read_bytes())
+    data[10] ^= 0x40  # inside the header record's payload
+    seg0.write_bytes(bytes(data))
+    with pytest.raises(JournalCorruptError):
+        scan_journal(str(journal_dir))
+    with pytest.raises(JournalCorruptError):
+        Journal.open_for_resume(str(journal_dir))
+
+
+def test_truncated_tail_recovers_cleanly(tmp_path, reference_store_bytes):
+    journal_dir, store = _complete_journal(tmp_path)
+    segments = sorted(journal_dir.glob("seg-*.wal"))
+    tail = segments[-1]
+    tail_size = tail.stat().st_size
+    os.truncate(tail, tail_size - 3)  # tear the commit record
+    scan = scan_journal(str(journal_dir))
+    assert scan.torn is not None
+    with pytest.warns(UserWarning, match="torn"):
+        result = _journaled(str(journal_dir), str(store), resume=True)
+    assert store.read_bytes() == reference_store_bytes
+    assert result.totals["n_jobs"] == 3000
+
+
+def test_create_then_scan_roundtrip(tmp_path):
+    journal_dir = tmp_path / "j"
+    with Journal.create(str(journal_dir), {"demo": 1}) as journal:
+        journal.append_row({"key": "w0", "v": 1})
+        journal.snapshot(b"state-1", {"arrived": 10})
+        journal.append_row({"key": "w1", "v": 2})
+        journal.commit({"rows": 2})
+    journal, recovery = Journal.open_for_resume(str(journal_dir))
+    journal.close()
+    assert recovery.committed
+    assert recovery.rows == [{"key": "w0", "v": 1}, {"key": "w1", "v": 2}]
+    assert recovery.config == {"demo": 1}
+
+
+def test_uncommitted_rows_are_dropped_on_resume(tmp_path):
+    journal_dir = tmp_path / "j"
+    with Journal.create(str(journal_dir), {"demo": 1}) as journal:
+        journal.append_row({"key": "w0"})
+        journal.snapshot(b"state-1", {"arrived": 10})
+        journal.append_row({"key": "w1"})  # uncommitted: after the marker
+    journal, recovery = Journal.open_for_resume(str(journal_dir))
+    journal.close()
+    assert not recovery.committed
+    assert recovery.rows == [{"key": "w0"}]
+    assert recovery.discarded_rows == 1
+    assert recovery.snapshot == b"state-1"
+
+
+# ---------------------------------------------------------------------------
+# failpoint harness
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_failpoint_is_loud():
+    with pytest.raises(FailpointError, match="unknown failpoint"):
+        failpoints.parse_spec("no.such.site:mode=error")
+    with pytest.raises(FailpointError, match="unknown failpoint"):
+        failpoints.arm("no.such.site")
+
+
+def test_malformed_spec_is_loud():
+    with pytest.raises(FailpointError, match="malformed option"):
+        failpoints.parse_spec("journal.commit:after")
+    with pytest.raises(FailpointError, match="unknown option"):
+        failpoints.parse_spec("journal.commit:frequency=2")
+    with pytest.raises(FailpointError, match="mode must be"):
+        failpoints.parse_spec("journal.commit:mode=explode")
+
+
+def test_after_and_count_gate_firing():
+    failpoints.arm("journal.commit", "error", after=2, count=1)
+    failpoints.fire("journal.commit")  # hit 1: skipped
+    failpoints.fire("journal.commit")  # hit 2: skipped
+    with pytest.raises(FailpointError):
+        failpoints.fire("journal.commit")  # hit 3: fires
+    failpoints.fire("journal.commit")  # count exhausted
+
+
+def test_once_sentinel_fires_exactly_once(tmp_path):
+    sentinel = tmp_path / "fired"
+    failpoints.arm("journal.commit", "error", once=str(sentinel))
+    with pytest.raises(FailpointError):
+        failpoints.fire("journal.commit")
+    assert sentinel.exists()
+    failpoints.fire("journal.commit")  # sentinel already claimed
+
+
+def test_env_spec_arms_and_reset_disarms(monkeypatch):
+    monkeypatch.setenv(failpoints.ENV_VAR, "journal.commit:mode=error")
+    assert failpoints.armed_names() == ("journal.commit",)
+    with pytest.raises(FailpointError):
+        failpoints.fire("journal.commit")
+    failpoints.reset()
+    monkeypatch.delenv(failpoints.ENV_VAR)
+    failpoints.fire("journal.commit")  # disarmed: no-op
+
+
+def test_before_callback_runs_only_when_firing():
+    staged = []
+    failpoints.fire("journal.record.torn", before=lambda: staged.append(1))
+    assert staged == []  # not armed: the partial write must not happen
+    failpoints.arm("journal.record.torn", "error")
+    with pytest.raises(FailpointError):
+        failpoints.fire("journal.record.torn", before=lambda: staged.append(1))
+    assert staged == [1]
+
+
+# ---------------------------------------------------------------------------
+# self-healing epoch replay
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def epoch_reference():
+    jobs = list(synth_swf_jobs("steady", 3000, m=M, seed=3))
+    engine = ReplayEngine(M, policy="easy", window=WINDOW)
+    result = engine.run(list(jobs))
+    return jobs, result
+
+
+def _stable_totals(totals):
+    return {k: v for k, v in totals.items() if k != "elapsed_seconds"}
+
+
+def test_killed_epoch_worker_is_retried(tmp_path, epoch_reference, monkeypatch):
+    jobs, reference = epoch_reference
+    monkeypatch.setenv(
+        failpoints.ENV_VAR,
+        f"epoch.slice.run:mode=crash:once={tmp_path / 'fired'}",
+    )
+    result = replay_epochs(
+        list(jobs), policy="easy", epochs=3, m=M, window=WINDOW,
+        retry_backoff=0.05,
+    )
+    assert result.windows == reference.windows
+    assert _stable_totals(result.totals) == _stable_totals(reference.totals)
+    assert [rec["action"] for rec in result.recoveries] == ["retry"]
+
+
+def test_exhausted_retries_degrade_to_serial(
+    tmp_path, epoch_reference, monkeypatch
+):
+    jobs, reference = epoch_reference
+    monkeypatch.setenv(
+        failpoints.ENV_VAR,
+        f"epoch.checkpoint.publish:mode=crash:once={tmp_path / 'fired'}",
+    )
+    result = replay_epochs(
+        list(jobs), policy="easy", epochs=3, m=M, window=WINDOW,
+        max_retries=0, retry_backoff=0.05,
+    )
+    assert result.windows == reference.windows
+    assert _stable_totals(result.totals) == _stable_totals(reference.totals)
+    assert [rec["action"] for rec in result.recoveries] == ["serial-fallback"]
+
+
+def test_recoveries_never_reach_the_store(tmp_path, epoch_reference, monkeypatch):
+    jobs, reference = epoch_reference
+    plain = tmp_path / "plain.jsonl"
+    engine = ReplayEngine(M, policy="easy", window=WINDOW, store=str(plain))
+    engine.run(list(jobs))
+    monkeypatch.setenv(
+        failpoints.ENV_VAR,
+        f"epoch.slice.run:mode=crash:once={tmp_path / 'fired'}",
+    )
+    healed = tmp_path / "healed.jsonl"
+    result = replay_epochs(
+        list(jobs), policy="easy", epochs=3, m=M, window=WINDOW,
+        store=str(healed), retry_backoff=0.05,
+    )
+    assert result.recoveries
+    plain_rows = [json.loads(line) for line in plain.read_text().splitlines()]
+    healed_rows = [json.loads(line) for line in healed.read_text().splitlines()]
+    for rows in (plain_rows, healed_rows):
+        for row in rows:
+            row.pop("elapsed_seconds", None)
+    assert healed_rows == plain_rows
+
+
+def test_await_epoch_checkpoint_detects_dead_predecessor(tmp_path):
+    """The liveness fix: no heartbeat, no checkpoint, no error record
+    must fail in ~liveness_timeout, not the full relay timeout."""
+    started = time.monotonic()
+    with pytest.raises(ReplayRelayError, match="heartbeat"):
+        _await_epoch_checkpoint(
+            str(tmp_path), 0, timeout=60.0, liveness_timeout=0.2
+        )
+    assert time.monotonic() - started < 5.0
+
+
+def test_await_epoch_checkpoint_reports_recorded_cause(tmp_path):
+    err = tmp_path / "ckpt-0000.err"
+    err.write_text(json.dumps(
+        {"epoch": 0, "type": "ValueError", "error": "boom"}
+    ))
+    with pytest.raises(ReplayRelayError, match="ValueError: boom"):
+        _await_epoch_checkpoint(str(tmp_path), 0, timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# JsonlStore crash-safe resume
+# ---------------------------------------------------------------------------
+
+
+def test_store_restores_missing_trailing_newline(tmp_path):
+    store = JsonlStore(str(tmp_path / "rows.jsonl"))
+    store.append({"key": "aa", "v": 1})
+    intact = Path(store.path).read_bytes()
+    os.truncate(store.path, len(intact) - 1)  # the newline alone is lost
+    with pytest.warns(UserWarning, match="newline"):
+        rows = store.load()
+    assert rows == [{"key": "aa", "v": 1}]
+    assert Path(store.path).read_bytes() == intact
+
+
+def test_store_append_failpoint_is_wired(tmp_path):
+    store = JsonlStore(str(tmp_path / "rows.jsonl"))
+    failpoints.arm("store.append", "error")
+    with pytest.raises(FailpointError):
+        store.append({"key": "aa"})
+    failpoints.reset()
+    store.append({"key": "aa"})
+    assert store.keys() == {"aa"}

@@ -398,15 +398,22 @@ class TestRunner:
 
 
 class TestJsonlStore:
-    def test_torn_final_line_is_skipped(self, tmp_path):
+    def test_torn_final_line_is_truncated(self, tmp_path):
         store = JsonlStore(str(tmp_path / "rows.jsonl"))
         store.append({"key": "aa", "v": 1})
+        with open(store.path) as fh:
+            intact = fh.read()
         with open(store.path, "a") as fh:
             fh.write('{"key": "bb", "v":')  # torn write
-        with pytest.warns(UserWarning, match="unparseable"):
+        with pytest.warns(UserWarning, match="torn"):
             rows = store.load()
         assert [r["key"] for r in rows] == ["aa"]
-        assert store.keys() == {"aa"}
+        # the partial line is physically gone: the next append starts a
+        # fresh line instead of concatenating onto the wreckage
+        with open(store.path) as fh:
+            assert fh.read() == intact
+        store.append({"key": "bb", "v": 2})
+        assert store.keys() == {"aa", "bb"}
 
     def test_missing_file(self, tmp_path):
         store = JsonlStore(str(tmp_path / "absent.jsonl"))
