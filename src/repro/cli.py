@@ -329,6 +329,13 @@ def _cmd_replay(args) -> int:
     if args.resume and not args.journal:
         print("error: --resume requires --journal DIR", file=sys.stderr)
         return 2
+    if args.snapshot_interval is not None and not args.journal:
+        print(
+            "error: --snapshot-interval requires --journal DIR "
+            "(snapshots live in the journal)",
+            file=sys.stderr,
+        )
+        return 2
     if args.journal:
         if len(policies) > 1 or args.jobs > 1:
             print(
@@ -451,6 +458,52 @@ def _cmd_replay(args) -> int:
             f"{t['windows']} window rows + totals written to {args.out}"
         )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve.daemon import run_serve
+
+    if args.resume:
+        conflicts = [
+            flag for flag, value in (
+                ("-m/--machines", args.machines),
+                ("-p/--policy", args.policy),
+                ("--window", args.window),
+                ("--snapshot-interval", args.snapshot_interval),
+            ) if value is not None
+        ]
+        if conflicts:
+            print(
+                f"error: --resume takes its configuration from the "
+                f"journal header; drop {', '.join(conflicts)}",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.machines is None:
+        print(
+            "error: starting a fresh service requires -m/--machines "
+            "(or --resume an existing journal)",
+            file=sys.stderr,
+        )
+        return 2
+    from .serve.daemon import DEFAULT_OP_SNAPSHOT_INTERVAL
+
+    return run_serve(
+        args.journal,
+        resume=args.resume,
+        m=args.machines,
+        policy=args.policy if args.policy is not None else "easy",
+        window=args.window if args.window is not None else 0,
+        snapshot_interval=(
+            args.snapshot_interval
+            if args.snapshot_interval is not None
+            else DEFAULT_OP_SNAPSHOT_INTERVAL
+        ),
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        fsync=args.fsync,
+    )
 
 
 def _cmd_info(args) -> int:
@@ -746,6 +799,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="jobs replayed between journal snapshots "
                         "(default 100000)")
     p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "serve",
+        help="scheduler-as-a-service daemon: a live SchedulerCore "
+             "behind a local HTTP/JSON API, event-sourced through a "
+             "journal (repro-serve/1; kill-anywhere recoverable)",
+    )
+    p.add_argument("journal", metavar="DIR",
+                   help="journal directory — the daemon's durable truth "
+                        "(fresh for a new service, existing with --resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="recover a killed service from its journal "
+                        "(configuration comes from the journal header)")
+    p.add_argument("-m", "--machines", type=int, default=None,
+                   help="machine size (required unless --resume)")
+    p.add_argument("-p", "--policy", default=None,
+                   help="registered policy name (default: easy)")
+    p.add_argument("--window", type=int, default=None,
+                   help="jobs per metrics window (default 0: no windows)")
+    p.add_argument("--snapshot-interval", type=int, default=None,
+                   metavar="N",
+                   help="accepted ops between journal snapshots "
+                        "(default 256)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1 — local only)")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (default 0: pick an ephemeral port)")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="write the bound port here once listening "
+                        "(for scripts driving an ephemeral port)")
+    p.add_argument("--fsync", action="store_true",
+                   help="fsync every journal record (survive power loss, "
+                        "not just kill -9)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("info", help="characterize a workload")
     p.add_argument("instance")

@@ -137,6 +137,20 @@ CATALOG: Tuple[Failpoint, ...] = (
         "record is written",
         "kill a failing worker before it can even report the failure",
     ),
+    Failpoint(
+        "serve.op.apply",
+        "serve.daemon — after a request is validated, before its op is "
+        "applied to the live SchedulerCore",
+        "kill the daemon with an accepted-but-unapplied op (the client "
+        "saw no ack, so recovery must not replay it)",
+    ),
+    Failpoint(
+        "serve.op.ack",
+        "serve.daemon — after an op is applied and journaled, before "
+        "its response is written to the client",
+        "kill the daemon between durability and the ack (the op must "
+        "survive recovery even though the client never heard back)",
+    ),
 )
 
 CATALOG_BY_NAME: Dict[str, Failpoint] = {fp.name: fp for fp in CATALOG}

@@ -18,6 +18,8 @@ families and leaves only the everywhere-rules RPL4xx/RPL5xx active)::
     registry-register-names = ["register", ...]         # RPL501/RPL502
     registry-duplicate-paths = ["src/repro"]            # RPL502 scope
     durable-write-paths = ["src/repro/durability", ...] # RPL402 scope
+    engine-internal-names = ["_run_fused", ...]         # RPL503: flagged
+    engine-internal-owners = ["src/.../replay.py"]      #   outside owners
 
     [tool.repro-lint.protocol]                          # RPL3xx
     base = "src/repro/core/profiles/base.py::ProfileBackend"
@@ -84,6 +86,8 @@ class LintConfig:
     register_names: Tuple[str, ...] = DEFAULT_REGISTER_NAMES
     registry_duplicate_paths: Tuple[str, ...] = ()
     durable_write_paths: Tuple[str, ...] = ()
+    engine_internal_names: Tuple[str, ...] = ()
+    engine_internal_owners: Tuple[str, ...] = ()
 
 
 def _string_list(table: Dict[str, object], key: str) -> Tuple[str, ...]:
@@ -172,6 +176,8 @@ def load_config(pyproject: Path) -> LintConfig:
         register_names=register_names or DEFAULT_REGISTER_NAMES,
         registry_duplicate_paths=_string_list(table, "registry-duplicate-paths"),
         durable_write_paths=_string_list(table, "durable-write-paths"),
+        engine_internal_names=_string_list(table, "engine-internal-names"),
+        engine_internal_owners=_string_list(table, "engine-internal-owners"),
     )
 
 

@@ -18,6 +18,7 @@ from .config import LintConfig, resolve_config
 from .determinism import check_determinism
 from .durable_io import check_durable_io
 from .exactness import check_exactness
+from .internals import check_internals
 from .model import Violation, expand_rule_selector
 from .multiproc import check_multiproc
 from .protocol import check_protocol
@@ -39,6 +40,7 @@ PER_FILE_CHECKS: Sequence[CheckFn] = (
     check_determinism,
     check_durable_io,
     check_exactness,
+    check_internals,
     check_multiproc,
     check_register_literals,
 )

@@ -165,6 +165,15 @@ RULES: Tuple[Rule, ...] = (
         "registry contract: one name, one owner — accidental collisions "
         "were previously invisible",
     ),
+    Rule(
+        "RPL503",
+        "engine-internal-reach-in",
+        "attribute access on a declared engine-internal name outside "
+        "its owner file",
+        "engine embedding contract: drivers program against "
+        "repro.simulation.SchedulerCore, never the replay engine's "
+        "fused loop internals (_run_fused/_run_batched/_run_generic)",
+    ),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in RULES}

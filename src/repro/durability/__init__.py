@@ -20,6 +20,7 @@ from .journal import (
     Journal,
     JournalRecovery,
     JournalScan,
+    OpRecovery,
     scan_journal,
 )
 from .journaled import DEFAULT_SNAPSHOT_INTERVAL, replay_journaled
@@ -30,6 +31,7 @@ __all__ = [
     "Journal",
     "JournalRecovery",
     "JournalScan",
+    "OpRecovery",
     "atomic_pickle",
     "atomic_write_bytes",
     "atomic_write_text",

@@ -93,6 +93,26 @@ class JournalScan:
 
 
 @dataclass
+class OpRecovery:
+    """What :meth:`Journal.open_event_sourced` reconstructed.
+
+    The event-sourced twin of :class:`JournalRecovery`: the latest
+    committed snapshot plus every ``op`` record accepted *after* it.
+    Unlike replay rows — re-derivable by re-executing the trace, so
+    dropped on resume — op records are the source of truth of a live
+    service and are re-applied, never discarded.
+    """
+
+    config: Dict
+    #: latest committed snapshot payload (``None``: restart from scratch)
+    snapshot: Optional[bytes]
+    snapshot_meta: Optional[Dict]
+    #: op records after the snapshot boundary, in acceptance order
+    ops: List[Dict] = field(default_factory=list)
+    torn: Optional[str] = None
+
+
+@dataclass
 class JournalRecovery:
     """What :meth:`Journal.open_for_resume` reconstructed."""
 
@@ -325,6 +345,108 @@ class Journal:
             rows=rows,
             committed=committed,
             discarded_rows=discarded,
+            torn=torn_note,
+        )
+        return journal, recovery
+
+    @classmethod
+    def open_event_sourced(
+        cls, directory: str, *, fsync: bool = False
+    ) -> Tuple["Journal", OpRecovery]:
+        """Repair ``directory`` and reconstruct an event-sourced state.
+
+        The serve-mode twin of :meth:`open_for_resume`: a torn tail is
+        truncated and stranded ``*.tmp.*`` files are swept exactly as
+        there, but records after the last snapshot marker are **kept**
+        and returned (as :attr:`OpRecovery.ops`) instead of dropped —
+        an acknowledged op cannot be re-derived from a trace, so the
+        journal is its single source of truth.  The returned journal is
+        positioned to append to the tail segment.
+        """
+        scan = scan_journal(directory)
+        directory = scan.directory
+        torn_note: Optional[str] = None
+        if scan.torn is not None:
+            seg, keep, reason = scan.torn
+            path = _segment_path(directory, seg)
+            os.truncate(path, keep)
+            torn_note = (
+                f"{os.path.basename(path)}: {reason}, truncated to {keep} bytes"
+            )
+
+        records = [item.record for item in scan.records]
+        if not records or records[0].get("t") != "header":
+            raise JournalCorruptError(
+                f"journal {directory!r} does not start with a header record"
+            )
+        config = records[0].get("config")
+        if not isinstance(config, dict):
+            raise JournalCorruptError(
+                f"journal {directory!r} header carries no config object"
+            )
+
+        last_marker: Optional[ScannedRecord] = None
+        for item in scan.records:
+            if item.record.get("t") == "snap":
+                last_marker = item
+        tail_segment = scan.segments[-1]
+        marker_segment = -1 if last_marker is None else last_marker.segment
+        if tail_segment > 0 and marker_segment != tail_segment:
+            # segments are born atomically with their marker as the
+            # first record; a tail segment without one is not a crash
+            # artefact, it is damage
+            raise JournalCorruptError(
+                f"journal {directory!r}: segment {tail_segment} has no "
+                "snapshot marker"
+            )
+
+        snapshot: Optional[bytes] = None
+        snapshot_meta: Optional[Dict] = None
+        boundary = (0, 0)
+        if last_marker is not None:
+            snapshot_meta = last_marker.record
+            boundary = (last_marker.segment, last_marker.offset)
+            snap_path = _snapshot_path(
+                directory, int(last_marker.record["snap"])
+            )
+            try:
+                with open(snap_path, "rb") as fh:
+                    snapshot = fh.read()
+            except FileNotFoundError:
+                raise JournalCorruptError(
+                    f"{snap_path}: snapshot file missing but its "
+                    "marker is committed"
+                ) from None
+            if (
+                len(snapshot) != last_marker.record.get("size")
+                or zlib.crc32(snapshot) != last_marker.record.get("crc")
+            ):
+                raise JournalCorruptError(
+                    f"{snap_path}: snapshot bytes do not match the "
+                    "committed marker (size/CRC mismatch)"
+                )
+        ops = [
+            item.record
+            for item in scan.records
+            if item.record.get("t") == "op"
+            and (item.segment, item.offset) >= boundary
+        ]
+
+        # sweep tmp files stranded by a crash inside an atomic publish
+        for name in os.listdir(directory):
+            if ".tmp." in name:
+                try:
+                    os.remove(os.path.join(directory, name))
+                except OSError:
+                    pass
+
+        journal = cls(directory, fsync=fsync)
+        journal._open_segment(tail_segment)
+        recovery = OpRecovery(
+            config=config,
+            snapshot=snapshot,
+            snapshot_meta=snapshot_meta,
+            ops=ops,
             torn=torn_note,
         )
         return journal, recovery

@@ -105,3 +105,23 @@ class JournalCorruptError(JournalError):
 
 class TraceFormatError(ReproError, ValueError):
     """A workload trace file (for example SWF) could not be parsed."""
+
+
+class ServeError(ReproError):
+    """A scheduler-service request could not be honoured.
+
+    The daemon maps these onto the structured ``repro-serve/1`` error
+    envelope (:func:`repro.serve.api.error_envelope`) instead of
+    tearing down the connection: the request was understood but
+    rejected.
+    """
+
+
+class ServeProtocolError(ServeError):
+    """A serve request is malformed at the protocol level.
+
+    Examples: a body that is not a JSON object, a missing or unknown
+    ``format`` tag, a payload field of the wrong type.  Distinct from
+    :class:`ServeError` so clients can tell "fix your request" from
+    "the scheduler refused the operation".
+    """

@@ -8,7 +8,16 @@
   schedules plus event traces;
 * :mod:`repro.simulation.replay` — rolling-horizon replay of arrival
   *streams* (SWF traces, synthetic generators) with bounded memory and
-  windowed metrics, for traces too large to materialise.
+  windowed metrics, for traces too large to materialise;
+* :mod:`repro.simulation.scheduler_core` — the replay engine's
+  event-application loop as a standalone ``submit`` / ``cancel`` /
+  ``advance_to`` / ``drain`` surface.
+
+:class:`SchedulerCore` is the supported embedding API: batch replay
+(:class:`ReplayEngine`), epoch sharding and the ``repro serve`` daemon
+are all thin drivers of it.  Reaching into the engine's fused loops
+(``ReplayEngine._run_fused`` / ``_run_batched`` / ``_run_generic``) is
+deprecated outside the engine itself and flagged by lint rule RPL503.
 """
 
 from .cluster import ClusterState, RunningJob
@@ -30,6 +39,7 @@ from .online_sim import (
 from .replay import (
     DEFAULT_WINDOW,
     MultiReplayResult,
+    ReplayCheckpoint,
     ReplayEngine,
     ReplayResult,
     ReplayState,
@@ -37,6 +47,7 @@ from .replay import (
     replay_policies,
     replay_swf,
 )
+from .scheduler_core import SchedulerCore
 from .timeline import (
     TimelineSummary,
     queue_length_timeline,
@@ -62,9 +73,11 @@ __all__ = [
     "policy_greedy",
     "policy_easy",
     "policy_conservative",
+    "ReplayCheckpoint",
     "ReplayEngine",
     "ReplayResult",
     "ReplayState",
+    "SchedulerCore",
     "MultiReplayResult",
     "replay",
     "replay_policies",

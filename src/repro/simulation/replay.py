@@ -603,308 +603,42 @@ class ReplayEngine:
         resume: Optional[ReplayCheckpoint] = None,
         drain: bool = True,
     ) -> ReplayResult:
+        """The reference loop, as a thin trace-driving client of
+        :class:`~repro.simulation.scheduler_core.SchedulerCore`: group
+        the stream's arrivals by release time, ``submit`` each group,
+        ``advance_to`` its event time, then ``drain`` (or suspend at
+        the frontier and attach the core's checkpoint)."""
+        from .scheduler_core import SchedulerCore
+
         started_clock = _time.perf_counter()
-        backend: BackendSpec = self.profile_backend
-        auto_backend = backend == "auto"
-        demoted = resume is not None and resume.demoted
-        demoted_at = resume.demoted_at if resume is not None else None
-        if auto_backend:
-            backend = "list" if demoted else "array"
-        state = ReplayState(self.m, backend)
-        # `auto` watches for non-integral job times and demotes the live
-        # profile to the exact list backend before they reach the int64
-        # columns; an explicit backend choice is honoured (and loud).
-        watch_times = auto_backend and getattr(
-            state.profile, "CHEAP_PRUNE", False
+        core = SchedulerCore(
+            self.m, self.policy_name,
+            profile_backend=self.profile_backend, window=self.window,
+            store=self.store, prune_interval=self.prune_interval,
+            bsld_tau=self.bsld_tau, record_starts=self.record_starts,
+            completion_queue=self.completion_queue, decide=self._policy,
+            resume=resume,
         )
-        cheap_prune = getattr(state.profile, "CHEAP_PRUNE", False)
-        use_heap = self.completion_queue == "heap"
-        decide = self._policy
-        queue = state.queue  # the dict object is stable for the run
-        heap: List[Tuple] = []       # heap mode: (end time, seq, job id)
-        buckets: Dict = {}           # calendar mode: end time -> [jobs]
-        time_heap: List = []         # calendar mode: distinct end times
-        seq = 0
-        now = None
-
-        windows: Dict[int, _WindowAcc] = {}
-        window_of: Dict[object, int] = {}   # live jobs only
-        emitted: List[Dict] = []
-        next_emit = 0
-        result = ReplayResult(
-            policy=self.policy_name, m=self.m, window_size=self.window,
-            starts={} if self.record_starts else None,
-        )
-
-        # totals
-        arrived = 0
-        completed = 0
-        events = 0
-        total_work = 0
-        pmax = 0
-        latest_lb_finish = 0
-        last_completion = 0
-        sum_wait = 0
-        max_wait = 0
-        sum_slowdown = 0
-        sum_bsld = 0
-        max_bsld = 0.0  # repro: noqa RPL201 -- bsld gauge is float by definition
-        peak_queue = 0
-        peak_running = 0
-        peak_segments = 1
-        since_prune = 0
-        pruned_to = 0   # completions already compacted behind
-
-        if resume is not None:
-            state.profile = make_profile(
-                list(resume.profile_times), list(resume.profile_caps), backend
-            )
-            for job in resume.queue:
-                queue[job.id] = job
-            for end, bucket in resume.buckets:
-                buckets[end] = list(bucket)
-                time_heap.append(end)
-                for job in bucket:
-                    state.running[job.id] = job
-            heapify(time_heap)
-            windows = {
-                w: _WindowAcc.from_state(s) for w, s in resume.windows.items()
-            }
-            window_of = dict(resume.window_of)
-            next_emit = resume.next_emit
-            c = resume.counters
-            (arrived, completed, events, total_work, pmax, latest_lb_finish,
-             last_completion, sum_wait, max_wait, sum_slowdown, sum_bsld,
-             max_bsld, peak_queue, _running_count, peak_running,
-             peak_segments, since_prune, pruned_to) = (
-                c[name] for name in _CKPT_COUNTERS
-            )
-
-        def current_window(index: int) -> Optional[_WindowAcc]:
-            if not self.window:
-                return None
-            w = index // self.window
-            acc = windows.get(w)
-            if acc is None:
-                acc = windows[w] = _WindowAcc(w)
-            return acc
-
-        def emit_done_windows(force: bool = False) -> None:
-            nonlocal next_emit
-            while next_emit in windows and (windows[next_emit].done or force):
-                acc = windows.pop(next_emit)
-                if acc.arrived:
-                    row = acc.row(self.m)
-                    emitted.append(row)
-                    if self.store is not None:
-                        self.store.append(row)
-                next_emit += 1
-
         it = iter(arrivals)
         pending = next(it, None)
-
-        running = state.running
-        while pending is not None or heap or time_heap or queue:
-            if pending is None and not drain:
-                break  # slice exhausted: suspend at the frontier
-            if pending is None and not heap and not time_heap:
-                raise SchedulingError(
-                    f"replay stalled with {len(state.queue)} queued job(s) "
-                    "that can never start"
-                )
-            # advance the clock to the next event time
-            t_arrival = pending.release if pending is not None else None
-            if use_heap:
-                t_completion = heap[0][0] if heap else None
-            else:
-                t_completion = time_heap[0] if time_heap else None
-            if t_completion is not None and (
-                t_arrival is None or t_completion <= t_arrival
-            ):
-                now = t_completion
-            else:
-                now = t_arrival
-
-            # 1. completions at `now` free their processors first
-            if use_heap:
-                while heap and heap[0][0] == now:
-                    _, _, job_id = heappop(heap)
-                    state.complete_job(job_id)
-                    events += 1
-                    completed += 1
-                    since_prune += 1
-                    last_completion = now
-                    w = window_of.pop(job_id, None)
-                    if w is not None:
-                        acc = windows[w]
-                        acc.completed += 1
-                        acc.last_completion = now
-                        if acc.done:
-                            emit_done_windows()
-            elif time_heap and time_heap[0] == now:
-                # one bucket holds every job finishing at `now`, in start
-                # order — a single heap pop serves them all
-                heappop(time_heap)
-                for job in buckets.pop(now):
-                    job_id = job.id
-                    del running[job_id]
-                    events += 1
-                    completed += 1
-                    since_prune += 1
-                    last_completion = now
-                    w = window_of.pop(job_id, None)
-                    if w is not None:
-                        acc = windows[w]
-                        acc.completed += 1
-                        acc.last_completion = now
-                        if acc.done:
-                            emit_done_windows()
-
-            # 2. arrivals at `now` join the queue in stream order
-            while pending is not None and pending.release == now:
-                job = pending
-                if watch_times and not (
-                    type(job.p) is int and type(job.release) is int
-                ):
-                    # non-integral trace: demote the live profile to the
-                    # exact list backend (state converts losslessly)
-                    state.profile = convert_profile(state.profile, "list")
-                    watch_times = cheap_prune = False
-                    demoted = True
-                    demoted_at = _note_demotion(job)
-                state.enqueue(job)
-                events += 1
-                acc = current_window(arrived)
-                if acc is not None:
-                    window_of[job.id] = acc.index
-                    acc.arrived += 1
-                    if acc.first_release is None:
-                        acc.first_release = job.release
-                    acc.work += job.area
-                    if job.p > acc.pmax:
-                        acc.pmax = job.p
-                    finish = job.release + job.p
-                    if finish > acc.latest_lb_finish:
-                        acc.latest_lb_finish = finish
-                    if acc.arrived == self.window:
-                        acc.full = True
-                arrived += 1
-                total_work += job.area
-                if job.p > pmax:
-                    pmax = job.p
-                if job.release + job.p > latest_lb_finish:
-                    latest_lb_finish = job.release + job.p
+        while pending is not None:
+            t = pending.release
+            while pending is not None and pending.release == t:
+                core.submit(pending)
                 pending = next(it, None)
-            if pending is None and drain and self.window:
-                # the stream ended: the partial trailing window is full
-                for acc in windows.values():
-                    acc.full = True
-                emit_done_windows()
-
-            if len(queue) > peak_queue:
-                peak_queue = len(queue)
-
-            # 3. one decision pass (policies are pass-idempotent)
-            for job in decide(state, now) if queue else ():
-                events += 1
-                wait = now - job.release
-                sum_wait += wait
-                if wait > max_wait:
-                    max_wait = wait
-                # slowdown means are floats (order-noise accepted); the
-                # identity-tested totals stay int-exact sums
-                sum_slowdown += (wait + job.p) / job.p
-                bsld = bounded_slowdown(wait, job.p, self.bsld_tau)
-                sum_bsld += bsld
-                if bsld > max_bsld:
-                    max_bsld = bsld
-                w = window_of.get(job.id)
-                if w is not None:
-                    acc = windows[w]
-                    acc.started += 1
-                    acc.sum_wait += wait
-                    if wait > acc.max_wait:
-                        acc.max_wait = wait
-                    acc.sum_bsld += bsld
-                    if bsld > acc.max_bsld:
-                        acc.max_bsld = bsld
-                if result.starts is not None:
-                    result.starts[job.id] = now
-                end = now + job.p
-                if use_heap:
-                    seq += 1
-                    heappush(heap, (end, seq, job.id))
-                else:
-                    bucket = buckets.get(end)
-                    if bucket is None:
-                        buckets[end] = [job]
-                        heappush(time_heap, end)
-                    else:
-                        bucket.append(job)
-
-            if len(running) > peak_running:
-                peak_running = len(running)
-
-            # 4. compact the profile behind the clock (high-water sampled
-            # just before pruning: the honest peak — cheap-prune backends
-            # compact on every completion event, so the gauge is sampled
-            # on a cadence)
-            if cheap_prune:
-                # O(1) prune and O(1) size probe: sample before every
-                # compaction, so the peak gauge is exact
-                if completed != pruned_to:
-                    pruned_to = completed
-                    segments = state.profile.segment_count()
-                    if segments > peak_segments:
-                        peak_segments = segments
-                    state.profile.prune_before(now)
-            elif since_prune >= self.prune_interval:
-                since_prune = 0
-                segments = state.profile.segment_count()
-                if segments > peak_segments:
-                    peak_segments = segments
-                state.profile.prune_before(now)
-
+            if pending is not None or not drain:
+                core.advance_to(t)
+        result = ReplayResult(
+            policy=self.policy_name, m=self.m, window_size=self.window,
+            starts=core.starts,
+        )
         if not drain:
-            times_l, caps_l = state.profile.as_lists()
-            result.windows = emitted
-            result.checkpoint = ReplayCheckpoint(
-                m=self.m, policy=self.policy_name, window=self.window,
-                clock=now if now is not None else (
-                    resume.clock if resume is not None else 0
-                ),
-                profile_times=times_l, profile_caps=caps_l,
-                demoted=demoted, demoted_at=demoted_at,
-                queue=list(queue.values()),
-                buckets=sorted(buckets.items()),
-                window_of=dict(window_of),
-                windows={w: acc.state() for w, acc in windows.items()},
-                next_emit=next_emit,
-                counters=dict(zip(_CKPT_COUNTERS, (
-                    arrived, completed, events, total_work, pmax,
-                    latest_lb_finish, last_completion, sum_wait, max_wait,
-                    sum_slowdown, sum_bsld, max_bsld, peak_queue,
-                    len(running), peak_running, peak_segments, since_prune,
-                    pruned_to,
-                ))),
-            )
+            result.windows = core.emitted
+            result.checkpoint = core.checkpoint()
             return result
-
-        if self.window:
-            emit_done_windows(force=True)
-        segments = state.profile.segment_count()
-        if segments > peak_segments:
-            peak_segments = segments
-
+        core.drain()
         return self._finalize(
-            result, emitted, started_clock,
-            arrived=arrived, events=events, total_work=total_work,
-            pmax=pmax, latest_lb_finish=latest_lb_finish,
-            last_completion=last_completion, sum_wait=sum_wait,
-            max_wait=max_wait, sum_slowdown=sum_slowdown,
-            sum_bsld=sum_bsld, max_bsld=max_bsld, peak_queue=peak_queue,
-            peak_running=peak_running, peak_segments=peak_segments,
-            demoted_at=demoted_at, windows_emitted=next_emit,
+            result, core.emitted, started_clock, **core.totals_kwargs()
         )
 
     # ------------------------------------------------------------------

@@ -201,3 +201,40 @@ class TestRunAndList:
         for section in ("algorithms:", "workloads:", "policies:",
                         "metrics:", "backends:"):
             assert section in out
+
+
+class TestReplayJournalValidation:
+    """Journal-dependent replay flags are usage errors without --journal."""
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["replay", "synth:steady:10", "--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_snapshot_interval_requires_journal(self, capsys):
+        code = main(
+            ["replay", "synth:steady:10", "-m", "8", "--snapshot-interval", "5"]
+        )
+        assert code == 2
+        assert "--snapshot-interval requires --journal" in \
+            capsys.readouterr().err
+
+
+class TestServeValidation:
+    """`repro serve` usage errors exit 2 before touching the journal."""
+
+    def test_fresh_serve_requires_machines(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "j")]) == 2
+        assert "requires -m/--machines" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flags", [
+        ["-m", "8"],
+        ["-p", "fcfs"],
+        ["--window", "10"],
+        ["--snapshot-interval", "5"],
+        ["-m", "8", "--window", "10"],
+    ], ids=lambda f: f[0])
+    def test_resume_rejects_config_flags(self, tmp_path, flags, capsys):
+        assert main(["serve", str(tmp_path / "j"), "--resume", *flags]) == 2
+        err = capsys.readouterr().err
+        assert "--resume takes its configuration from the journal" in err
+        assert flags[0].lstrip("-").split()[0] in err.replace("/", " ")

@@ -656,3 +656,94 @@ def test_repository_is_clean(capsys):
 
 def test_repro_lint_src_exits_zero(capsys):
     assert lint_main([str(REPO_ROOT / "src" / "repro")]) == 0
+
+
+# ---------------------------------------------------------------------------
+# RPL503 engine-internal reach-in
+# ---------------------------------------------------------------------------
+
+ENGINE_INTERNALS_CONFIG = """
+    engine-internal-names = ["_run_fused", "_run_batched"]
+    engine-internal-owners = ["src/engine.py"]
+"""
+
+ENGINE_SRC = """
+    class Engine:
+        def _run_fused(self):
+            return self._run_batched()
+
+        def _run_batched(self):
+            return 1
+"""
+
+
+def test_engine_reach_in_fires_outside_owner(tmp_path):
+    project = make_project(
+        tmp_path,
+        {
+            "src/engine.py": ENGINE_SRC,
+            "src/driver.py": """
+                def go(engine):
+                    return engine._run_fused()
+            """,
+        },
+        config=ENGINE_INTERNALS_CONFIG,
+    )
+    report = run_lint([project / "src"])
+    assert [(v.path, v.code) for v in report.violations] == [
+        ("src/driver.py", "RPL503")
+    ]
+    assert "SchedulerCore" in report.violations[0].message
+
+
+def test_engine_owner_file_is_exempt(tmp_path):
+    project = make_project(
+        tmp_path, {"src/engine.py": ENGINE_SRC},
+        config=ENGINE_INTERNALS_CONFIG,
+    )
+    assert run_lint([project / "src"]).clean
+
+
+def test_engine_reach_in_flags_any_receiver(tmp_path):
+    # the check is syntactic: `x._run_batched` fires whatever `x` is
+    project = make_project(
+        tmp_path,
+        {"src/other.py": """
+            def probe(x):
+                return x._run_batched
+        """},
+        config=ENGINE_INTERNALS_CONFIG,
+    )
+    assert codes(run_lint([project / "src"])) == ["RPL503"]
+
+
+def test_engine_reach_in_noqa_suppresses(tmp_path):
+    project = make_project(
+        tmp_path,
+        {"src/bench.py": """
+            def gate(engine):
+                # differential twin: measured on purpose
+                return engine._run_fused()  # repro: noqa RPL503 -- twin gate
+        """},
+        config=ENGINE_INTERNALS_CONFIG,
+    )
+    assert run_lint([project / "src"]).clean
+
+
+def test_engine_internals_unconfigured_is_clean(tmp_path):
+    project = make_project(
+        tmp_path,
+        {"src/driver.py": """
+            def go(engine):
+                return engine._run_fused()
+        """},
+    )
+    assert run_lint([project / "src"]).clean
+
+
+def test_engine_internals_config_parses():
+    from repro.devtools.lint.config import load_config
+
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    assert "_run_fused" in config.engine_internal_names
+    assert "src/repro/simulation/replay.py" in config.engine_internal_owners

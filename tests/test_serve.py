@@ -1,0 +1,601 @@
+"""The ``repro serve`` daemon: wire format, service semantics, crash safety.
+
+Three layers, tested separately and then together:
+
+* :mod:`repro.serve.api` — every ``make_*`` builder must round-trip
+  through :func:`parse_request` (the builders and the validator are two
+  halves of one ``repro-serve/1`` contract), and the response envelopes
+  must reconstruct on the client side.
+* :class:`SchedulerService` — the transport-free op layer: op
+  application, the journal's apply → journal → ack ordering, snapshot +
+  op-replay recovery byte-identity, and the serve/replay journal
+  mode wall.
+* The HTTP daemon — an end-to-end subprocess session, then the kill
+  matrix: SIGKILL the daemon at every serve-path failpoint mid-stream,
+  restart with ``--resume``, have the client retry its unacked op, and
+  assert the recovered ``/v1/state`` body is byte-identical to an
+  uninterrupted session's.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.job import Job
+from repro.devtools import failpoints
+from repro.durability import Journal
+from repro.errors import SchedulingError, ServeError, ServeProtocolError
+from repro.serve import SchedulerService, ServeDaemon
+from repro.serve.api import (
+    MUTATING_OPS,
+    OPS as ALL_OPS,
+    SERVE_FORMAT,
+    error_envelope,
+    error_kind,
+    job_from_payload,
+    make_advance,
+    make_cancel,
+    make_drain,
+    make_query,
+    make_reserve,
+    make_submit,
+    ok_envelope,
+    parse_request,
+    raise_for_envelope,
+)
+from repro.simulation import SchedulerCore
+
+SRC_ROOT = Path(repro.__file__).resolve().parents[1]
+
+M = 16
+WINDOW = 4
+SNAP = 4  # snapshot every 4 accepted ops: several snapshots mid-stream
+
+
+def session_ops():
+    """One deterministic client session: submits, a queued cancel, a
+    staged cancel, advances, drain — 16 mutating ops, every one valid
+    against a fresh ``m=16`` core."""
+    return [
+        make_submit("a0", 10, 16, 0),   # hogs the whole machine until 10
+        make_submit("a1", 3, 2, 0),     # queued behind a0
+        make_submit("a2", 4, 8, 0),
+        make_advance(2),
+        make_cancel("a1"),              # cancelled while queued
+        make_submit("a3", 5, 4, 2),
+        make_cancel("a3"),              # cancelled while still staged
+        make_submit("a4", 6, 4, 4),
+        make_advance(6),
+        make_submit("a5", 2, 2, 8),
+        make_submit("a6", 7, 12, 9),
+        make_advance(12),
+        make_submit("a7", 3, 3, 14),
+        make_advance(20),
+        make_advance(40),
+        make_drain(),
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _reset_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+# ---------------------------------------------------------------------------
+# repro-serve/1 wire format (satellite: versioned client API)
+# ---------------------------------------------------------------------------
+
+
+class TestApiRoundTrip:
+    def test_submit_round_trips_to_job(self):
+        body = make_submit("j1", 5, 2, 10, name="batch")
+        op, parsed = parse_request(body)
+        assert op == "submit"
+        job = job_from_payload(parsed["job"])
+        assert job == Job(id="j1", p=5, q=2, release=10, name="batch")
+
+    def test_every_builder_parses(self):
+        for body in (
+            make_submit("j", 1, 1, 0),
+            make_cancel("j"),
+            make_advance(7),
+            make_reserve(5, 3, 2),
+            make_drain(),
+            make_query("status"),
+            make_query("windows"),
+            make_query("state"),
+            make_query("shutdown"),
+        ):
+            op, _ = parse_request(body)
+            assert op in ALL_OPS
+
+    def test_integral_floats_normalise_to_int(self):
+        # a sloppy JSON client sending 10.0 must not demote the int grid
+        op, parsed = parse_request(
+            {"format": SERVE_FORMAT, "op": "submit",
+             "job": {"id": "j", "p": 5.0, "q": 2.0, "release": 10.0}}
+        )
+        job = job_from_payload(parsed["job"])
+        assert (job.p, job.q, job.release) == (5, 2, 10)
+        assert all(
+            type(v) is int for v in (job.p, job.q, job.release)
+        )
+
+    def test_non_integral_float_survives(self):
+        _, parsed = parse_request(make_advance(2.5))
+        assert parsed["to"] == 2.5
+
+    def test_query_builder_rejects_mutating_ops(self):
+        with pytest.raises(ServeProtocolError):
+            make_query("submit")
+        with pytest.raises(ServeProtocolError):
+            make_query("nonsense")
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "not an object",
+            {},
+            {"format": "repro-serve/2", "op": "status"},
+            {"format": SERVE_FORMAT, "op": "frobnicate"},
+            {"format": SERVE_FORMAT, "op": "submit"},
+            {"format": SERVE_FORMAT, "op": "submit", "job": "j1"},
+            {"format": SERVE_FORMAT, "op": "submit",
+             "job": {"id": "j", "p": 1, "q": 1, "release": 0, "prio": 9}},
+            {"format": SERVE_FORMAT, "op": "submit",
+             "job": {"id": "j", "p": 1, "q": 1}},
+            {"format": SERVE_FORMAT, "op": "submit",
+             "job": {"id": "j", "p": "fast", "q": 1, "release": 0}},
+            {"format": SERVE_FORMAT, "op": "submit",
+             "job": {"id": "j", "p": True, "q": 1, "release": 0}},
+            {"format": SERVE_FORMAT, "op": "submit",
+             "job": {"id": "j", "p": 1, "q": 1, "release": 0, "name": 3}},
+            {"format": SERVE_FORMAT, "op": "cancel"},
+            {"format": SERVE_FORMAT, "op": "advance"},
+            {"format": SERVE_FORMAT, "op": "reserve", "start": 0, "p": 1},
+        ],
+        ids=lambda b: b if isinstance(b, str) else (b.get("op") or "untagged"),
+    )
+    def test_malformed_requests_reject(self, body):
+        with pytest.raises(ServeProtocolError):
+            parse_request(body)
+
+    def test_ops_catalog_is_consistent(self):
+        assert set(MUTATING_OPS) < set(ALL_OPS)
+        assert len(ALL_OPS) == len(set(ALL_OPS))
+
+
+class TestEnvelopes:
+    def test_ok_round_trip(self):
+        assert raise_for_envelope(ok_envelope({"x": 1})) == {"x": 1}
+        assert raise_for_envelope(ok_envelope()) == {}
+
+    def test_error_kinds(self):
+        assert error_kind(ServeProtocolError("x")) == "protocol"
+        assert error_kind(SchedulingError("x")) == "scheduling"
+        assert error_kind(ValueError("x")) == "internal"
+
+    def test_error_envelope_reconstructs(self):
+        env = error_envelope(SchedulingError("job 'j' is already live"))
+        assert env["ok"] is False
+        assert env["error"]["type"] == "SchedulingError"
+        with pytest.raises(ServeError, match="already live"):
+            raise_for_envelope(env)
+
+    def test_protocol_errors_reconstruct_as_protocol(self):
+        env = error_envelope(ServeProtocolError("bad request"))
+        with pytest.raises(ServeProtocolError, match="bad request"):
+            raise_for_envelope(env)
+
+    def test_untagged_response_rejects(self):
+        with pytest.raises(ServeProtocolError):
+            raise_for_envelope({"ok": True, "result": {}})
+
+
+# ---------------------------------------------------------------------------
+# SchedulerCore verbs (the redesigned engine-core surface)
+# ---------------------------------------------------------------------------
+
+
+class TestCoreVerbs:
+    def test_submit_after_drain_rejects(self):
+        core = SchedulerCore(4)
+        core.drain()
+        with pytest.raises(SchedulingError, match="after drain"):
+            core.submit(Job(id="j", p=1, q=1, release=0))
+
+    def test_out_of_order_release_rejects(self):
+        core = SchedulerCore(4)
+        core.advance_to(10)
+        with pytest.raises(SchedulingError, match="out of order"):
+            core.submit(Job(id="j", p=1, q=1, release=5))
+
+    def test_duplicate_live_id_rejects(self):
+        core = SchedulerCore(4)
+        core.submit(Job(id="j", p=5, q=1, release=0))
+        with pytest.raises(SchedulingError, match="already live"):
+            core.submit(Job(id="j", p=5, q=1, release=0))
+
+    def test_cancel_staged_then_id_is_reusable(self):
+        core = SchedulerCore(4)
+        core.submit(Job(id="j", p=5, q=1, release=3))
+        assert core.cancel("j") == "staged"
+        core.submit(Job(id="j", p=5, q=1, release=3))  # free again
+
+    def test_cancel_queued(self):
+        core = SchedulerCore(4)
+        core.submit(Job(id="hog", p=10, q=4, release=0))
+        core.submit(Job(id="j", p=2, q=1, release=0))
+        core.advance_to(1)
+        assert core.cancel("j") == "queued"
+        assert core.status()["cancelled"] == 1
+
+    def test_cancel_running_rejects(self):
+        core = SchedulerCore(4)
+        core.submit(Job(id="j", p=10, q=4, release=0))
+        core.advance_to(1)
+        with pytest.raises(SchedulingError, match="running"):
+            core.cancel("j")
+
+    def test_cancel_unknown_rejects(self):
+        with pytest.raises(SchedulingError, match="not a live job"):
+            SchedulerCore(4).cancel("ghost")
+
+    def test_advance_backwards_rejects(self):
+        core = SchedulerCore(4)
+        core.advance_to(10)
+        core.advance_to(10)  # same time is idempotent
+        with pytest.raises(SchedulingError, match="already at"):
+            core.advance_to(9)
+
+    def test_reserve_blocks_capacity(self):
+        core = SchedulerCore(4)
+        core.reserve(0, 10, 4)  # the whole machine, [0, 10)
+        core.submit(Job(id="j", p=2, q=1, release=0))
+        core.advance_to(0)
+        assert core.status()["running"] == 0  # pushed past the hole
+        core.drain()
+        assert core.last_completion == 12
+
+    def test_reserve_validation(self):
+        core = SchedulerCore(4)
+        core.advance_to(5)
+        with pytest.raises(SchedulingError, match="processors"):
+            core.reserve(10, 5, 9)
+        with pytest.raises(SchedulingError, match="positive"):
+            core.reserve(10, 0, 2)
+        with pytest.raises(SchedulingError, match="in the past"):
+            core.reserve(2, 5, 2)
+
+    def test_reserve_overfull_rejects(self):
+        core = SchedulerCore(4)
+        core.reserve(0, 10, 4)
+        with pytest.raises(SchedulingError, match="does not fit"):
+            core.reserve(5, 1, 1)
+
+    def test_describe_state_is_deterministic_and_json_safe(self):
+        def run():
+            core = SchedulerCore(M, window=WINDOW)
+            service = SchedulerService(core)
+            for body in session_ops():
+                env = service.handle(body)
+                assert env["ok"], env
+            return json.dumps(core.describe_state(), sort_keys=True)
+
+        assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# SchedulerService: op layer + event-sourced recovery
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulerService:
+    def test_errors_are_envelopes_not_exceptions(self):
+        service = SchedulerService(SchedulerCore(4))
+        env = service.handle({"format": SERVE_FORMAT, "op": "cancel",
+                              "job": "ghost"})
+        assert env["ok"] is False
+        assert env["error"]["kind"] == "scheduling"
+        env = service.handle(["not", "a", "request"])
+        assert env["error"]["kind"] == "protocol"
+
+    def test_rejected_ops_are_not_journaled(self, tmp_path):
+        service = SchedulerService.create(str(tmp_path / "j"), m=4)
+        assert service.handle(make_submit("j", 5, 1, 0))["ok"]
+        assert not service.handle(make_submit("j", 5, 1, 0))["ok"]
+        assert service.seq == 1
+        service.close()
+
+    def test_snapshot_interval_validation(self):
+        with pytest.raises(ServeError, match=">= 1"):
+            SchedulerService(SchedulerCore(4), snapshot_interval=0)
+
+    def test_journal_free_service_works(self):
+        service = SchedulerService(SchedulerCore(4))
+        assert service.handle(make_submit("j", 5, 1, 0))["ok"]
+        assert service.seq == 0  # nothing journaled, nothing counted
+
+    def test_status_and_state_queries(self, tmp_path):
+        service = SchedulerService.create(
+            str(tmp_path / "j"), m=M, window=WINDOW, snapshot_interval=SNAP
+        )
+        for body in session_ops():
+            assert service.handle(body)["ok"]
+        status = service.handle(make_query("status"))["result"]
+        assert status["ops"] == len(session_ops())
+        assert status["eof"] is True
+        assert status["cancelled"] == 1  # the queued cancel, not the staged
+        state = service.handle(make_query("state"))["result"]
+        assert state["m"] == M and state["counters"]["arrived"] == 7
+        rows = service.handle(make_query("windows"))["result"]["rows"]
+        assert rows  # the drained session emitted its window rows
+        service.close()
+
+    @pytest.mark.parametrize("cut", [3, 7, 8, 12])
+    def test_resume_mid_session_is_byte_identical(self, tmp_path, cut):
+        """Kill the service (close without final snapshot) after ``cut``
+        ops; recovery must reconstruct the exact mid-session state."""
+        ops = session_ops()
+        reference = SchedulerService(SchedulerCore(M, window=WINDOW))
+        for body in ops[:cut]:
+            assert reference.handle(body)["ok"]
+        expected = json.dumps(
+            reference.core.describe_state(), sort_keys=True
+        )
+
+        service = SchedulerService.create(
+            str(tmp_path / "j"), m=M, window=WINDOW, snapshot_interval=SNAP
+        )
+        for body in ops[:cut]:
+            assert service.handle(body)["ok"]
+        service.close()
+
+        recovered, recovery = SchedulerService.resume(str(tmp_path / "j"))
+        assert recovered.seq == cut
+        assert len(recovery.ops) == cut % SNAP
+        assert json.dumps(
+            recovered.core.describe_state(), sort_keys=True
+        ) == expected
+        recovered.close()
+
+    def test_resume_rejects_batch_replay_journal(self, tmp_path):
+        journal = Journal.create(str(tmp_path / "j"), {"mode": "replay"})
+        journal.close()
+        with pytest.raises(ServeError, match="not written by repro serve"):
+            SchedulerService.resume(str(tmp_path / "j"))
+
+    def test_shutdown_op_sets_stop_flag(self):
+        service = SchedulerService(SchedulerCore(4))
+        assert not service.stop_requested
+        assert service.handle(make_query("shutdown"))["ok"]
+        assert service.stop_requested
+
+
+# ---------------------------------------------------------------------------
+# HTTP daemon: end-to-end session, then the kill matrix
+# ---------------------------------------------------------------------------
+
+
+class _DaemonDied(Exception):
+    """The daemon's socket dropped mid-request (it was SIGKILLed)."""
+
+
+def _http(method, port, path, body=None, timeout=30):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        # 4xx/5xx responses still carry a repro-serve/1 envelope
+        return json.loads(exc.read())
+    except (urllib.error.URLError, http.client.HTTPException, OSError) as exc:
+        raise _DaemonDied(str(exc)) from exc
+
+
+def _post_op(port, body):
+    return _http("POST", port, "/v1/op", body)
+
+
+def _spawn_serve(args, failpoint_spec=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(failpoints.ENV_VAR, None)
+    if failpoint_spec is not None:
+        env[failpoints.ENV_VAR] = failpoint_spec
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *args],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _wait_for_port(port_file: Path, proc, timeout=30.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if port_file.is_file():
+            text = port_file.read_text().strip()
+            if text:
+                return int(text)
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon exited before binding: rc={proc.returncode}\n"
+                f"{proc.stderr.read()}"
+            )
+        time.sleep(0.02)
+    raise AssertionError("daemon never published its port file")
+
+
+@pytest.fixture(scope="module")
+def reference_state(tmp_path_factory) -> bytes:
+    """The uninterrupted session's ``/v1/state`` body, byte for byte
+    (computed through the transport-free service: the HTTP layer
+    serialises the identical envelope with ``sort_keys=True``)."""
+    base = tmp_path_factory.mktemp("serve-reference")
+    service = SchedulerService.create(
+        str(base / "journal"), m=M, window=WINDOW, snapshot_interval=SNAP
+    )
+    for body in session_ops():
+        env = service.handle(body)
+        assert env["ok"], env
+    envelope = service.handle(make_query("state"))
+    service.close()
+    assert envelope["ok"]
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+def _fresh_args(journal, port_file):
+    return [
+        str(journal), "-m", str(M), "--window", str(WINDOW),
+        "--snapshot-interval", str(SNAP), "--port-file", str(port_file),
+    ]
+
+
+def test_daemon_session_end_to_end(tmp_path, reference_state):
+    proc = _spawn_serve(_fresh_args(tmp_path / "journal", tmp_path / "port"))
+    try:
+        port = _wait_for_port(tmp_path / "port", proc)
+        for body in session_ops():
+            env = _post_op(port, body)
+            assert env["ok"], env
+        # a scheduling rejection is an answer, not a connection teardown
+        env = _post_op(port, make_submit("a8", 1, 1, 999))
+        assert not env["ok"] and "after drain" in env["error"]["message"]
+        assert env["error"]["kind"] == "scheduling"
+        status = _http("GET", port, "/v1/status")["result"]
+        assert status["ops"] == len(session_ops()) and status["eof"]
+        raw = _state_bytes(port)
+        assert raw == reference_state
+        assert _http("POST", port, "/v1/shutdown")["result"]["stopping"]
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30)
+
+
+def _state_bytes(port) -> bytes:
+    request = urllib.request.Request(f"http://127.0.0.1:{port}/v1/state")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.read()
+
+
+def test_daemon_reserve_over_http(tmp_path):
+    proc = _spawn_serve(_fresh_args(tmp_path / "journal", tmp_path / "port"))
+    try:
+        port = _wait_for_port(tmp_path / "port", proc)
+        env = _post_op(port, make_reserve(5, 10, M))
+        assert env["ok"], env
+        env = _post_op(port, make_reserve(7, 1, 1))  # inside the hole
+        assert not env["ok"] and env["error"]["kind"] == "scheduling"
+        state = _http("GET", port, "/v1/state")["result"]
+        assert M - state["profile_caps"][1] == M  # the hole is committed
+        _http("POST", port, "/v1/shutdown")
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30)
+
+
+# Every serve-path failpoint, placed mid-stream.  ``after=`` indexes are
+# hits of that site: op sites hit once per mutating request, journal
+# sites once per record/snapshot, so each spec kills a *different*
+# request of the same 16-op session.
+KILL_SPECS = (
+    "serve.op.apply:after=9",
+    "serve.op.ack:after=9",
+    "journal.record.append:after=6",
+    "journal.record.torn:after=6",
+    "journal.snapshot.write:after=1",
+    "journal.snapshot.rename:after=1",
+    "journal.snapshot.marker:after=1",
+)
+
+
+def _retry_unacked(port, body):
+    """What a correct serve client does after a connection drop: check
+    whether the in-flight op landed, and re-send it if not.  Submits and
+    cancels are self-detecting (a duplicate is rejected by id); advance
+    and drain are checked against the recovered status gauges so an
+    already-applied op is not double-journaled."""
+    op = body["op"]
+    if op in ("advance", "drain"):
+        status = _http("GET", port, "/v1/status")["result"]
+        applied = (
+            status["eof"] if op == "drain"
+            else status["horizon"] is not None
+            and status["horizon"] >= body["to"]
+        )
+        if applied:
+            return
+    envelope = _post_op(port, body)
+    if not envelope["ok"]:
+        message = envelope["error"]["message"]
+        assert envelope["error"]["kind"] == "scheduling"
+        assert "already live" in message or "not a live job" in message
+
+
+@pytest.mark.parametrize("spec", KILL_SPECS, ids=lambda s: s.split(":")[0])
+def test_kill_resume_state_is_byte_identical(tmp_path, spec, reference_state):
+    journal = tmp_path / "journal"
+    proc = _spawn_serve(_fresh_args(journal, tmp_path / "port"), spec)
+    crashed_at = None
+    try:
+        port = _wait_for_port(tmp_path / "port", proc)
+        for index, body in enumerate(session_ops()):
+            try:
+                env = _post_op(port, body)
+                assert env["ok"], env
+            except _DaemonDied:
+                crashed_at = index
+                break
+        assert crashed_at is not None, f"failpoint {spec!r} never fired"
+        assert proc.wait(timeout=30) == -signal.SIGKILL
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30)
+
+    proc = _spawn_serve(
+        [str(journal), "--resume", "--port-file", str(tmp_path / "port2")]
+    )
+    try:
+        port = _wait_for_port(tmp_path / "port2", proc)
+        ops = session_ops()
+        _retry_unacked(port, ops[crashed_at])
+        for body in ops[crashed_at + 1:]:
+            env = _post_op(port, body)
+            assert env["ok"], env
+        assert _state_bytes(port) == reference_state
+        _http("POST", port, "/v1/shutdown")
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30)
+
+
+def test_resume_refuses_while_config_flags_given(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["serve", str(tmp_path / "j"), "--resume", "-m", "8"]) == 2
+    err = capsys.readouterr().err
+    assert "--resume takes its configuration from the journal" in err
