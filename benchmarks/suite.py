@@ -638,6 +638,84 @@ def _run_journal_overhead(
     )
 
 
+def _run_uncertainty_overhead(
+    repeats: int, small_n: int, m: int, seed: int,
+    profile: str, scenarios: Dict,
+) -> None:
+    """Exact-model overhead gate + stochastic throughput (record-only).
+
+    The exact uncertainty model is the degenerate certain world, so the
+    engine normalizes it away up front — a replay under ``exact`` must
+    emit rows byte-identical to a run with no model at all, and must
+    cost nothing.  Both halves of that contract are held here: the
+    identity is asserted outright, and the interleaved best-of-N
+    plain/exact wall-clock ratio lands in the trajectory as the
+    scenario's ``speedup`` so :func:`check_regressions` applies the
+    standard no-regression floor to it (baseline ~1.0x).  A lognormal
+    leg with the default 2% failure rate runs once alongside to keep
+    the stochastic path's throughput visible night over night; the
+    randomness costs what it costs, so that number is never gated.
+    """
+    from repro.simulation import replay
+    from repro.workloads.swf import synth_swf_jobs
+
+    def jobs():
+        return synth_swf_jobs(profile, small_n, m=m, seed=seed)
+
+    best_plain = best_exact = None
+    plain = exact = None
+    for _ in range(max(repeats, 3)):
+        t0 = time.perf_counter()
+        plain = replay(jobs(), m, policy="easy")
+        elapsed = time.perf_counter() - t0
+        best_plain = (elapsed if best_plain is None
+                      else min(best_plain, elapsed))
+        t0 = time.perf_counter()
+        exact = replay(jobs(), m, policy="easy", uncertainty="exact")
+        elapsed = time.perf_counter() - t0
+        best_exact = (elapsed if best_exact is None
+                      else min(best_exact, elapsed))
+    assert plain is not None and exact is not None
+    volatile = {"elapsed_seconds"}
+    assert exact.windows == plain.windows, (
+        "exact-model replay's window rows diverged from the plain engine"
+    )
+    assert (
+        {k: v for k, v in exact.totals.items() if k not in volatile}
+        == {k: v for k, v in plain.totals.items() if k not in volatile}
+    ), "exact-model replay's totals diverged from the plain engine"
+    t0 = time.perf_counter()
+    stochastic = replay(
+        jobs(), m, policy="easy",
+        uncertainty=f"lognormal:sigma=0.5:seed={seed}",
+    )
+    stochastic_s = time.perf_counter() - t0
+    assert stochastic.totals["requeues"] > 0, (
+        "stochastic leg never exercised the failure/requeue path"
+    )
+    assert "p_slowdown_le" in stochastic.totals, (
+        "stochastic leg is missing the distributional-guarantee metrics"
+    )
+    ratio = round(best_plain / best_exact, 3)
+    scenarios[f"uncertainty_overhead_{small_n // 1000}k"] = {
+        "jobs": small_n,
+        "jobs_per_sec_plain": round(small_n / best_plain),
+        "jobs_per_sec_exact": round(small_n / best_exact),
+        "jobs_per_sec_lognormal": round(small_n / stochastic_s),
+        "lognormal_requeues": stochastic.totals["requeues"],
+        "lognormal_kills": stochastic.totals["kills"],
+        "speedup": ratio,
+        "identical_rows": True,
+        "gated": True,
+    }
+    print(
+        f"  uncertainty overhead: exact at {ratio:.2f}x plain "
+        f"({round(small_n / best_exact):,} jobs/s; identical rows), "
+        f"lognormal at {round(small_n / stochastic_s):,} jobs/s "
+        f"({stochastic.totals['requeues']} requeues, record-only)"
+    )
+
+
 def bench_replay_throughput(
     quick: bool, repeats: int, out_dir: Optional[pathlib.Path]
 ) -> Dict:
@@ -673,6 +751,11 @@ def bench_replay_throughput(
       cost vs the journal-free engine on the same trace, plus the
       assertion that both emit identical rows (see
       :func:`_run_journal_overhead`); never gated.
+    * ``uncertainty_overhead_100k`` — the exact uncertainty model must
+      be free: identical rows to the plain engine asserted outright,
+      and the plain/exact wall-clock ratio gated through the standard
+      no-regression floor; the stochastic lognormal leg's throughput
+      rides along record-only (see :func:`_run_uncertainty_overhead`).
     * ``ingest_100k_gz`` — parse-only pass of a gzipped 100k-job SWF
       file through the chunked streaming reader.
     * ``identity_100k`` — the byte-identity matrix: for every built-in
@@ -742,6 +825,8 @@ def bench_replay_throughput(
         _run_batched_gate(repeats, small_n, m, seed, profile, scenarios)
         print(f"journal overhead: synth:{profile}:{small_n} on m={m} ...")
         _run_journal_overhead(repeats, small_n, m, seed, profile, scenarios)
+        print(f"uncertainty overhead: synth:{profile}:{small_n} on m={m} ...")
+        _run_uncertainty_overhead(repeats, small_n, m, seed, profile, scenarios)
 
     # -- bounded-memory legs at 1M jobs ---------------------------------
     for policy in policies:

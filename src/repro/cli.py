@@ -312,6 +312,21 @@ def _cmd_replay(args) -> int:
         print("error: no policy given", file=sys.stderr)
         return 2
     batch = "auto" if args.batch is None else args.batch
+    # Raw spec string; the engines parse and validate it (workers get
+    # the string, not the model, so spec errors surface identically
+    # serial and sharded).  Absent flag means absent kwarg: the certain
+    # world stays byte-for-byte the pre-uncertainty code path.
+    uncertain_kwargs = (
+        {"uncertainty": args.uncertainty} if args.uncertainty else {}
+    )
+    if args.uncertainty:
+        from .workloads.uncertainty import parse_uncertainty
+
+        try:
+            parse_uncertainty(args.uncertainty)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     n = None
     if args.trace.startswith("synth:"):
         # synth:<profile>[:<n>] replays the scenario pack directly — no
@@ -357,6 +372,7 @@ def _cmd_replay(args) -> int:
                 seed=args.seed, store=args.out, resume=args.resume,
                 snapshot_interval=interval, window=args.window,
                 profile_backend=args.backend, batch=batch,
+                **uncertain_kwargs,
             )
         except JournalError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -384,6 +400,7 @@ def _cmd_replay(args) -> int:
             args.trace, policies, m=args.machines, jobs=args.jobs,
             store=args.out, n=n, max_jobs=args.max_jobs, seed=args.seed,
             window=args.window, profile_backend=args.backend, batch=batch,
+            **uncertain_kwargs,
         )
         for policy in policies:
             t = multi.results[policy].totals
@@ -410,6 +427,7 @@ def _cmd_replay(args) -> int:
             m=args.machines, n=n, max_jobs=args.max_jobs, seed=args.seed,
             store=args.out, window=args.window,
             profile_backend=args.backend, batch=batch,
+            **uncertain_kwargs,
         )
         for rec in result.recoveries:
             print(
@@ -426,6 +444,7 @@ def _cmd_replay(args) -> int:
             store=args.out,
             profile_backend=args.backend,
             batch=batch,
+            **uncertain_kwargs,
         )
         if n is not None:
             m = args.machines or 256
@@ -470,6 +489,7 @@ def _cmd_serve(args) -> int:
                 ("-p/--policy", args.policy),
                 ("--window", args.window),
                 ("--snapshot-interval", args.snapshot_interval),
+                ("--uncertainty", args.uncertainty),
             ) if value is not None
         ]
         if conflicts:
@@ -494,6 +514,7 @@ def _cmd_serve(args) -> int:
         m=args.machines,
         policy=args.policy if args.policy is not None else "easy",
         window=args.window if args.window is not None else 0,
+        uncertainty=args.uncertainty,
         snapshot_interval=(
             args.snapshot_interval
             if args.snapshot_interval is not None
@@ -637,6 +658,12 @@ def _failpoint_names() -> List[str]:
     return failpoints.describe()
 
 
+def _uncertainty_names() -> List[str]:
+    from .workloads.uncertainty import available_uncertainty_models
+
+    return available_uncertainty_models()
+
+
 #: ``repro list --kind`` dispatch; the argparse choices derive from this.
 _LIST_LOADERS = {
     "algorithms": available_schedulers,
@@ -646,6 +673,7 @@ _LIST_LOADERS = {
     "backends": _backend_names,
     "lint-rules": _lint_rule_names,
     "failpoints": _failpoint_names,
+    "uncertainty-models": _uncertainty_names,
 }
 
 _LIST_KINDS = tuple(_LIST_LOADERS)
@@ -784,6 +812,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pin the scalar fused engine (the A/B baseline)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for synth:<profile> traces")
+    p.add_argument("--uncertainty", metavar="SPEC",
+                   help="runtime-uncertainty model model[:key=value]*, "
+                        "e.g. lognormal:sigma=0.5:overrun=grace — the "
+                        "policy plans with estimated runtimes while jobs "
+                        "complete at drawn actuals, with stochastic "
+                        "failure/requeue (see 'repro list --kind "
+                        "uncertainty-models')")
     p.add_argument("-o", "--out",
                    help="JSONL store for window rows + totals")
     p.add_argument("--journal", metavar="DIR",
@@ -822,6 +857,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="accepted ops between journal snapshots "
                         "(default 256)")
+    p.add_argument("--uncertainty", metavar="SPEC", default=None,
+                   help="runtime-uncertainty model model[:key=value]* "
+                        "applied to submitted jobs and reservations "
+                        "(journaled; --resume restores it from the "
+                        "header)")
     p.add_argument("--host", default="127.0.0.1",
                    help="bind address (default 127.0.0.1 — local only)")
     p.add_argument("--port", type=int, default=0,

@@ -121,6 +121,52 @@ def bounded_slowdowns(schedule: Schedule, tau=BSLD_TAU) -> List[float]:
     ]
 
 
+#: Default slowdown guarantee level: ``p_slowdown_le`` reports
+#: ``P(bounded slowdown <= 10)`` unless asked otherwise — the threshold
+#: reservation-based analyses (Palopoli et al.) quote guarantees at.
+DEFAULT_SLOWDOWN_THRESHOLD = 10.0
+
+#: The tail quantiles windowed replay rows report.
+TAIL_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def quantile(values, q: float):
+    """Nearest-rank quantile of ``values`` (exact, no interpolation).
+
+    Nearest-rank keeps every reported quantile an *observed* sample —
+    integer traces yield integer quantiles, so the distributional
+    columns obey the same exactness discipline as every other replay
+    metric.  Empty input returns 0; ``q`` outside ``[0, 1]`` is a loud
+    error.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise InvalidInstanceError(f"quantile level must be in [0, 1], got {q!r}")
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0
+    k = int(q * n)
+    if k < q * n:  # nearest rank is ceil(q * n)
+        k += 1
+    if k < 1:
+        k = 1
+    return ordered[k - 1]
+
+
+def p_slowdown_le(
+    values: Iterable[float], threshold: float = DEFAULT_SLOWDOWN_THRESHOLD
+) -> float:
+    """Empirical ``P(slowdown <= threshold)`` — the distributional
+    guarantee level.  Vacuously 1.0 over no samples."""
+    count = 0
+    n = 0
+    for value in values:
+        n += 1
+        if value <= threshold:
+            count += 1
+    return (count / n) if n else 1.0
+
+
 def utilization(schedule: Schedule) -> float:
     """``W / (m * Cmax)``: raw machine utilization by jobs."""
     cmax = schedule.makespan
@@ -284,6 +330,29 @@ def _register_builtin_metrics() -> None:
     _BUILTIN_EXTRACTORS["max_bounded_slowdown"] = METRICS.register(
         "max_bounded_slowdown", _max_bsld, overwrite=True
     )
+
+    def _p_slowdown_le(schedule: Schedule) -> float:
+        return p_slowdown_le(bounded_slowdowns(schedule))
+
+    _BUILTIN_EXTRACTORS["p_slowdown_le"] = METRICS.register(
+        "p_slowdown_le", _p_slowdown_le, overwrite=True
+    )
+
+    # distributional tails: wait_p50/p95/p99 and bsld_p50/p95/p99 —
+    # the same columns windowed replay rows report under uncertainty
+    for _q in TAIL_QUANTILES:
+        _pct = f"p{int(_q * 100)}"
+        for _prefix, _values in (
+            ("wait", waiting_times), ("bsld", bounded_slowdowns)
+        ):
+            _name = f"{_prefix}_{_pct}"
+            _BUILTIN_EXTRACTORS[_name] = METRICS.register(
+                _name,  # repro: noqa RPL501 -- one name per fixed quantile
+                (lambda fn, lvl: lambda schedule: quantile(fn(schedule), lvl))(
+                    _values, _q
+                ),
+                overwrite=True,
+            )
 
 
 _register_builtin_metrics()

@@ -151,6 +151,20 @@ CATALOG: Tuple[Failpoint, ...] = (
         "kill the daemon between durability and the ack (the op must "
         "survive recovery even though the client never heard back)",
     ),
+    Failpoint(
+        "uncertainty.requeue",
+        "simulation.scheduler_core — when a job fails mid-run, before "
+        "its capacity is released and it re-enters the queue",
+        "kill or delay at the failure instant (requeue state must "
+        "survive checkpoints and epoch handoffs)",
+    ),
+    Failpoint(
+        "uncertainty.overrun_kill",
+        "simulation.scheduler_core — when a job overruns its estimate "
+        "and the kill policy terminates it",
+        "kill or delay at the walltime-kill instant (kill counters and "
+        "window rows must stay consistent across recovery)",
+    ),
 )
 
 CATALOG_BY_NAME: Dict[str, Failpoint] = {fp.name: fp for fp in CATALOG}

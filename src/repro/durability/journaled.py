@@ -233,6 +233,14 @@ def replay_journaled(
     store = _resolve_store(store)
     stream, machine = _open_stream(source, m, n, max_jobs, seed)
     window = engine_kwargs.get("window", DEFAULT_WINDOW)
+    # Canonical uncertainty fingerprint: the model changes every journaled
+    # row, so resuming under a different model must fail the header check
+    # exactly like a different trace would.  The degenerate exact model
+    # fingerprints as None — it IS the certain world, and old journals
+    # (no key) resume under it unchanged.
+    from ..workloads.uncertainty import resolve_uncertainty
+
+    u_model = resolve_uncertainty(engine_kwargs.get("uncertainty"))
     config = {
         "format": JOURNAL_VERSION,
         "source": source if isinstance(source, str) else None,
@@ -243,6 +251,9 @@ def replay_journaled(
         "n": n,
         "max_jobs": max_jobs,
         "seed": seed,
+        "uncertainty": (
+            None if u_model is None or u_model.is_exact else u_model.spec
+        ),
     }
 
     ckpt: Optional[ReplayCheckpoint] = None

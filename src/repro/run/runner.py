@@ -34,6 +34,7 @@ from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 from ..errors import InvalidInstanceError
 from .spec import (
     DEFAULT_TIMEBASE,
+    DEFAULT_UNCERTAINTY,
     ONLINE_PREFIX,
     SYNTH_TRACE_PREFIX,
     TRACE_WORKLOAD,
@@ -60,6 +61,7 @@ class ExperimentPoint:
     seed: int
     metrics: Tuple[str, ...]
     timebase: str = DEFAULT_TIMEBASE
+    uncertainty: str = DEFAULT_UNCERTAINTY
 
     def __post_init__(self):
         object.__setattr__(self, "params", dict(self.params))
@@ -72,7 +74,9 @@ class ExperimentPoint:
         from :data:`~repro.run.spec.DEFAULT_TIMEBASE`: the fast path is
         schedule-identical by construction, and every pre-timebase store
         row was computed under the default, so default-timebase keys must
-        keep matching them on resume.
+        keep matching them on resume.  ``uncertainty`` follows the same
+        rule: the default exact model is byte-identical to no model, so
+        pre-uncertainty rows keep resuming.
         """
         factors = {
             "workload": self.workload,
@@ -83,6 +87,8 @@ class ExperimentPoint:
         }
         if self.timebase != DEFAULT_TIMEBASE:
             factors["timebase"] = self.timebase
+        if self.uncertainty != DEFAULT_UNCERTAINTY:
+            factors["uncertainty"] = self.uncertainty
         return factors
 
     @property
@@ -132,18 +138,20 @@ def expand_points(spec: ExperimentSpec) -> Iterator[ExperimentPoint]:
                             index += 1
     for trace in spec.traces:
         for backend in spec.profile_backends:
-            for algorithm in spec.algorithms:
-                for seed in spec.seeds:
-                    yield ExperimentPoint(
-                        index=index,
-                        workload=TRACE_WORKLOAD,
-                        params={"source": trace.source, **trace.params},
-                        algorithm=algorithm,
-                        profile_backend=backend,
-                        seed=seed,
-                        metrics=spec.metrics,
-                    )
-                    index += 1
+            for uncertainty in spec.uncertainties:
+                for algorithm in spec.algorithms:
+                    for seed in spec.seeds:
+                        yield ExperimentPoint(
+                            index=index,
+                            workload=TRACE_WORKLOAD,
+                            params={"source": trace.source, **trace.params},
+                            algorithm=algorithm,
+                            profile_backend=backend,
+                            seed=seed,
+                            metrics=spec.metrics,
+                            uncertainty=uncertainty,
+                        )
+                        index += 1
 
 
 def _execute_trace_point(point: ExperimentPoint) -> Dict:
@@ -154,6 +162,7 @@ def _execute_trace_point(point: ExperimentPoint) -> Dict:
     """
     from ..simulation.replay import ReplayEngine, replay_swf
     from ..workloads.swf import synth_swf_jobs
+    from ..workloads.uncertainty import parse_uncertainty
 
     params = dict(point.params)
     source = params.pop("source")
@@ -163,6 +172,12 @@ def _execute_trace_point(point: ExperimentPoint) -> Dict:
         profile_backend=point.profile_backend,
         window=params.pop("window", 10_000),
     )
+    if point.uncertainty != DEFAULT_UNCERTAINTY:
+        # the model draws from the point's derived seed unless the spec
+        # string pins seed= itself — every grid cell gets its own world
+        kwargs["uncertainty"] = parse_uncertainty(
+            point.uncertainty, default_seed=point.derived_seed
+        )
     if source.startswith(SYNTH_TRACE_PREFIX):
         profile = source[len(SYNTH_TRACE_PREFIX):]
         m = params.pop("m", 256)
@@ -180,6 +195,13 @@ def _execute_trace_point(point: ExperimentPoint) -> Dict:
             m=params.pop("m", None),
             max_jobs=params.pop("max_jobs", None),
             **kwargs,
+        )
+    missing = [name for name in point.metrics if name not in result.totals]
+    if missing:
+        raise InvalidInstanceError(
+            f"metric(s) {missing} are not in the replay totals for this "
+            f"point; distributional/event metrics require a stochastic "
+            f"uncertainty factor (this point ran {point.uncertainty!r})"
         )
     return {name: result.totals[name] for name in point.metrics}
 
@@ -209,6 +231,7 @@ def execute_point(point: ExperimentPoint) -> Dict:
             "seed": point.seed,
             "derived_seed": point.derived_seed,
             "timebase": point.timebase,
+            "uncertainty": point.uncertainty,
         }
         for name, value in values.items():
             row[name] = encode_value(value)

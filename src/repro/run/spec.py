@@ -39,13 +39,18 @@ from ..errors import InvalidInstanceError, TraceFormatError
 #: Row fields the runner owns; metric names must not shadow them.
 RESERVED_ROW_FIELDS = frozenset(
     {"key", "workload", "params", "algorithm", "profile_backend",
-     "seed", "derived_seed", "timebase"}
+     "seed", "derived_seed", "timebase", "uncertainty"}
 )
 
 #: The timebase factor value every pre-existing row implicitly ran
 #: under; points using it omit the factor from their key so old stores
 #: keep resuming.
 DEFAULT_TIMEBASE = "auto"
+
+#: The uncertainty factor value every pre-existing row implicitly ran
+#: under (the degenerate exact model); points using it omit the factor
+#: from their key so old stores keep resuming.
+DEFAULT_UNCERTAINTY = "exact"
 
 #: Prefix routing an "algorithm" entry to the online-policy registry.
 ONLINE_PREFIX = "online:"
@@ -257,6 +262,10 @@ class ExperimentSpec:
     profile_backends: Tuple[str, ...] = ("list",)
     timebases: Tuple[str, ...] = (DEFAULT_TIMEBASE,)
     traces: Tuple[TraceSpec, ...] = ()
+    #: uncertainty-model spec strings, a trace-replay-only factor: each
+    #: trace point runs once per entry, with the point's derived seed
+    #: unless the entry pins ``seed=`` itself.
+    uncertainties: Tuple[str, ...] = (DEFAULT_UNCERTAINTY,)
 
     def __post_init__(self):
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
@@ -275,6 +284,9 @@ class ExperimentSpec:
         )
         object.__setattr__(self, "timebases", tuple(self.timebases))
         object.__setattr__(
+            self, "uncertainties", tuple(self.uncertainties)
+        )
+        object.__setattr__(
             self,
             "traces",
             tuple(
@@ -286,12 +298,18 @@ class ExperimentSpec:
             raise InvalidInstanceError(
                 "spec needs at least one workload or trace"
             )
+        if self.uncertainties != (DEFAULT_UNCERTAINTY,) and not self.traces:
+            raise InvalidInstanceError(
+                "the uncertainties factor applies to trace replay points "
+                "only; add traces or drop it"
+            )
         for label, values in [
             ("algorithms", self.algorithms),
             ("seeds", self.seeds),
             ("metrics", self.metrics),
             ("profile_backends", self.profile_backends),
             ("timebases", self.timebases),
+            ("uncertainties", self.uncertainties),
         ]:
             if not values:
                 raise InvalidInstanceError(f"spec needs at least one of {label}")
@@ -303,6 +321,7 @@ class ExperimentSpec:
             ("metrics", self.metrics),
             ("profile_backends", self.profile_backends),
             ("timebases", self.timebases),
+            ("uncertainties", self.uncertainties),
             ("workloads", tuple(
                 canonical_json(w.to_dict()) for w in self.workloads
             )),
@@ -320,7 +339,8 @@ class ExperimentSpec:
             max(1, len(list(w.expand()))) for w in self.workloads
         )
         # trace points pin the timebase factor (replay's fast path is
-        # intrinsic), so they multiply over the other factors only
+        # intrinsic) but cross with the uncertainties factor; workload
+        # points are the mirror image (timebases yes, uncertainty no)
         return (
             per_workload
             * len(self.algorithms)
@@ -332,6 +352,7 @@ class ExperimentSpec:
             * len(self.algorithms)
             * len(self.seeds)
             * len(self.profile_backends)
+            * len(self.uncertainties)
         )
 
     def validate(self) -> None:
@@ -352,15 +373,23 @@ class ExperimentSpec:
         for workload in self.workloads:
             WORKLOADS.get(workload.name)
         for metric in self.metrics:
-            METRICS.get(metric)
             if metric in RESERVED_ROW_FIELDS:
                 raise InvalidInstanceError(
                     f"metric name {metric!r} shadows a reserved row field"
                 )
+            if self.workloads:
+                # trace-only specs may use replay-only metric names
+                # (requeues, kills, ...) that have no schedule extractor;
+                # _validate_traces checks those against the replay fields
+                METRICS.get(metric)
         for backend in self.profile_backends:
             resolve_backend(backend)
         for timebase in self.timebases:
             check_timebase_policy(timebase)
+        from ..workloads.uncertainty import parse_uncertainty
+
+        for uncertainty in self.uncertainties:
+            parse_uncertainty(uncertainty)
         if self.traces:
             self._validate_traces()
 
@@ -416,6 +445,8 @@ class ExperimentSpec:
         }
         if self.traces:
             out["traces"] = [t.to_dict() for t in self.traces]
+        if self.uncertainties != (DEFAULT_UNCERTAINTY,):
+            out["uncertainties"] = list(self.uncertainties)
         return out
 
     @classmethod
@@ -429,7 +460,7 @@ class ExperimentSpec:
             )
         known = {"format", "name", "algorithms", "workloads", "seeds",
                  "repeats", "metrics", "profile_backends", "timebases",
-                 "traces"}
+                 "traces", "uncertainties"}
         unknown = sorted(set(data) - known)
         if unknown:
             # a typo ("seed" for "seeds") must not silently shrink a grid
@@ -461,6 +492,9 @@ class ExperimentSpec:
                 traces=[
                     TraceSpec.from_dict(t) for t in data.get("traces", [])
                 ],
+                uncertainties=data.get(
+                    "uncertainties", (DEFAULT_UNCERTAINTY,)
+                ),
             )
         except KeyError as exc:
             raise TraceFormatError(

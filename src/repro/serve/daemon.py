@@ -98,9 +98,11 @@ class SchedulerService:
         window: int = 0,
         snapshot_interval: int = DEFAULT_OP_SNAPSHOT_INTERVAL,
         fsync: bool = False,
+        uncertainty=None,
     ) -> "SchedulerService":
         """Start a fresh service journaling into ``directory``."""
-        core = SchedulerCore(m, policy, window=window)
+        core = SchedulerCore(m, policy, window=window,
+                             uncertainty=uncertainty)
         config = {
             "mode": SERVE_MODE,
             "format": SERVE_FORMAT,
@@ -109,6 +111,10 @@ class SchedulerService:
             "window": window,
             "snapshot_interval": snapshot_interval,
         }
+        if core.uncertainty is not None:
+            # the canonical spec, not the raw flag: resume must rebuild
+            # the exact same model the journaled ops were applied under
+            config["uncertainty"] = core.uncertainty.spec
         journal = Journal.create(directory, config, fsync=fsync)
         return cls(core, journal, snapshot_interval)
 
@@ -137,13 +143,16 @@ class SchedulerService:
         m = int(config["m"])
         policy = config["policy"]
         window = int(config["window"])
+        uncertainty = config.get("uncertainty")
         if recovery.snapshot is not None:
             checkpoint, extras = pickle.loads(recovery.snapshot)
-            core = SchedulerCore(m, policy, window=window, resume=checkpoint)
+            core = SchedulerCore(m, policy, window=window, resume=checkpoint,
+                                 uncertainty=uncertainty)
             core.restore_extra_state(extras)
             seq = int(recovery.snapshot_meta["ops"])
         else:
-            core = SchedulerCore(m, policy, window=window)
+            core = SchedulerCore(m, policy, window=window,
+                                 uncertainty=uncertainty)
             seq = 0
         service = cls(core, journal, snapshot_interval, start_seq=seq)
         for item in recovery.ops:
@@ -350,6 +359,7 @@ def run_serve(
     port_file: Optional[str] = None,
     fsync: bool = False,
     stream=None,
+    uncertainty=None,
 ) -> int:
     """The ``repro serve`` entry point: build (or recover) the service,
     bind, announce the address, and serve until shutdown."""
@@ -369,6 +379,7 @@ def run_serve(
         service = SchedulerService.create(
             journal_dir, m=m, policy=policy, window=window,
             snapshot_interval=snapshot_interval, fsync=fsync,
+            uncertainty=uncertainty,
         )
     daemon = ServeDaemon(service, host=host, port=port)
     try:

@@ -37,7 +37,8 @@ from ..core.registry import Registry
 from ..core.schedule import Schedule
 from ..core.timebase import check_timebase_policy, timebase_for
 from ..errors import SchedulingError
-from .cluster import ClusterState
+from ..workloads.uncertainty import resolve_uncertainty
+from .cluster import ClusterState, RunningJob
 from .engine import Simulator
 
 
@@ -172,17 +173,54 @@ class OnlineSimulation:
     its integer twin — every event-queue comparison and profile op on
     machine ints — and the schedule *and* trace are denormalised back, so
     callers observe identical results either way.
+
+    ``uncertainty`` accepts an estimate-error
+    :class:`~repro.workloads.uncertainty.UncertaintyModel` (or spec
+    string): the policy keeps planning with each job's estimated ``p``,
+    but the job completes at its drawn actual runtime under the
+    walltime-kill policy (``min(actual, p)``); the unused tail of the
+    estimate is credited back to the profile at the completion instant,
+    and the returned schedule is built over the *actualized* jobs so it
+    verifies against what actually ran.  Failures, reservation no-shows
+    and grace extensions need the calendar engine's requeue/wake-up
+    machinery and are loudly rejected here — they run through
+    :class:`~repro.simulation.scheduler_core.SchedulerCore` and the
+    replay engine.
     """
 
     def __init__(self, instance, policy: str = "greedy", profile_backend=None,
-                 timebase: str = "auto"):
+                 timebase: str = "auto", uncertainty=None):
         self.instance: ReservationInstance = as_reservation_instance(instance)
         self.policy_name = policy
         self._policy = POLICIES.get(policy)
         self.profile_backend = profile_backend
         self.timebase = check_timebase_policy(timebase)
+        model = resolve_uncertainty(uncertainty)
+        if model is not None and model.is_exact:
+            model = None  # the degenerate model IS the certain world
+        if model is not None:
+            unsupported = []
+            if model.failure_rate > 0.0:
+                unsupported.append(f"failure_rate={model.failure_rate:g}")
+            if model.no_show_rate > 0.0:
+                unsupported.append(f"no_show_rate={model.no_show_rate:g}")
+            if model.overrun != "kill":
+                unsupported.append(f"overrun={model.overrun}")
+            if unsupported:
+                raise SchedulingError(
+                    "online simulation supports estimate-error models under "
+                    f"the kill policy only ({', '.join(unsupported)} "
+                    "requested); failures, no-shows and grace extensions run "
+                    "through the replay engine / SchedulerCore"
+                )
+        self.uncertainty = model
 
     def run(self) -> SimulationResult:
+        if self.uncertainty is not None:
+            # Uncertain runs pin the native timebase: actual-runtime
+            # draws are functions of each job's own estimate, so the
+            # normalised twin would draw from rescaled estimates.
+            return self._run_on(self.instance)
         tb = timebase_for(self.instance, self.timebase)
         if tb is not None:
             twin = tb.normalize_instance(self.instance)
@@ -206,6 +244,16 @@ class OnlineSimulation:
         state = ClusterState(instance, self.profile_backend)
         sim = Simulator()
         trace: List[TraceEvent] = []
+        model = self.uncertainty
+        # Effective runtime per job under the kill policy: min(actual,
+        # estimate).  Drawn up front (fate, not knowledge): the policy
+        # never sees these — it plans with estimates, and capacity frees
+        # only at the completion instant itself.
+        effective: Dict[object, object] = {}
+        if model is not None:
+            for job in instance.jobs:
+                actual, _ = model.draw(job.id, job.p, 0)
+                effective[job.id] = actual if actual < job.p else job.p
 
         def decision_pass(s: Simulator) -> None:
             started = self._policy(state, s.now)
@@ -213,11 +261,16 @@ class OnlineSimulation:
                 trace.append(
                     TraceEvent(s.now, "start", job.id, len(state.queue))
                 )
-                end = s.now + job.p
+                end = s.now + (
+                    job.p if model is None else effective[job.id]
+                )
 
                 def make_finisher(job_id, end_time):
                     def finish(s2: Simulator) -> None:
-                        state.complete_job(job_id, s2.now)
+                        if model is None:
+                            state.complete_job(job_id, s2.now)
+                        else:
+                            self._complete_actual(state, job_id, s2.now)
                         trace.append(
                             TraceEvent(
                                 s2.now, "finish", job_id, len(state.queue)
@@ -285,6 +338,16 @@ class OnlineSimulation:
                 f"simulation ended with {len(state.queue)} queued and "
                 f"{len(state.running)} running job(s)"
             )
+        if model is not None:
+            # The schedule must verify against what actually ran: early
+            # exits open holes later starts legitimately used, so the
+            # estimated instance would reject them.
+            instance = replace(
+                instance,
+                jobs=tuple(
+                    state.finished[job.id].job for job in instance.jobs
+                ),
+            )
         schedule = Schedule(
             instance, state.starts(), algorithm=f"online-{self.policy_name}"
         )
@@ -292,8 +355,26 @@ class OnlineSimulation:
             schedule=schedule, trace=trace, policy=self.policy_name
         )
 
+    @staticmethod
+    def _complete_actual(state: ClusterState, job_id, now) -> None:
+        """Finish a job at its *actual* completion instant: credit the
+        unused tail of the estimate back to the profile and record the
+        actualized placement."""
+        placed = state.running.pop(job_id, None)
+        if placed is None:
+            raise SchedulingError(f"job {job_id!r} is not running")
+        eff = now - placed.start
+        tail = placed.job.p - eff
+        if tail > 0:
+            state.profile.add(now, tail, placed.job.q)
+        state.finished[job_id] = RunningJob(
+            job=replace(placed.job, p=eff), start=placed.start
+        )
+
 
 def simulate(instance, policy: str = "greedy", profile_backend=None,
-             timebase: str = "auto") -> SimulationResult:
+             timebase: str = "auto", uncertainty=None) -> SimulationResult:
     """Convenience wrapper: run one online simulation."""
-    return OnlineSimulation(instance, policy, profile_backend, timebase).run()
+    return OnlineSimulation(
+        instance, policy, profile_backend, timebase, uncertainty=uncertainty
+    ).run()

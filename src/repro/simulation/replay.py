@@ -107,7 +107,13 @@ from numbers import Integral
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.job import Job
-from ..core.metrics import BSLD_TAU, bounded_slowdown
+from ..core.metrics import (
+    BSLD_TAU,
+    TAIL_QUANTILES,
+    bounded_slowdown,
+    p_slowdown_le,
+    quantile,
+)
 from ..core.profiles import (
     ArrayProfile,
     BackendSpec,
@@ -158,6 +164,14 @@ REPLAY_METRIC_FIELDS = frozenset({
     "lower_bound", "ratio_lb", "events", "windows",
     "peak_queue_length", "peak_running", "peak_profile_segments",
     "elapsed_seconds",
+    "p_slowdown_le", "requeues", "kills", "no_shows", "early_exits",
+})
+
+#: The subset of :data:`REPLAY_METRIC_FIELDS` present in ``totals`` only
+#: when a stochastic uncertainty model is active — requesting one of
+#: these from a certain-world run is a loud error, not a silent zero.
+UNCERTAINTY_METRIC_FIELDS = frozenset({
+    "p_slowdown_le", "requeues", "kills", "no_shows", "early_exits",
 })
 
 
@@ -234,6 +248,11 @@ class ReplayCheckpoint:
     #: loop repeats the serial run's query pattern precisely)
     blocked_id: object = None
     blocked_until: object = 0
+    #: uncertainty frontier state (fates of in-flight attempts, pending
+    #: requeues/no-shows, event counters) — ``None`` when no stochastic
+    #: model is active, keeping certain-world checkpoints byte-identical
+    #: to pre-uncertainty ones
+    uncertainty: Optional[Dict] = None
 
 
 class ReplayState:
@@ -325,6 +344,7 @@ class _WindowAcc:
         "first_release", "last_completion", "work", "pmax",
         "latest_lb_finish", "sum_wait", "max_wait",
         "sum_bsld", "max_bsld",
+        "waits", "bslds", "requeues", "kills", "no_shows",
     )
 
     def __init__(self, index: int):
@@ -342,6 +362,14 @@ class _WindowAcc:
         self.max_wait = 0
         self.sum_bsld = 0
         self.max_bsld = 0.0
+        # distributional tracking, enabled (lists instead of None) only
+        # under a stochastic uncertainty model — window rows then grow
+        # quantile/guarantee/event columns; otherwise rows are unchanged
+        self.waits = None
+        self.bslds = None
+        self.requeues = 0
+        self.kills = 0
+        self.no_shows = 0
 
     @property
     def done(self) -> bool:
@@ -366,7 +394,7 @@ class _WindowAcc:
             self.latest_lb_finish - self.first_release,
         )
         n = self.arrived
-        return {
+        row = {
             "key": f"window-{self.index:08d}",
             "window": self.index,
             "jobs": n,
@@ -381,6 +409,16 @@ class _WindowAcc:
             "mean_bounded_slowdown": _mean(self.sum_bsld, n),
             "max_bounded_slowdown": self.max_bsld,
         }
+        if self.waits is not None:
+            row["p_slowdown_le"] = p_slowdown_le(self.bslds)
+            for q in TAIL_QUANTILES:
+                pct = f"p{int(q * 100)}"
+                row[f"wait_{pct}"] = quantile(self.waits, q)
+                row[f"bsld_{pct}"] = quantile(self.bslds, q)
+            row["requeues"] = self.requeues
+            row["kills"] = self.kills
+            row["no_shows"] = self.no_shows
+        return row
 
 
 def _mean(total, n: int) -> float:
@@ -487,6 +525,7 @@ class ReplayEngine:
         completion_queue: str = "calendar",
         fused_policies: bool = True,
         batch="auto",
+        uncertainty=None,
     ):
         if m < 1:
             raise SchedulingError(f"machine size must be >= 1, got {m!r}")
@@ -514,6 +553,18 @@ class ReplayEngine:
         self.completion_queue = completion_queue
         self.fused_policies = fused_policies
         self.batch = batch
+        from ..workloads.uncertainty import resolve_uncertainty
+
+        model = resolve_uncertainty(uncertainty)
+        if model is not None and model.is_exact:
+            # the degenerate model is no model: the run dispatches to
+            # the fused/batched twins and stays byte-identical
+            model = None
+        if model is not None and completion_queue != "calendar":
+            raise SchedulingError(
+                "uncertainty models require completion_queue='calendar'"
+            )
+        self.uncertainty = model
         if store is not None and not hasattr(store, "append"):
             from ..run.store import JsonlStore
 
@@ -566,6 +617,11 @@ class ReplayEngine:
             raise SchedulingError(
                 "epoch-sharded replay requires completion_queue='calendar'"
             )
+        if self.uncertainty is not None:
+            # stochastic runs delegate to the generic reference loop:
+            # SchedulerCore owns the reschedule-on-actual mechanics, and
+            # one implementation of them beats three drifting twins
+            return self._run_generic(arrivals, resume, drain)
         if (
             self.fused_policies
             and self.completion_queue == "calendar"
@@ -617,7 +673,7 @@ class ReplayEngine:
             store=self.store, prune_interval=self.prune_interval,
             bsld_tau=self.bsld_tau, record_starts=self.record_starts,
             completion_queue=self.completion_queue, decide=self._policy,
-            resume=resume,
+            resume=resume, uncertainty=self.uncertainty,
         )
         it = iter(arrivals)
         pending = next(it, None)
@@ -1939,7 +1995,7 @@ class ReplayEngine:
         *, arrived, events, total_work, pmax, latest_lb_finish,
         last_completion, sum_wait, max_wait, sum_slowdown, sum_bsld,
         max_bsld, peak_queue, peak_running, peak_segments,
-        demoted_at=None, windows_emitted=None,
+        demoted_at=None, windows_emitted=None, uncertainty_totals=None,
     ) -> ReplayResult:
         """Assemble the totals row (shared by both loops, so the fused
         and generic paths cannot drift)."""
@@ -1969,6 +2025,8 @@ class ReplayEngine:
         }
         if demoted_at is not None:
             result.totals["demoted_to_list_at"] = dict(demoted_at)
+        if uncertainty_totals is not None:
+            result.totals.update(uncertainty_totals)
         if self.store is not None:
             self.store.append({"key": "totals", **result.totals})
         return result

@@ -48,9 +48,15 @@ from heapq import heapify, heappop, heappush
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.job import Job
-from ..core.metrics import BSLD_TAU, bounded_slowdown
+from ..core.metrics import (
+    BSLD_TAU,
+    DEFAULT_SLOWDOWN_THRESHOLD,
+    bounded_slowdown,
+)
 from ..core.profiles import BackendSpec, convert_profile, make_profile
+from ..devtools.failpoints import fire
 from ..errors import CapacityError, SchedulingError
+from ..workloads.uncertainty import resolve_uncertainty
 from .online_sim import POLICIES
 from .replay import (
     _CKPT_COUNTERS,
@@ -95,6 +101,7 @@ class SchedulerCore:
         completion_queue: str = "calendar",
         decide: Optional[Callable] = None,
         resume: Optional[ReplayCheckpoint] = None,
+        uncertainty=None,
     ):
         from .replay import ReplayState  # circular-at-import-time guard
 
@@ -122,6 +129,27 @@ class SchedulerCore:
                 f"window={resume.window}); this engine has m={m}, "
                 f"policy={policy!r}, window={window}"
             )
+        model = resolve_uncertainty(uncertainty)
+        if model is not None and model.is_exact:
+            # the degenerate model IS the certain world: dropping it here
+            # keeps every downstream byte (rows, checkpoints, gauges)
+            # identical to a run with no model at all
+            model = None
+        if model is not None and completion_queue != "calendar":
+            raise SchedulingError(
+                "uncertainty models require completion_queue='calendar' "
+                "(requeue and no-show wake-ups ride the calendar buckets)"
+            )
+        self.uncertainty = model
+        resume_u = getattr(resume, "uncertainty", None)
+        if resume is not None:
+            have = model.spec if model is not None else None
+            want = resume_u["spec"] if resume_u is not None else None
+            if have != want:
+                raise SchedulingError(
+                    f"checkpoint was produced under uncertainty model "
+                    f"{want!r} but this engine has {have!r}"
+                )
         self.m = m
         self.policy_name = policy
         self._decide = decide if decide is not None else POLICIES.get(policy)
@@ -168,6 +196,20 @@ class SchedulerCore:
         self._staged_ids = set()
         self._eof = False
         self.cancelled = 0  # live-service gauge; not a checkpoint counter
+        self.unstaged = 0   # staged reservations withdrawn before arrival
+
+        # uncertainty state (empty and inert when no model is active)
+        self._fates: Dict = {}          # job id -> (kind, boundary time)
+        self._attempts: Dict = {}       # job id -> failed attempts so far
+        self._requeue_ready: Dict = {}  # re-entry time -> [jobs]
+        self._no_shows_at: Dict = {}    # release time -> [(p, q) holes]
+        self._resv_seq = 0              # reservation-acceptance counter
+        self.requeues = 0
+        self.kills = 0
+        self.no_shows = 0
+        self.early_exits = 0
+        self.n_starts = 0    # final (completing) attempts measured
+        self.n_bsld_le = 0   # ... of which bsld <= the guarantee threshold
 
         # totals (names match _CKPT_COUNTERS where checkpointed)
         self.arrived = 0
@@ -212,6 +254,19 @@ class SchedulerCore:
              self.max_bsld, self.peak_queue, _running_count,
              self.peak_running, self.peak_segments, self.since_prune,
              self.pruned_to) = (c[name] for name in _CKPT_COUNTERS)
+            if resume_u is not None:
+                self._fates = {k: tuple(v) for k, v in resume_u["fates"]}
+                self._attempts = dict(resume_u["attempts"])
+                self._requeue_ready = {
+                    t: list(jobs) for t, jobs in resume_u["requeue_ready"]
+                }
+                self._no_shows_at = {
+                    t: [tuple(h) for h in holes]
+                    for t, holes in resume_u["no_shows_at"]
+                }
+                self._resv_seq = resume_u["resv_seq"]
+                (self.requeues, self.kills, self.no_shows, self.early_exits,
+                 self.n_starts, self.n_bsld_le) = resume_u["counters"]
 
     # -- the four verbs ---------------------------------------------------
     def submit(self, job: Job) -> None:
@@ -248,6 +303,7 @@ class SchedulerCore:
         if job_id in self._staged_ids:
             self._staged = deque(j for j in self._staged if j.id != job_id)
             self._staged_ids.discard(job_id)
+            self.unstaged += 1
             return "staged"
         if job_id in self.state.queue:
             del self.state.queue[job_id]
@@ -306,6 +362,24 @@ class SchedulerCore:
         if (self.now is None or end > self.now) and end not in self.buckets:
             self.buckets[end] = []
             heappush(self.time_heap, end)
+        model = self.uncertainty
+        if model is not None and model.no_show_rate > 0.0:
+            seq = self._resv_seq
+            self._resv_seq += 1
+            if model.is_no_show(seq):
+                if self.now is not None and start <= self.now:
+                    # committed at the current instant and already a
+                    # no-show: release the hole immediately
+                    self.state.profile.add(start, p, q)
+                    self.no_shows += 1
+                    self.events += 1
+                else:
+                    # release the hole at its start, with a wake bucket
+                    # so an idle machine notices the freed capacity
+                    self._no_shows_at.setdefault(start, []).append((p, q))
+                    if start not in self.buckets:
+                        self.buckets[start] = []
+                        heappush(self.time_heap, start)
 
     def advance_to(self, t) -> None:
         """Apply every pending event with event time ``<= t``."""
@@ -363,7 +437,32 @@ class SchedulerCore:
                 len(self.state.running), self.peak_running,
                 self.peak_segments, self.since_prune, self.pruned_to,
             ))),
+            uncertainty=self._uncertainty_state(),
         )
+
+    def _uncertainty_state(self) -> Optional[Dict]:
+        """Uncertainty frontier state for :meth:`checkpoint` (``None``
+        when no model is active, so certain-world checkpoints stay
+        byte-identical to pre-uncertainty ones)."""
+        model = self.uncertainty
+        if model is None:
+            return None
+        return {
+            "spec": model.spec,
+            "fates": list(self._fates.items()),
+            "attempts": list(self._attempts.items()),
+            "requeue_ready": [
+                (t, list(jobs))
+                for t, jobs in sorted(self._requeue_ready.items())
+            ],
+            "no_shows_at": [
+                (t, list(holes))
+                for t, holes in sorted(self._no_shows_at.items())
+            ],
+            "resv_seq": self._resv_seq,
+            "counters": (self.requeues, self.kills, self.no_shows,
+                         self.early_exits, self.n_starts, self.n_bsld_le),
+        }
 
     def extra_state(self) -> Dict:
         """Live-service state a :class:`ReplayCheckpoint` does not carry
@@ -371,6 +470,7 @@ class SchedulerCore:
         return {
             "staged": list(self._staged),
             "cancelled": self.cancelled,
+            "unstaged": self.unstaged,
             "horizon": self.horizon,
             "eof": self._eof,
         }
@@ -382,6 +482,7 @@ class SchedulerCore:
         self._staged = deque(extras["staged"])
         self._staged_ids = {job.id for job in self._staged}
         self.cancelled = extras["cancelled"]
+        self.unstaged = extras.get("unstaged", 0)
         self.horizon = extras["horizon"]
         self._eof = extras["eof"]
 
@@ -393,11 +494,16 @@ class SchedulerCore:
             "arrived": self.arrived,
             "completed": self.completed,
             "cancelled": self.cancelled,
+            "unstaged": self.unstaged,
             "queued": len(self.state.queue),
             "running": len(self.state.running),
             "staged": len(self._staged),
             "events": self.events,
             "windows_emitted": self.next_emit,
+            "requeues": self.requeues,
+            "kills": self.kills,
+            "no_shows": self.no_shows,
+            "early_exits": self.early_exits,
             "eof": self._eof,
         }
 
@@ -423,6 +529,7 @@ class SchedulerCore:
             "horizon": self.horizon,
             "eof": self._eof,
             "cancelled": self.cancelled,
+            "unstaged": self.unstaged,
             "demoted": ck.demoted,
             "demoted_at": ck.demoted_at,
             "profile_times": list(ck.profile_times),
@@ -434,10 +541,59 @@ class SchedulerCore:
             "windows": {str(w): s for w, s in sorted(ck.windows.items())},
             "next_emit": ck.next_emit,
             "counters": ck.counters,
+            "uncertainty": None if self.uncertainty is None else {
+                "spec": self.uncertainty.spec,
+                "fates": {
+                    str(k): list(v)
+                    for k, v in sorted(
+                        self._fates.items(), key=lambda kv: str(kv[0])
+                    )
+                },
+                "attempts": {
+                    str(k): v
+                    for k, v in sorted(
+                        self._attempts.items(), key=lambda kv: str(kv[0])
+                    )
+                },
+                "requeue_ready": [
+                    [t, plain(jobs)]
+                    for t, jobs in sorted(self._requeue_ready.items())
+                ],
+                "no_shows_at": [
+                    [t, [list(hole) for hole in holes]]
+                    for t, holes in sorted(self._no_shows_at.items())
+                ],
+                "resv_seq": self._resv_seq,
+                "counters": {
+                    "requeues": self.requeues,
+                    "kills": self.kills,
+                    "no_shows": self.no_shows,
+                    "early_exits": self.early_exits,
+                    "n_starts": self.n_starts,
+                    "n_bsld_le": self.n_bsld_le,
+                },
+            },
         }
 
     def totals_kwargs(self) -> Dict:
         """Keyword arguments for the engine's ``_finalize`` totals row."""
+        kwargs = self._plain_totals_kwargs()
+        if self.uncertainty is not None:
+            n = self.n_starts
+            kwargs["uncertainty_totals"] = {
+                "uncertainty": self.uncertainty.spec,
+                # repro: noqa-begin RPL2xx -- the guarantee level is a
+                # probability, a float by definition
+                "p_slowdown_le": (self.n_bsld_le / n) if n else 1.0,
+                # repro: noqa-end RPL2xx
+                "requeues": self.requeues,
+                "kills": self.kills,
+                "no_shows": self.no_shows,
+                "early_exits": self.early_exits,
+            }
+        return kwargs
+
+    def _plain_totals_kwargs(self) -> Dict:
         return {
             "arrived": self.arrived, "events": self.events,
             "total_work": self.total_work, "pmax": self.pmax,
@@ -460,6 +616,11 @@ class SchedulerCore:
         acc = self.windows.get(w)
         if acc is None:
             acc = self.windows[w] = _WindowAcc(w)
+            if self.uncertainty is not None:
+                # under uncertainty, window rows carry distributional
+                # metrics: collect the per-job samples to quantile over
+                acc.waits = []
+                acc.bslds = []
         return acc
 
     def _emit_done_windows(self, force: bool = False) -> None:
@@ -528,7 +689,10 @@ class SchedulerCore:
             # one bucket holds every job finishing at `now`, in start
             # order — a single heap pop serves them all
             heappop(self.time_heap)
-            for job in self.buckets.pop(now):
+            bucket = self.buckets.pop(now)
+            if self.uncertainty is not None and bucket:
+                bucket = self._apply_uncertain_completions(now, bucket)
+            for job in bucket:
                 job_id = job.id
                 del running[job_id]
                 self.events += 1
@@ -542,6 +706,12 @@ class SchedulerCore:
                     acc.last_completion = now
                     if acc.done:
                         self._emit_done_windows()
+
+        # 1b. uncertainty events at `now`: no-show holes release their
+        # capacity, backed-off failed jobs re-enter the queue — both
+        # before arrivals, so the decision pass sees the true state
+        if self.uncertainty is not None:
+            self._apply_uncertainty_events(now)
 
         # 2. arrivals at `now` join the queue in submission order
         while staged and staged[0].release == now:
@@ -590,30 +760,45 @@ class SchedulerCore:
         # 3. one decision pass (policies are pass-idempotent)
         for job in self._decide(state, now) if queue else ():
             self.events += 1
-            wait = now - job.release
-            self.sum_wait += wait
-            if wait > self.max_wait:
-                self.max_wait = wait
-            # slowdown means are floats (order-noise accepted); the
-            # identity-tested totals stay int-exact sums
-            self.sum_slowdown += (wait + job.p) / job.p
-            bsld = bounded_slowdown(wait, job.p, self.bsld_tau)
-            self.sum_bsld += bsld
-            if bsld > self.max_bsld:
-                self.max_bsld = bsld
-            w = window_of.get(job.id)
-            if w is not None:
-                acc = windows[w]
-                acc.started += 1
-                acc.sum_wait += wait
-                if wait > acc.max_wait:
-                    acc.max_wait = wait
-                acc.sum_bsld += bsld
-                if bsld > acc.max_bsld:
-                    acc.max_bsld = bsld
-            if self.starts is not None:
-                self.starts[job.id] = now
             end = now + job.p
+            doomed = False
+            if self.uncertainty is not None:
+                end, doomed = self._draw_fate(job, now)
+            if self.starts is not None:
+                # restarted jobs overwrite: the recorded start is the
+                # final (completing) attempt's
+                self.starts[job.id] = now
+            if not doomed:
+                # metrics measure each job's final attempt only — a
+                # doomed attempt's wait is not the job's wait
+                wait = now - job.release
+                self.sum_wait += wait
+                if wait > self.max_wait:
+                    self.max_wait = wait
+                # slowdown means are floats (order-noise accepted); the
+                # identity-tested totals stay int-exact sums
+                self.sum_slowdown += (wait + job.p) / job.p
+                bsld = bounded_slowdown(wait, job.p, self.bsld_tau)
+                self.sum_bsld += bsld
+                if bsld > self.max_bsld:
+                    self.max_bsld = bsld
+                if self.uncertainty is not None:
+                    self.n_starts += 1
+                    if bsld <= DEFAULT_SLOWDOWN_THRESHOLD:
+                        self.n_bsld_le += 1
+                w = window_of.get(job.id)
+                if w is not None:
+                    acc = windows[w]
+                    acc.started += 1
+                    acc.sum_wait += wait
+                    if wait > acc.max_wait:
+                        acc.max_wait = wait
+                    acc.sum_bsld += bsld
+                    if bsld > acc.max_bsld:
+                        acc.max_bsld = bsld
+                    if acc.waits is not None:
+                        acc.waits.append(wait)
+                        acc.bslds.append(bsld)
             if self.use_heap:
                 self.seq += 1
                 heappush(self.heap, (end, self.seq, job.id))
@@ -649,3 +834,129 @@ class SchedulerCore:
             state.profile.prune_before(now)
 
         self.now = now
+
+    # -- uncertainty mechanics ---------------------------------------------
+    def _draw_fate(self, job: Job, now):
+        """Seal the fate of a starting attempt: ``(event time, doomed)``.
+
+        The scheduler just committed ``[now, now + p)`` for the job; the
+        model says what really happens.  The returned event time is when
+        the calendar must next look at the job (failure instant, early
+        completion, or the estimate boundary for overruns); ``doomed``
+        marks attempts that will fail and requeue."""
+        model = self.uncertainty
+        actual, fail_at = model.draw(
+            job.id, job.p, self._attempts.get(job.id, 0)
+        )
+        est_end = now + job.p
+        if fail_at is not None:
+            self._fates[job.id] = ("fail", est_end)
+            return now + fail_at, True
+        if actual < job.p:
+            self._fates[job.id] = ("early", est_end)
+            return now + actual, False
+        if actual > job.p:
+            if model.overrun == "kill":
+                self._fates[job.id] = ("kill", est_end)
+            else:
+                self._fates[job.id] = ("grace", now + actual)
+            return est_end, False
+        return est_end, False
+
+    def _apply_uncertain_completions(self, now, bucket: List[Job]):
+        """Resolve the calendar bucket at ``now`` against recorded fates,
+        returning the jobs that actually complete here.
+
+        Failures credit their unused reservation tail and park the job
+        for requeue; early exits credit the tail and complete; overruns
+        are killed at the estimate or granted a capacity-checked grace
+        extension (and re-bucketed at its end)."""
+        model = self.uncertainty
+        state = self.state
+        window_of = self.window_of
+        out: List[Job] = []
+        for job in bucket:
+            fate = self._fates.pop(job.id, None)
+            if fate is None:
+                out.append(job)
+                continue
+            kind, boundary = fate
+            if kind == "early":
+                # finished short of the estimate: free the tail now
+                state.profile.add(now, boundary - now, job.q)
+                self.early_exits += 1
+                out.append(job)
+            elif kind == "fail":
+                fire("uncertainty.requeue")
+                if boundary > now:
+                    # a p=1 job failing at its only tick has no tail
+                    state.profile.add(now, boundary - now, job.q)
+                del state.running[job.id]
+                self._attempts[job.id] = self._attempts.get(job.id, 0) + 1
+                self.requeues += 1
+                self.events += 1
+                w = window_of.get(job.id)
+                if w is not None:
+                    self.windows[w].requeues += 1
+                ready = now + model.backoff
+                self._requeue_ready.setdefault(ready, []).append(job)
+                if ready not in self.buckets:
+                    self.buckets[ready] = []
+                    heappush(self.time_heap, ready)
+            elif kind == "kill":
+                fire("uncertainty.overrun_kill")
+                self.kills += 1
+                w = window_of.get(job.id)
+                if w is not None:
+                    self.windows[w].kills += 1
+                out.append(job)
+            elif kind == "grace":
+                actual_end = boundary
+                cap_end = now + model.grace_budget(job.p)
+                if actual_end < cap_end:
+                    cap_end = actual_end
+                try:
+                    state.profile.reserve(now, cap_end - now, job.q)
+                except CapacityError:
+                    # the extension does not fit: walltime kill after all
+                    fire("uncertainty.overrun_kill")
+                    self.kills += 1
+                    w = window_of.get(job.id)
+                    if w is not None:
+                        self.windows[w].kills += 1
+                    out.append(job)
+                    continue
+                self.events += 1
+                if cap_end < actual_end:
+                    # grace budget exhausted before the actual runtime:
+                    # the kill lands at the extension boundary
+                    self._fates[job.id] = ("kill", cap_end)
+                bkt = self.buckets.get(cap_end)
+                if bkt is None:
+                    self.buckets[cap_end] = [job]
+                    heappush(self.time_heap, cap_end)
+                else:
+                    bkt.append(job)
+            else:
+                raise SchedulingError(
+                    f"unknown uncertainty fate {kind!r} for job {job.id!r}"
+                )
+        for job in out:
+            self._attempts.pop(job.id, None)
+        return out
+
+    def _apply_uncertainty_events(self, now) -> None:
+        """No-show hole releases and failure re-entries due at ``now``."""
+        holes = self._no_shows_at.pop(now, None)
+        if holes:
+            for p, q in holes:
+                self.state.profile.add(now, p, q)
+                self.no_shows += 1
+                self.events += 1
+        ready = self._requeue_ready.pop(now, None)
+        if ready:
+            for job in ready:
+                # the job arrived once: re-entry touches no arrival
+                # counters, only the queue (and its retained window slot)
+                self.state.enqueue(job)
+                self.events += 1

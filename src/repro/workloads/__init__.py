@@ -8,7 +8,10 @@
   maintenance, α-budgeted random, non-increasing staircases);
 * :mod:`repro.workloads.swf` — Standard Workload Format reader/writer;
 * :mod:`repro.workloads.registry` — name-addressable generators for the
-  experiment layer (``make_workload("alpha-uniform", n=30, m=64, ...)``).
+  experiment layer (``make_workload("alpha-uniform", n=30, m=64, ...)``);
+* :mod:`repro.workloads.uncertainty` — seeded runtime-uncertainty models
+  (estimate error, failure/requeue, reservation no-shows) for the
+  reschedule-on-actual engines.
 """
 
 from .characterize import WorkloadProfile, characterize, characterize_many
@@ -38,6 +41,15 @@ from .swf import (
     synth_swf_jobs,
     write_swf,
     write_swf_jobs,
+)
+from .uncertainty import (
+    DEFAULT_FAILURE_RATE,
+    UNCERTAINTY_MODELS,
+    UncertaintyModel,
+    available_uncertainty_models,
+    parse_uncertainty,
+    register_uncertainty_model,
+    resolve_uncertainty,
 )
 from .synthetic import (
     alpha_constrained_instance,
@@ -78,4 +90,11 @@ __all__ = [
     "get_workload",
     "available_workloads",
     "make_workload",
+    "DEFAULT_FAILURE_RATE",
+    "UNCERTAINTY_MODELS",
+    "UncertaintyModel",
+    "available_uncertainty_models",
+    "parse_uncertainty",
+    "register_uncertainty_model",
+    "resolve_uncertainty",
 ]

@@ -1,0 +1,392 @@
+"""Runtime-uncertainty models: what the scheduler believes vs what happens.
+
+Every trace job carries one runtime ``p`` — and everything upstream of
+this module treats it as the truth.  Real batch systems never get that
+luxury: requested walltimes are routinely 2–10x the actual runtimes,
+jobs die and are resubmitted, and reserved capacity goes unused.  An
+:class:`UncertaintyModel` is the seeded, deterministic description of
+that gap.  The scheduler keeps planning with the *estimated* runtime
+(the job's ``p``); the model decides per job what *actually* happens:
+
+======================  ====================================================
+model                   actual runtime
+======================  ====================================================
+``exact``               ``p`` — the degenerate model; with zero failure and
+                        no-show rates it is byte-identical to no model at all
+``overestimate``        ``p * u`` with ``u ~ U[1/factor, 1]`` — users pad
+                        their requests, jobs finish early
+``underestimate``       ``p * u`` with ``u ~ U[1, factor]`` — jobs overrun
+                        their estimates (kill or grace policy applies)
+``lognormal``           ``p * exp(sigma * N(0, 1))`` — two-sided error
+``early-exit``          ``p * u`` with ``u ~ U(0, 1)`` — crashes-on-startup
+                        and instant-failure jobs
+======================  ====================================================
+
+On top of the estimate error every *stochastic* model injects, by
+default, a small **job failure** rate (``failure_rate``, default
+:data:`DEFAULT_FAILURE_RATE`; the ``exact`` model defaults to 0): a
+failed job releases its processors at the failure instant and re-enters
+the queue after ``backoff`` time units, at most ``max_retries`` times
+(the attempt after the last retry always runs to completion, so the
+stream always drains).  ``no_show_rate`` makes committed reservations
+no-shows: the hole is released at its start instant.  Overruns follow
+the ``overrun`` policy: ``"kill"`` terminates the job at its estimate
+(the walltime-kill every production scheduler applies), ``"grace"``
+tries to extend the allocation by up to ``grace * p`` extra time —
+capacity-checked, killing only when the extension does not fit.
+
+Determinism is the whole design: every draw comes from a
+``random.Random`` seeded by SHA-256 of ``(model seed, job id, attempt)``
+— independent of processing order, process identity and engine
+sharding, which is what makes serial and epoch-sharded stochastic
+replays byte-identical and the exact model a true no-op.
+
+Models are name-addressable through :data:`UNCERTAINTY_MODELS` (the
+same registry pattern as workloads); ``repro replay
+--uncertainty lognormal:sigma=0.5:overrun=grace`` and the experiment
+layer's ``uncertainties`` factor both go through
+:func:`parse_uncertainty`.  Third-party models subclass
+:class:`UncertaintyModel`, override :meth:`UncertaintyModel._actual`
+and register a factory via :func:`register_uncertainty_model`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Optional, Tuple
+
+from ..core.registry import Registry
+from ..errors import InvalidInstanceError
+
+__all__ = [
+    "DEFAULT_FAILURE_RATE",
+    "UNCERTAINTY_MODELS",
+    "UncertaintyModel",
+    "available_uncertainty_models",
+    "parse_uncertainty",
+    "register_uncertainty_model",
+    "resolve_uncertainty",
+]
+
+#: Failure probability per execution attempt that stochastic models
+#: inject unless the spec says otherwise (``failure_rate=0`` turns it
+#: off); the ``exact`` model defaults to 0 so it stays degenerate.
+DEFAULT_FAILURE_RATE = 0.02
+
+#: Default retry budget of a failing job (re-entries, not attempts).
+DEFAULT_MAX_RETRIES = 3
+
+#: Default requeue backoff (time units between failure and re-entry).
+DEFAULT_BACKOFF = 60
+
+#: Default over/under-estimation factor.
+DEFAULT_FACTOR = 2.0
+
+#: Default lognormal error magnitude.
+DEFAULT_SIGMA = 0.5
+
+#: Default grace-extension budget, as a fraction of the estimate.
+DEFAULT_GRACE = 0.25
+
+#: Recognised overrun policies.
+OVERRUN_POLICIES = ("kill", "grace")
+
+_FLOAT_KEYS = frozenset(
+    {"factor", "sigma", "failure_rate", "no_show_rate", "grace"}
+)
+_INT_KEYS = frozenset({"max_retries", "backoff", "seed"})
+_COMMON_KEYS = frozenset(
+    {"failure_rate", "max_retries", "backoff", "no_show_rate",
+     "overrun", "grace", "seed"}
+)
+
+
+@dataclass(frozen=True)
+class UncertaintyModel:
+    """One fully-parameterised uncertainty scenario (picklable, frozen).
+
+    ``draw`` is a pure function of ``(seed, job id, attempt)``; see the
+    module docs for the field semantics.
+    """
+
+    model: str = "exact"
+    factor: float = DEFAULT_FACTOR
+    sigma: float = DEFAULT_SIGMA
+    failure_rate: float = 0.0
+    max_retries: int = DEFAULT_MAX_RETRIES
+    backoff: int = DEFAULT_BACKOFF
+    no_show_rate: float = 0.0
+    overrun: str = "kill"
+    grace: float = DEFAULT_GRACE
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.factor < 1.0:
+            raise InvalidInstanceError(
+                f"uncertainty factor must be >= 1, got {self.factor!r}"
+            )
+        if self.sigma < 0.0:
+            raise InvalidInstanceError(
+                f"uncertainty sigma must be >= 0, got {self.sigma!r}"
+            )
+        for name, rate in (
+            ("failure_rate", self.failure_rate),
+            ("no_show_rate", self.no_show_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise InvalidInstanceError(
+                    f"uncertainty {name} must be in [0, 1], got {rate!r}"
+                )
+        if self.max_retries < 0:
+            raise InvalidInstanceError(
+                f"uncertainty max_retries must be >= 0, "
+                f"got {self.max_retries!r}"
+            )
+        if self.backoff < 1:
+            raise InvalidInstanceError(
+                f"uncertainty backoff must be >= 1 (re-entry is an event "
+                f"strictly after the failure), got {self.backoff!r}"
+            )
+        if self.overrun not in OVERRUN_POLICIES:
+            raise InvalidInstanceError(
+                f"uncertainty overrun policy must be one of "
+                f"{OVERRUN_POLICIES}, got {self.overrun!r}"
+            )
+        if self.grace <= 0.0:
+            raise InvalidInstanceError(
+                f"uncertainty grace must be > 0, got {self.grace!r}"
+            )
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def is_exact(self) -> bool:
+        """Whether the model is fully degenerate — engines treat an
+        exact model as no model at all (the byte-identity contract)."""
+        return (
+            self.model == "exact"
+            and self.failure_rate == 0.0
+            and self.no_show_rate == 0.0
+        )
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string — the checkpoint/journal fingerprint
+        (two models with equal specs behave identically)."""
+        parts = [self.model]
+        if self.model in ("overestimate", "underestimate"):
+            parts.append(f"factor={self.factor:g}")
+        if self.model == "lognormal":
+            parts.append(f"sigma={self.sigma:g}")
+        parts.append(f"failure_rate={self.failure_rate:g}")
+        parts.append(f"max_retries={self.max_retries}")
+        parts.append(f"backoff={self.backoff}")
+        parts.append(f"no_show_rate={self.no_show_rate:g}")
+        parts.append(f"overrun={self.overrun}")
+        parts.append(f"grace={self.grace:g}")
+        parts.append(f"seed={self.seed}")
+        return ":".join(parts)
+
+    # -- seeded draws -------------------------------------------------------
+    def _rng(self, *parts) -> random.Random:
+        """A ``random.Random`` seeded by SHA-256 of the identifying
+        parts — stable across processes (no string-hash salt) and
+        independent of draw order elsewhere."""
+        basis = ":".join(str(part) for part in (self.seed, *parts))
+        digest = hashlib.sha256(basis.encode("utf-8")).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def _grid(self, value, p):
+        """Clamp a drawn runtime back onto the trace's time grid:
+        integer estimates yield integer actuals (the replay engine's
+        int fast path), and every runtime stays positive."""
+        if isinstance(p, int):
+            v = int(value)
+            return v if v >= 1 else 1
+        return value if value > 0 else p
+
+    def _actual(self, rng: random.Random, p):
+        """The model's actual-runtime draw (third-party override point).
+
+        Must consume a fixed number of draws per call so the failure
+        draws that follow stay aligned."""
+        model = self.model
+        if model == "exact":
+            return p
+        if model == "overestimate":
+            lo = 1.0 / self.factor
+            return self._grid(p * (lo + (1.0 - lo) * rng.random()), p)
+        if model == "underestimate":
+            return self._grid(
+                p * (1.0 + (self.factor - 1.0) * rng.random()), p
+            )
+        if model == "lognormal":
+            return self._grid(
+                p * math.exp(self.sigma * rng.gauss(0.0, 1.0)), p
+            )
+        if model == "early-exit":
+            return self._grid(p * rng.random(), p)
+        raise InvalidInstanceError(
+            f"uncertainty model {self.model!r} has no actual-runtime rule "
+            "(third-party models must override _actual)"
+        )
+
+    def draw(self, job_id, p, attempt: int = 0):
+        """The fate of one execution attempt: ``(actual, fail_at)``.
+
+        ``actual`` is the attempt's real runtime; ``fail_at`` is the
+        failure instant relative to the start (``None``: the attempt
+        does not fail).  Failures happen strictly within the window the
+        job would actually occupy (``[1, min(actual, estimate)]``), and
+        an attempt past the retry budget never fails — bounded requeue
+        with guaranteed completion.
+        """
+        rng = self._rng("job", job_id, attempt)
+        actual = self._actual(rng, p)
+        fail_at = None
+        if (
+            self.failure_rate > 0.0
+            and attempt < self.max_retries
+            and rng.random() < self.failure_rate
+        ):
+            horizon = actual if actual < p else p
+            if isinstance(horizon, int) and horizon > 1:
+                fail_at = 1 + int(rng.random() * (horizon - 1))
+            elif isinstance(horizon, int):
+                fail_at = 1
+            else:
+                fail_at = horizon * max(rng.random(), 1e-9)
+        return actual, fail_at
+
+    def is_no_show(self, index: int) -> bool:
+        """Whether the ``index``-th committed reservation is a no-show
+        (deterministic per reservation-acceptance order)."""
+        if self.no_show_rate <= 0.0:
+            return False
+        return self._rng("resv", index).random() < self.no_show_rate
+
+    def grace_budget(self, p):
+        """Maximum extension past the estimate under ``overrun="grace"``."""
+        if isinstance(p, int):
+            extra = int(p * self.grace)
+            return extra if extra >= 1 else 1
+        return p * self.grace
+
+
+# ---------------------------------------------------------------------------
+# registry + spec parsing
+# ---------------------------------------------------------------------------
+
+#: Uncertainty-model registry: name -> factory(**params) -> model.
+UNCERTAINTY_MODELS: Registry[Callable[..., UncertaintyModel]] = Registry(
+    "uncertainty model", error=InvalidInstanceError
+)
+
+
+def register_uncertainty_model(
+    name: str,
+    factory: Optional[Callable[..., UncertaintyModel]] = None,
+    *,
+    overwrite: Optional[bool] = None,
+):
+    """Register a model factory under ``name`` (usable as decorator)."""
+    return UNCERTAINTY_MODELS.register(name, factory, overwrite=overwrite)
+
+
+def available_uncertainty_models():
+    """Sorted names of all registered uncertainty models."""
+    return UNCERTAINTY_MODELS.names()
+
+
+def _coerce(name: str, key: str, value):
+    try:
+        if key in _INT_KEYS:
+            return int(value)
+        if key in _FLOAT_KEYS:
+            return float(value)
+    except (TypeError, ValueError):
+        raise InvalidInstanceError(
+            f"uncertainty model {name!r}: parameter {key}={value!r} is not "
+            f"a number"
+        ) from None
+    return value
+
+
+def _builtin_factory(name: str, extra_keys: FrozenSet[str]):
+    allowed = _COMMON_KEYS | extra_keys
+
+    def factory(**params) -> UncertaintyModel:
+        unknown = sorted(set(params) - allowed)
+        if unknown:
+            raise InvalidInstanceError(
+                f"uncertainty model {name!r} has unknown parameter(s) "
+                f"{unknown}; known parameters: {sorted(allowed)}"
+            )
+        kwargs = {k: _coerce(name, k, v) for k, v in params.items()}
+        if "failure_rate" not in kwargs and name != "exact":
+            kwargs["failure_rate"] = DEFAULT_FAILURE_RATE
+        return UncertaintyModel(model=name, **kwargs)
+
+    return factory
+
+
+for _name, _extra in (
+    ("exact", frozenset()),
+    ("overestimate", frozenset({"factor"})),
+    ("underestimate", frozenset({"factor"})),
+    ("lognormal", frozenset({"sigma"})),
+    ("early-exit", frozenset()),
+):
+    UNCERTAINTY_MODELS.register(
+        _name,  # repro: noqa RPL501 -- one factory per built-in model name
+        _builtin_factory(_name, _extra),
+        overwrite=True,
+    )
+
+
+def parse_uncertainty(
+    spec: str, default_seed: Optional[int] = None
+) -> UncertaintyModel:
+    """Parse ``model[:key=value]*`` (the ``--uncertainty`` grammar).
+
+    ``default_seed`` seeds the model when the spec itself names no
+    ``seed=`` — how the experiment layer gives every grid point its
+    derived per-point seed.
+    """
+    name, _, rest = spec.partition(":")
+    factory = UNCERTAINTY_MODELS.get(name)
+    params = {}
+    if rest:
+        for item in rest.split(":"):
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise InvalidInstanceError(
+                    f"uncertainty spec {spec!r}: malformed option {item!r} "
+                    "(expected key=value)"
+                )
+            params[key] = value
+    if default_seed is not None and "seed" not in params:
+        params["seed"] = default_seed
+    return factory(**params)
+
+
+def resolve_uncertainty(
+    spec, default_seed: Optional[int] = None
+) -> Optional[UncertaintyModel]:
+    """Normalise an engine-facing uncertainty argument.
+
+    ``None`` stays ``None``; a model passes through; a spec string is
+    parsed.  Anything else is a loud error.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, UncertaintyModel):
+        return spec
+    if isinstance(spec, str):
+        return parse_uncertainty(spec, default_seed=default_seed)
+    raise InvalidInstanceError(
+        f"uncertainty must be None, a spec string or an UncertaintyModel, "
+        f"got {type(spec).__name__}"
+    )

@@ -60,21 +60,24 @@ _policies = st.sampled_from(["fcfs", "greedy", "easy"])
 # ---------------------------------------------------------------------------
 
 class TestBatchedEngineIdentity:
-    @given(rows=_trace_rows, policy=_policies, window=st.sampled_from([0, 7]))
+    @given(rows=_trace_rows, policy=_policies, window=st.sampled_from([0, 7]),
+           uncertainty=st.sampled_from([None, "exact"]))
     @settings(max_examples=60, deadline=None)
-    def test_batched_equals_scalar(self, rows, policy, window):
+    def test_batched_equals_scalar(self, rows, policy, window, uncertainty):
         """The satellite property: batched earliest-fit decisions equal
         the scalar per-job path across random traces x all policies —
-        totals, window rows and every recorded start."""
+        totals, window rows and every recorded start.  The degenerate
+        ``exact`` uncertainty model rides along: it must not perturb
+        either engine by a single byte."""
         m = 16
         jobs = _jobs_from_rows(rows, m)
         scalar = ReplayEngine(
             m, policy=policy, window=window, batch=False,
-            record_starts=True,
+            record_starts=True, uncertainty=uncertainty,
         ).run(jobs)
         batched = ReplayEngine(
             m, policy=policy, window=window, batch=True,
-            record_starts=True,
+            record_starts=True, uncertainty=uncertainty,
         ).run(jobs)
         assert _trim(batched) == _trim(scalar)
 

@@ -1,0 +1,636 @@
+"""Runtime-uncertainty layer: models, engine mechanics, determinism.
+
+The contracts under test are the PR's acceptance bar:
+
+* the ``exact`` model is *byte-identical* to no model at all, across
+  policies x profile backends x batched/scalar engines — window rows,
+  totals and recorded starts;
+* every stochastic model is seed-deterministic: same seed => identical
+  output, different seed => different draws, and a serial replay equals
+  its epoch-sharded twin (checkpoints round-trip the uncertainty state);
+* the event mechanics hold individually: failure/requeue with bounded
+  retries, walltime kills, grace extensions, early-exit capacity
+  credit, reservation no-shows, and the ``unstaged`` cancel gauge.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.core.job import Job
+from repro.core.metrics import p_slowdown_le, quantile
+from repro.devtools import failpoints
+from repro.devtools.failpoints import CATALOG_BY_NAME, FailpointError
+from repro.errors import InvalidInstanceError, ReproError, SchedulingError
+from repro.simulation.online_sim import simulate
+from repro.simulation.replay import (
+    UNCERTAINTY_METRIC_FIELDS,
+    ReplayEngine,
+    replay_epochs,
+)
+from repro.simulation.scheduler_core import SchedulerCore
+from repro.workloads.uncertainty import (
+    UNCERTAINTY_MODELS,
+    UncertaintyModel,
+    available_uncertainty_models,
+    parse_uncertainty,
+    resolve_uncertainty,
+)
+
+#: wall-clock fields that legitimately differ between identical runs
+VOLATILE = {"elapsed_seconds"}
+
+
+def _trim(result):
+    totals = {k: v for k, v in result.totals.items() if k not in VOLATILE}
+    return totals, result.windows, result.starts
+
+
+def _jobs_from_rows(rows, m):
+    jobs = []
+    t = 0
+    for i, (gap, p, q) in enumerate(rows):
+        t += gap
+        jobs.append(Job.trusted(i, p, min(q, m), t))
+    return jobs
+
+
+_trace_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),    # submit gap
+        st.integers(min_value=1, max_value=40),   # runtime estimate
+        st.integers(min_value=1, max_value=16),   # processors
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+_policies = st.sampled_from(["fcfs", "greedy", "easy"])
+
+_models = st.sampled_from([
+    "lognormal:sigma=0.5",
+    "lognormal:sigma=1:overrun=grace",
+    "overestimate:factor=4",
+    "underestimate:factor=2:overrun=grace:grace=0.5",
+    "early-exit:failure_rate=0.2",
+])
+
+
+@pytest.fixture(autouse=True)
+def _reset_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+# ---------------------------------------------------------------------------
+# model + spec grammar
+# ---------------------------------------------------------------------------
+
+class TestModelSpec:
+    def test_builtin_models_registered(self):
+        assert available_uncertainty_models() == [
+            "early-exit", "exact", "lognormal", "overestimate",
+            "underestimate",
+        ]
+
+    def test_defaults(self):
+        m = parse_uncertainty("lognormal")
+        assert m.sigma == 0.5
+        assert m.failure_rate == 0.02    # stochastic models fail by default
+        assert m.max_retries == 3 and m.backoff == 60
+        assert parse_uncertainty("exact").failure_rate == 0.0
+
+    def test_canonical_spec_round_trips(self):
+        for spec in ("exact", "lognormal:sigma=0.9:overrun=grace:seed=7",
+                     "underestimate:factor=3:failure_rate=0.5",
+                     "early-exit:no_show_rate=0.1"):
+            model = parse_uncertainty(spec)
+            assert parse_uncertainty(model.spec) == model
+
+    def test_default_seed_fills_only_when_absent(self):
+        assert parse_uncertainty("lognormal", default_seed=9).seed == 9
+        assert parse_uncertainty("lognormal:seed=3", default_seed=9).seed == 3
+
+    def test_unknown_model_and_params_are_loud(self):
+        with pytest.raises(InvalidInstanceError, match="unknown"):
+            parse_uncertainty("weibull")
+        with pytest.raises(InvalidInstanceError, match="unknown parameter"):
+            parse_uncertainty("lognormal:factor=2")   # factor is not lognormal's
+        with pytest.raises(InvalidInstanceError, match="malformed"):
+            parse_uncertainty("lognormal:sigma")
+        with pytest.raises(InvalidInstanceError, match="not a.*number"):
+            parse_uncertainty("lognormal:sigma=big")
+
+    def test_validation_is_loud(self):
+        with pytest.raises(InvalidInstanceError, match="factor"):
+            UncertaintyModel(model="overestimate", factor=0.5)
+        with pytest.raises(InvalidInstanceError, match="failure_rate"):
+            UncertaintyModel(failure_rate=1.5)
+        with pytest.raises(InvalidInstanceError, match="overrun"):
+            UncertaintyModel(overrun="forgive")
+        with pytest.raises(InvalidInstanceError, match="backoff"):
+            UncertaintyModel(backoff=0)
+
+    def test_is_exact(self):
+        assert parse_uncertainty("exact").is_exact
+        assert not parse_uncertainty("exact:failure_rate=0.1").is_exact
+        assert not parse_uncertainty("exact:no_show_rate=0.1").is_exact
+        assert not parse_uncertainty("lognormal").is_exact
+
+    def test_resolve(self):
+        assert resolve_uncertainty(None) is None
+        model = parse_uncertainty("lognormal")
+        assert resolve_uncertainty(model) is model
+        assert resolve_uncertainty("lognormal") == model
+        with pytest.raises(InvalidInstanceError, match="uncertainty must be"):
+            resolve_uncertainty(42)
+
+    def test_third_party_model_joins_registry(self):
+        name = "test-always-half"
+        UNCERTAINTY_MODELS.register(
+            name,  # repro: noqa RPL501 -- test-scoped throwaway name
+            lambda **kw: UncertaintyModel(model="early-exit", **kw),
+            overwrite=True,
+        )
+        assert parse_uncertainty(f"{name}:seed=1").model == "early-exit"
+
+    def test_draw_is_deterministic_and_gridded(self):
+        model = parse_uncertainty("lognormal:sigma=1:failure_rate=0.5:seed=4")
+        for attempt in range(3):
+            a1 = model.draw("job-1", 100, attempt)
+            a2 = model.draw("job-1", 100, attempt)
+            assert a1 == a2
+            actual, fail_at = a1
+            assert isinstance(actual, int) and actual >= 1
+            if fail_at is not None:
+                assert 1 <= fail_at <= min(actual, 100)
+        assert model.draw("job-1", 100, 0) != model.draw("job-2", 100, 0)
+
+    def test_attempt_past_retry_budget_never_fails(self):
+        model = parse_uncertainty("lognormal:failure_rate=1:max_retries=2")
+        for job in range(50):
+            assert model.draw(job, 30, attempt=2)[1] is None
+            assert model.draw(job, 30, attempt=1)[1] is not None
+
+    def test_no_show_draw(self):
+        assert not parse_uncertainty("lognormal").is_no_show(0)
+        sure = parse_uncertainty("exact:no_show_rate=1")
+        assert sure.is_no_show(0) and sure.is_no_show(5)
+
+    def test_metric_helpers(self):
+        assert quantile([3, 1, 2], 0.5) == 2
+        assert quantile([3, 1, 2], 0.99) == 3
+        assert quantile([], 0.5) == 0
+        assert isinstance(quantile([3, 1, 2], 0.5), int)
+        with pytest.raises(InvalidInstanceError):
+            quantile([1], 1.5)
+        assert p_slowdown_le([1, 5, 50]) == pytest.approx(2 / 3)
+        assert p_slowdown_le([]) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# the exact model is byte-identical to no model at all
+# ---------------------------------------------------------------------------
+
+class TestExactIdentity:
+    @pytest.mark.parametrize("policy", ["fcfs", "greedy", "easy"])
+    @pytest.mark.parametrize("backend", ["array", "list"])
+    @pytest.mark.parametrize("batch", [False, True])
+    def test_identity_matrix(self, policy, backend, batch):
+        """policies x backends x batched/scalar: ``exact`` changes no byte."""
+        m = 16
+        jobs = _jobs_from_rows(
+            [(i % 3, 5 + (i * 7) % 23, 1 + (i * 5) % 16) for i in range(80)],
+            m,
+        )
+        kwargs = dict(policy=policy, window=7, profile_backend=backend,
+                      batch=batch, record_starts=True)
+        plain = ReplayEngine(m, **kwargs).run(jobs)
+        exact = ReplayEngine(m, uncertainty="exact", **kwargs).run(jobs)
+        assert _trim(exact) == _trim(plain)
+        assert not (UNCERTAINTY_METRIC_FIELDS & exact.totals.keys())
+
+    @given(rows=_trace_rows, policy=_policies,
+           window=st.sampled_from([0, 7]))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_identity_differential(self, rows, policy, window):
+        m = 16
+        jobs = _jobs_from_rows(rows, m)
+        plain = ReplayEngine(m, policy=policy, window=window,
+                             record_starts=True).run(jobs)
+        exact = ReplayEngine(m, policy=policy, window=window,
+                             record_starts=True,
+                             uncertainty="exact").run(jobs)
+        assert _trim(exact) == _trim(plain)
+
+    def test_exact_checkpoint_carries_no_uncertainty(self):
+        jobs = _jobs_from_rows([(1, 5, 4)] * 10, 8)
+        result = ReplayEngine(8, uncertainty="exact").run_slice(
+            jobs, drain=False
+        )
+        assert result.checkpoint.uncertainty is None
+
+    def test_heap_queue_rejects_models(self):
+        with pytest.raises(SchedulingError, match="calendar"):
+            ReplayEngine(8, completion_queue="heap",
+                         uncertainty="lognormal")
+        ReplayEngine(8, completion_queue="heap", uncertainty="exact")
+
+
+# ---------------------------------------------------------------------------
+# seeded determinism + serial == epoch-sharded
+# ---------------------------------------------------------------------------
+
+class TestSeededDeterminism:
+    def test_same_seed_identical_different_seed_not(self):
+        m = 32
+        jobs = _jobs_from_rows(
+            [(i % 2, 10 + (i * 11) % 31, 1 + (i * 3) % 20) for i in range(200)],
+            m,
+        )
+        spec = "lognormal:sigma=0.8:overrun=grace:seed=5"
+        runs = [
+            ReplayEngine(m, policy="easy", window=25, record_starts=True,
+                         uncertainty=spec).run(jobs)
+            for _ in range(2)
+        ]
+        assert _trim(runs[0]) == _trim(runs[1])
+        other = ReplayEngine(
+            m, policy="easy", window=25, record_starts=True,
+            uncertainty="lognormal:sigma=0.8:overrun=grace:seed=6",
+        ).run(jobs)
+        assert _trim(other) != _trim(runs[0])
+
+    @given(rows=_trace_rows, policy=_policies, model=_models,
+           epochs=st.sampled_from([2, 3]))
+    @settings(max_examples=25, deadline=None)
+    def test_sharded_equals_serial(self, rows, policy, model, epochs):
+        """The checkpoint round-trips the full uncertainty state: an
+        epoch-sharded stochastic replay is byte-identical to serial."""
+        m = 16
+        jobs = _jobs_from_rows(rows, m)
+        serial = ReplayEngine(m, policy=policy, window=7, record_starts=True,
+                              uncertainty=model).run(jobs)
+        sharded = replay_epochs(
+            jobs, policy=policy, epochs=epochs, m=m, use_processes=False,
+            window=7, record_starts=True, uncertainty=model,
+        )
+        assert _trim(sharded) == _trim(serial)
+
+    def test_sharded_process_workers_identical(self):
+        m = 32
+        jobs = _jobs_from_rows(
+            [(1, 8 + (i * 13) % 40, 1 + (i * 7) % 24) for i in range(300)],
+            m,
+        )
+        model = "underestimate:factor=2:overrun=grace:seed=11"
+        serial = ReplayEngine(m, policy="easy", window=50,
+                              uncertainty=model).run(jobs)
+        sharded = replay_epochs(
+            jobs, policy="easy", epochs=3, m=m, use_processes=True,
+            window=50, uncertainty=model,
+        )
+        assert _trim(sharded)[:2] == _trim(serial)[:2]
+
+    def test_resume_under_different_model_is_loud(self):
+        jobs = _jobs_from_rows([(1, 10, 4)] * 30, 8)
+        ckpt = ReplayEngine(
+            8, uncertainty="lognormal:seed=1"
+        ).run_slice(jobs, drain=False).checkpoint
+        with pytest.raises(SchedulingError, match="uncertainty model"):
+            SchedulerCore(8, "easy", resume=ckpt,
+                          uncertainty="lognormal:seed=2")
+        with pytest.raises(SchedulingError, match="uncertainty model"):
+            SchedulerCore(8, "easy", resume=ckpt)
+
+
+# ---------------------------------------------------------------------------
+# event mechanics, one at a time
+# ---------------------------------------------------------------------------
+
+class TestMechanics:
+    def test_failure_requeues_with_backoff_then_completes(self):
+        model = parse_uncertainty(
+            "exact:failure_rate=1:max_retries=2:backoff=10"
+        )
+        core = SchedulerCore(4, "easy", uncertainty=model)
+        core.submit(Job.trusted("j", 20, 4, 0))
+        core.advance_to(10_000)
+        st_ = core.status()
+        assert st_["completed"] == 1
+        assert st_["requeues"] == 2    # every attempt fails until the budget
+        assert st_["kills"] == 0
+        # failure instants and backoffs push completion past 3 runs' worth
+        fail1 = model.draw("j", 20, 0)[1]
+        fail2 = model.draw("j", 20, 1)[1]
+        expected = (fail1 + 10) + (fail2 + 10) + 20
+        assert core.state.profile.earliest_fit(4, 1, after=0) is not None
+        assert st_["clock"] == expected
+
+    def test_overrun_kill_at_estimate(self):
+        core = SchedulerCore(
+            4, "easy",
+            uncertainty="underestimate:factor=3:failure_rate=0:seed=2",
+        )
+        core.submit(Job.trusted("j", 50, 4, 0))
+        core.advance_to(10_000)
+        st_ = core.status()
+        assert st_["completed"] == 1 and st_["kills"] == 1
+        assert st_["clock"] == 50    # killed exactly at the estimate
+
+    def test_overrun_grace_extends_when_capacity_allows(self):
+        model = parse_uncertainty(
+            "underestimate:factor=1.4:failure_rate=0:overrun=grace"
+            ":grace=0.5:seed=4"
+        )
+        actual, _ = model.draw("j", 100, 0)
+        assert actual > 100    # the point of the scenario
+        core = SchedulerCore(4, "easy", uncertainty=model)
+        core.submit(Job.trusted("j", 100, 4, 0))
+        core.advance_to(10_000)
+        st_ = core.status()
+        cap = 100 + model.grace_budget(100)
+        assert st_["clock"] == min(actual, cap)
+        assert st_["kills"] == (1 if actual > cap else 0)
+
+    def test_early_exit_frees_capacity_for_queued_job(self):
+        model = parse_uncertainty("early-exit:failure_rate=0:seed=3")
+        actual, _ = model.draw("a", 100, 0)
+        assert actual < 100
+        core = SchedulerCore(1, "easy", uncertainty=model, record_starts=True)
+        core.submit(Job.trusted("a", 100, 1, 0))
+        core.submit(Job.trusted("b", 100, 1, 0))
+        core.advance_to(10_000)
+        assert core.status()["early_exits"] >= 1
+        # b starts at a's *actual* completion, not its estimate
+        assert core.starts["b"] == actual
+
+    def test_reservation_no_show_releases_hole(self):
+        core = SchedulerCore(
+            4, "easy", uncertainty="exact:no_show_rate=1",
+            record_starts=True,
+        )
+        core.reserve(10, 50, 4)
+        core.submit(Job.trusted("j", 20, 4, 0))
+        core.advance_to(10_000)
+        st_ = core.status()
+        assert st_["no_shows"] == 1
+        # the hole opened at its start instant: the job begins right
+        # there instead of waiting out the 50-unit reservation
+        assert core.starts["j"] == 10
+        assert core.last_completion == 30
+
+    def test_no_show_state_survives_checkpoint(self):
+        spec = "exact:no_show_rate=1"
+        core = SchedulerCore(4, "easy", uncertainty=spec)
+        core.reserve(500, 50, 4)   # future: no-show still pending
+        core.submit(Job.trusted("j", 20, 4, 0))
+        core.advance_to(100)
+        ckpt = core.checkpoint()
+        assert ckpt.uncertainty is not None
+        assert ckpt.uncertainty["no_shows_at"]
+        resumed = SchedulerCore(4, "easy", resume=ckpt, uncertainty=spec)
+        core.advance_to(10_000)
+        resumed.advance_to(10_000)
+        assert resumed.status() == core.status()
+        assert resumed.status()["no_shows"] == 1
+
+    def test_unstaged_cancel_gauge(self):
+        core = SchedulerCore(4, "easy")
+        core.submit(Job.trusted("future", 10, 2, 1_000))
+        assert core.cancel("future") == "staged"
+        st_ = core.status()
+        assert st_["unstaged"] == 1 and st_["cancelled"] == 0
+        assert core.describe_state()["unstaged"] == 1
+        assert core.extra_state()["unstaged"] == 1
+        fresh = SchedulerCore(4, "easy")
+        fresh.restore_extra_state(core.extra_state())
+        assert fresh.unstaged == 1
+
+    def test_requeue_failpoint_fires(self):
+        failpoints.arm("uncertainty.requeue", "error")
+        core = SchedulerCore(
+            4, "easy", uncertainty="exact:failure_rate=1:max_retries=1",
+        )
+        core.submit(Job.trusted("j", 20, 4, 0))
+        with pytest.raises(FailpointError):
+            core.advance_to(10_000)
+
+    def test_overrun_kill_failpoint_fires(self):
+        failpoints.arm("uncertainty.overrun_kill", "error")
+        core = SchedulerCore(
+            4, "easy",
+            uncertainty="underestimate:factor=3:failure_rate=0:seed=2",
+        )
+        core.submit(Job.trusted("j", 50, 4, 0))
+        with pytest.raises(FailpointError):
+            core.advance_to(10_000)
+
+    def test_failpoints_catalogued(self):
+        assert "uncertainty.requeue" in CATALOG_BY_NAME
+        assert "uncertainty.overrun_kill" in CATALOG_BY_NAME
+
+
+# ---------------------------------------------------------------------------
+# windowed distributional metrics
+# ---------------------------------------------------------------------------
+
+class TestWindowRows:
+    DIST_KEYS = {
+        "p_slowdown_le", "wait_p50", "wait_p95", "wait_p99",
+        "bsld_p50", "bsld_p95", "bsld_p99", "requeues", "kills",
+        "no_shows",
+    }
+
+    def test_stochastic_rows_carry_distributional_columns(self):
+        m = 16
+        jobs = _jobs_from_rows(
+            [(1, 10 + i % 20, 1 + i % 12) for i in range(120)], m
+        )
+        result = ReplayEngine(
+            m, policy="easy", window=30, uncertainty="lognormal:sigma=0.7",
+        ).run(jobs)
+        assert result.windows
+        for row in result.windows:
+            assert self.DIST_KEYS <= row.keys()
+            assert 0.0 <= row["p_slowdown_le"] <= 1.0
+            assert row["wait_p50"] <= row["wait_p95"] <= row["wait_p99"]
+        totals = result.totals
+        assert totals["uncertainty"].startswith("lognormal:")
+        assert totals["kills"] + totals["early_exits"] > 0
+
+    def test_certain_rows_do_not(self):
+        jobs = _jobs_from_rows([(1, 10, 4)] * 40, 8)
+        result = ReplayEngine(8, policy="easy", window=10).run(jobs)
+        for row in result.windows:
+            assert not (self.DIST_KEYS & row.keys())
+
+
+# ---------------------------------------------------------------------------
+# online simulator: estimate-error models under kill semantics
+# ---------------------------------------------------------------------------
+
+class TestOnlineUncertainty:
+    def _instance(self):
+        from repro.workloads.synthetic import (
+            uniform_instance, with_poisson_releases,
+        )
+
+        return with_poisson_releases(
+            uniform_instance(n=120, m=16, seed=3), rate=0.4, seed=4
+        )
+
+    def test_exact_is_identity(self):
+        inst = self._instance()
+        base = simulate(inst, policy="easy")
+        exact = simulate(inst, policy="easy", uncertainty="exact")
+        assert exact.schedule.starts == base.schedule.starts
+        # jobs are NOT actualized: the degenerate model is a no-op
+        assert tuple(j.p for j in exact.schedule.instance.jobs) == \
+            tuple(j.p for j in inst.jobs)
+
+    def test_error_model_is_deterministic_and_actualized(self):
+        inst = self._instance()
+        spec = "overestimate:factor=3:failure_rate=0:seed=7"
+        one = simulate(inst, policy="easy", uncertainty=spec)
+        two = simulate(inst, policy="easy", uncertainty=spec)
+        assert one.schedule.starts == two.schedule.starts
+        est = {j.id: j.p for j in inst.jobs}
+        assert all(j.p <= est[j.id] for j in one.schedule.instance.jobs)
+        assert any(j.p < est[j.id] for j in one.schedule.instance.jobs)
+
+    def test_unsupported_features_are_loud(self):
+        inst = self._instance()
+        for spec in ("lognormal:sigma=0.5",             # default failures
+                     "exact:no_show_rate=0.5",
+                     "overestimate:failure_rate=0:overrun=grace"):
+            with pytest.raises(SchedulingError, match="replay engine"):
+                simulate(inst, uncertainty=spec)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_replay_uncertainty_flag(self, capsys):
+        assert main([
+            "replay", "synth:steady:400", "--window", "100",
+            "--uncertainty", "lognormal:sigma=0.5",
+        ]) == 0
+        assert "replayed 400 jobs" in capsys.readouterr().out
+
+    def test_bad_spec_is_reported(self, capsys):
+        assert main([
+            "replay", "synth:steady:100",
+            "--uncertainty", "weibull:k=2",
+        ]) == 2
+        assert "unknown uncertainty model" in capsys.readouterr().err
+
+    def test_list_uncertainty_models(self, capsys):
+        assert main(["list", "--kind", "uncertainty-models"]) == 0
+        out = capsys.readouterr().out
+        assert "lognormal" in out and "early-exit" in out
+
+
+# ---------------------------------------------------------------------------
+# experiment layer: the uncertainties factor
+# ---------------------------------------------------------------------------
+
+class TestExperimentFactor:
+    def _spec(self, **overrides):
+        from repro.run import ExperimentSpec
+
+        data = {
+            "format": "repro-spec/1",
+            "name": "u",
+            "algorithms": ["online:easy"],
+            "traces": [
+                {"source": "synth:steady", "params": {"n": 300, "m": 32}}
+            ],
+            "metrics": ["makespan"],
+            "seeds": [0],
+        }
+        data.update(overrides)
+        return ExperimentSpec.from_dict(data)
+
+    def test_uncertainties_multiply_points(self):
+        spec = self._spec(uncertainties=["exact", "lognormal:sigma=0.5"])
+        assert spec.n_points == 2
+
+    def test_rows_carry_the_factor_and_metrics(self):
+        from repro.run import run_experiment
+
+        spec = self._spec(
+            uncertainties=["lognormal:sigma=0.5"],
+            metrics=["makespan", "p_slowdown_le", "requeues", "kills"],
+            seeds=[0, 1],
+        )
+        rows = run_experiment(spec, jobs=1).rows
+        assert len(rows) == 2
+        for row in rows:
+            assert row["uncertainty"] == "lognormal:sigma=0.5"
+            assert 0.0 <= row["p_slowdown_le"] <= 1.0
+            assert row["kills"] >= 0 and row["requeues"] >= 0
+        # per-point derived seeds: the two seeds draw differently
+        assert rows[0]["kills"] != rows[1]["kills"]
+
+    def test_exact_point_with_uncertainty_metric_is_loud(self):
+        from repro.run import run_experiment
+
+        spec = self._spec(metrics=["p_slowdown_le"])
+        with pytest.raises(InvalidInstanceError, match="uncertainty"):
+            run_experiment(spec, jobs=1)
+
+    def test_bad_uncertainty_fails_validation(self):
+        with pytest.raises(InvalidInstanceError, match="unknown"):
+            self._spec(uncertainties=["weibull"]).validate()
+
+    def test_uncertainties_require_traces(self):
+        from repro.run import ExperimentSpec
+
+        with pytest.raises(InvalidInstanceError, match="trace"):
+            ExperimentSpec.from_dict({
+                "format": "repro-spec/1",
+                "name": "u",
+                "algorithms": ["online:easy"],
+                "workloads": [{"name": "uniform",
+                               "params": {"n": 10, "m": 4}}],
+                "metrics": ["makespan"],
+                "seeds": [0],
+                "uncertainties": ["lognormal"],
+            })
+
+
+# ---------------------------------------------------------------------------
+# journal fingerprint
+# ---------------------------------------------------------------------------
+
+class TestJournalFingerprint:
+    def test_resume_under_different_model_is_loud(self, tmp_path):
+        from repro.durability import replay_journaled
+        from repro.errors import JournalError
+
+        journal = str(tmp_path / "jrnl")
+        replay_journaled(
+            "synth:steady:200", journal, policy="easy", n=200,
+            window=50, uncertainty="lognormal:sigma=0.5",
+        )
+        with pytest.raises(JournalError, match="uncertainty"):
+            replay_journaled(
+                "synth:steady:200", journal, policy="easy", n=200,
+                window=50, resume=True, uncertainty="lognormal:sigma=0.9",
+            )
+
+    def test_exact_fingerprints_as_certain_world(self, tmp_path):
+        from repro.durability import replay_journaled
+
+        journal = str(tmp_path / "jrnl")
+        replay_journaled("synth:steady:200", journal, policy="easy",
+                         n=200, window=50)
+        result = replay_journaled(
+            "synth:steady:200", journal, policy="easy", n=200,
+            window=50, resume=True, uncertainty="exact",
+        )
+        assert result.totals["n_jobs"] == 200
